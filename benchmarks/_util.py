@@ -1,0 +1,11 @@
+"""Benchmark helpers importable from the bench files."""
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment with a single measured round.
+
+    Figure regeneration is deterministic work, not a microbenchmark; one
+    round gives the wall cost of reproducing the figure without inflating
+    the suite's runtime.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Extension: the §3.1.1 robustness claim, checked.
+
+"Our conclusions would remain unchanged by small variations in these
+assumptions" — the TW ordering AR ≤ GI ≤ naive must survive perturbations
+of every primitive-operation weight, including billing the SENDs the paper
+zeroes out.
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_cost_sensitivity(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: experiments.ext_cost_sensitivity(num_nodes=32)
+    )
+    save_result(result)
+    for row in result.rows:
+        assert row[4] == "yes", f"ordering broke under weights {row[0]!r}"
+    # The paper's exact weights give the quoted constants.
+    paper_row = result.rows[0]
+    assert paper_row[1] == 3.0 and paper_row[2] == 13.0

@@ -1,0 +1,28 @@
+"""Extension: the §4 cost-model method chooser.
+
+The paper's conclusion: "it is impossible to say that one method is always
+the best ... our analytical model could form the basis for a cost model
+that would enable a system to choose the best approach automatically."
+This bench sweeps the update activity and checks the chooser transitions
+from AR (small updates) to naive-with-clustered-index (huge updates).
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_method_chooser(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.ext_method_chooser(
+            update_sizes=(1, 10, 100, 1_000, 10_000, 100_000), num_nodes=32
+        ),
+    )
+    save_result(result)
+    recommended = result.column("recommended")
+    assert "auxiliary" in recommended
+    assert recommended[-1] == "naive"
+    # Once naive takes over it stays (monotone transition in update size).
+    first_naive = recommended.index("naive", 1)
+    assert all(r == "naive" for r in recommended[first_naive:])

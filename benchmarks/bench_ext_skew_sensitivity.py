@@ -1,0 +1,29 @@
+"""Extension: skew sensitivity of the AR method (assumption-9 ablation).
+
+The analytical model's ⌈A/L⌉ busiest-node share relies on uniformly
+distributed insert keys.  This ablation replaces them with Zipf keys and
+measures how the AR response inflates while the naive method — which never
+exploited placement in the first place — stays put.
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_skew_sensitivity(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.ext_skew_sensitivity(
+            skews=(0.0, 1.0, 2.0), num_nodes=32, num_inserted=512
+        ),
+    )
+    save_result(result)
+    rows = result.as_dicts()
+    inflation = [row["AR inflation"] for row in rows]
+    # Inflation grows monotonically with skew and becomes substantial.
+    assert inflation == sorted(inflation)
+    assert inflation[-1] > 5 * inflation[0]
+    # The naive method stays within a modest band across skews.
+    naive = [row["naive measured [I/Os]"] for row in rows]
+    assert max(naive) < 1.5 * min(naive)

@@ -1,0 +1,24 @@
+"""Extension: the space side of the paper's space/speed trade.
+
+Naive stores nothing extra, the GI stores an entry per base tuple, the AR
+stores a row copy per base tuple — and §2.1.2's projection trimming
+shrinks the AR's width to the columns its views actually need.
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_storage_overhead(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: experiments.ext_storage_overhead(num_nodes=8)
+    )
+    save_result(result)
+    by_method = {row[0]: row for row in result.rows}
+    assert by_method["naive"][2] == 0
+    assert by_method["global_index"][2] == 640
+    assert by_method["auxiliary"][2] == 640
+    # Trimming keeps the tuple count but cuts the stored fields.
+    assert by_method["auxiliary (trimmed)"][2] == by_method["auxiliary"][2]
+    assert by_method["auxiliary (trimmed)"][3] < by_method["auxiliary"][3]

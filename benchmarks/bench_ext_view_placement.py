@@ -1,0 +1,28 @@
+"""Extension: the cost of the figures' (b) variants.
+
+Every maintenance figure in the paper comes in an (a) form — the view
+partitioned on an attribute of A — and a (b) form with no exploitable
+placement.  Inserts differ only in routing; deletes are where placement
+pays: the hash-placed view probes one home node per derived tuple, the
+round-robin view hunts across all L.
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_view_placement(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.ext_view_placement(num_nodes=16, num_changes=64),
+    )
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    hashed = rows["hash on A.e (variant a)"]
+    scattered = rows["round-robin (variant b)"]
+    # Same insert-side cost (routing is SEND-only, free at paper weights)...
+    assert hashed[1] == scattered[1]
+    # ...but deletes pay for placement-blindness on both metrics.
+    assert scattered[2] > 2 * hashed[2]
+    assert scattered[3] > 2 * hashed[3]

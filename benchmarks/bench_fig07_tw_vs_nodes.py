@@ -1,0 +1,37 @@
+"""Figure 7: TW for a single-tuple insert vs number of data server nodes.
+
+Paper claims reproduced here: the auxiliary-relation TW is a flat 3 I/Os,
+the naive TW grows linearly with L, and the global-index TW plateaus at
+3 + N once L > N.  The simulator's measured TW must equal the closed form
+at every point.
+"""
+
+import pytest
+
+from repro.bench import agreement_ratio, experiments
+from repro.model import MethodVariant
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_CL = MethodVariant.NAIVE_CLUSTERED.value
+GI_NCL = MethodVariant.GI_NONCLUSTERED.value
+
+
+def test_figure7(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: experiments.figure7(node_counts=(1, 2, 4, 8, 16, 32, 64, 128))
+    )
+    save_result(result)
+    rows = result.as_dicts()
+    assert all(row[f"{AR} [model]"] == 3.0 for row in rows)
+    assert rows[-1][f"{GI_NCL} [model]"] == 13.0
+    assert rows[-1][f"{NAIVE_CL} [model]"] == 128.0
+    for variant in MethodVariant:
+        ratio = agreement_ratio(
+            result.column(f"{variant.value} [model]"),
+            result.column(f"{variant.value} [measured]"),
+        )
+        assert ratio == pytest.approx(1.0), variant
+    benchmark.extra_info["ar_tw"] = rows[-1][f"{AR} [measured]"]
+    benchmark.extra_info["naive_tw_at_128"] = rows[-1][f"{NAIVE_CL} [measured]"]

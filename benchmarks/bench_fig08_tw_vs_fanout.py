@@ -1,0 +1,40 @@
+"""Figure 8: TW for a single-tuple insert vs join fan-out N (L = 32).
+
+Headline claim: the global-index method is the *intermediate* method — its
+TW tracks the auxiliary relation's for small N and the naive method's for
+large N.
+"""
+
+import pytest
+
+from repro.bench import agreement_ratio, experiments
+from repro.model import MethodVariant
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_NCL = MethodVariant.NAIVE_NONCLUSTERED.value
+GI_NCL = MethodVariant.GI_NONCLUSTERED.value
+
+
+def test_figure8(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure8(fanouts=(1, 2, 5, 10, 20, 50, 100), num_nodes=32),
+    )
+    save_result(result)
+    rows = result.as_dicts()
+    for row in rows:
+        assert row[f"{AR} [measured]"] <= row[f"{GI_NCL} [measured]"]
+        assert row[f"{GI_NCL} [measured]"] <= row[f"{NAIVE_NCL} [measured]"]
+    low, high = rows[0], rows[-1]
+    assert abs(low[f"{GI_NCL} [measured]"] - low[f"{AR} [measured]"]) <= 1.0
+    assert (
+        high[f"{NAIVE_NCL} [measured]"] - high[f"{GI_NCL} [measured]"]
+        < high[f"{GI_NCL} [measured]"] - high[f"{AR} [measured]"]
+    )
+    for variant in MethodVariant:
+        assert agreement_ratio(
+            result.column(f"{variant.value} [model]"),
+            result.column(f"{variant.value} [measured]"),
+        ) == pytest.approx(1.0)

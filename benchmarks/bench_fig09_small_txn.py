@@ -1,0 +1,33 @@
+"""Figure 9: response time of one 400-tuple transaction (index-join regime).
+
+Headline claims: the AR response falls as 3·⌈A/L⌉ (fast with more nodes);
+naive with a clustered index stays flat at A because every node still
+probes every delta tuple.
+"""
+
+import pytest
+
+from repro.bench import agreement_ratio, experiments
+from repro.model import MethodVariant
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_CL = MethodVariant.NAIVE_CLUSTERED.value
+
+
+def test_figure9(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure9(node_counts=(1, 2, 4, 8, 16, 32), num_inserted=400),
+    )
+    save_result(result)
+    ar = result.column(f"{AR} [measured]")
+    assert ar == sorted(ar, reverse=True)
+    assert ar[0] == 1200.0 and ar[-1] == pytest.approx(39.0)
+    assert all(
+        value == 400.0 for value in result.column(f"{NAIVE_CL} [measured]")
+    )
+    assert agreement_ratio(
+        result.column(f"{AR} [model]"), ar
+    ) == pytest.approx(1.0)

@@ -1,0 +1,35 @@
+"""Figure 10: response time of one 6,500-tuple transaction (sort-merge).
+
+Headline claim — the paper's one inversion: when the transaction inserts
+about as many tuples as base relation B has pages, every node's work is a
+pass over its B fragment, and the naive method with clustered base
+relations beats both the AR and GI methods (which still pay their
+structure co-updates).
+"""
+
+import pytest
+
+from repro.bench import agreement_ratio, experiments
+from repro.model import MethodVariant
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_CL = MethodVariant.NAIVE_CLUSTERED.value
+GI_CL = MethodVariant.GI_CLUSTERED.value
+
+
+def test_figure10(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure10(node_counts=(1, 4, 16, 64), num_inserted=6_500),
+    )
+    save_result(result)
+    for row in result.as_dicts():
+        assert row[f"{NAIVE_CL} [measured]"] < row[f"{AR} [measured]"]
+        assert row[f"{NAIVE_CL} [measured]"] < row[f"{GI_CL} [measured]"]
+    for variant in MethodVariant:
+        assert agreement_ratio(
+            result.column(f"{variant.value} [model]"),
+            result.column(f"{variant.value} [measured]"),
+        ) == pytest.approx(1.0)

@@ -1,0 +1,43 @@
+"""Figure 11: response time vs number of inserted tuples (L = 128).
+
+Headline claims: with the join algorithm chosen by cost, each method's
+curve flattens at its sort-merge plateau; the naive method flattens first,
+the GI method later, the AR method last (near |B| pages) — and beyond that
+point AR is worse than naive.
+"""
+
+from repro.bench import experiments
+from repro.model import MethodVariant, paper_scenario, sort_merge_crossover
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_CL = MethodVariant.NAIVE_CLUSTERED.value
+
+
+def test_figure11(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure11(
+            insert_counts=(1, 10, 100, 500, 1_000, 2_000, 5_000, 10_000, 40_000, 70_000),
+            num_nodes=128,
+            measured_limit=2_000,
+        ),
+    )
+    save_result(result)
+    rows = result.as_dicts()
+    naive = [row[f"{NAIVE_CL} [model]"] for row in rows]
+    ar = [row[f"{AR} [model]"] for row in rows]
+    # Naive plateaus; AR keeps growing past it and ends higher.
+    assert naive[-1] == naive[-4]
+    assert ar[-1] > naive[-1]
+    # Crossover ordering (the flattening points).
+    params = paper_scenario(128)
+    assert (
+        sort_merge_crossover(MethodVariant.NAIVE_CLUSTERED, params)
+        < sort_merge_crossover(MethodVariant.GI_CLUSTERED, params)
+        < sort_merge_crossover(MethodVariant.AUXILIARY, params)
+    )
+    benchmark.extra_info["ar_crossover"] = sort_merge_crossover(
+        MethodVariant.AUXILIARY, params
+    )

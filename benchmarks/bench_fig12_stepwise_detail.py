@@ -1,0 +1,31 @@
+"""Figure 12: execution time vs inserted tuples, 1..300 detail (L = 128).
+
+Headline claim: the AR method's response is step-wise — it jumps exactly
+when ⌈A/L⌉ grows, because the busiest node's share increases by one tuple.
+The simulator reproduces the steps because inserted keys are uniformly
+distributed over nodes, exactly the paper's assumption.
+"""
+
+from repro.bench import experiments
+from repro.model import MethodVariant
+
+from _util import run_once
+
+AR = MethodVariant.AUXILIARY.value
+
+
+def test_figure12(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure12(
+            insert_counts=(1, 64, 128, 129, 200, 256, 257, 300), num_nodes=128
+        ),
+    )
+    save_result(result)
+    by_inserted = {row["inserted"]: row for row in result.as_dicts()}
+    assert by_inserted[1][f"{AR} [measured]"] == 3.0
+    assert by_inserted[128][f"{AR} [measured]"] == 3.0
+    assert by_inserted[129][f"{AR} [measured]"] == 6.0
+    assert by_inserted[256][f"{AR} [measured]"] == 6.0
+    assert by_inserted[257][f"{AR} [measured]"] == 9.0
+    assert by_inserted[300][f"{AR} [measured]"] == 9.0

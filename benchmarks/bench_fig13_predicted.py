@@ -1,0 +1,43 @@
+"""Figure 13: predicted view maintenance time for JV1 and JV2.
+
+Headline claims: maintenance of both TPC-R views is predicted in units of
+128 I/Os for a 128-customer insert; the AR method's time falls as 1/L
+while the naive method's stays near-flat, so the AR speedup grows with the
+number of data server nodes; JV2 costs about twice JV1 under AR.
+"""
+
+import pytest
+
+from repro.bench import agreement_ratio, experiments
+
+from _util import run_once
+
+LINES = (
+    "AR method for JV1",
+    "naive method for JV1",
+    "AR method for JV2",
+    "naive method for JV2",
+)
+
+
+def test_figure13(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiments.figure13(node_counts=(2, 4, 8), delta=128, scale=0.005),
+    )
+    save_result(result)
+    rows = result.as_dicts()
+    for line in LINES:
+        assert agreement_ratio(
+            result.column(f"{line} [model]"),
+            result.column(f"{line} [measured]"),
+        ) == pytest.approx(1.0), line
+    speedups = [
+        row["naive method for JV1 [measured]"] / row["AR method for JV1 [measured]"]
+        for row in rows
+    ]
+    assert speedups == sorted(speedups)  # grows with L
+    for row in rows:
+        assert row["AR method for JV2 [measured]"] == pytest.approx(
+            2 * row["AR method for JV1 [measured]"]
+        )

@@ -1,0 +1,28 @@
+"""Table 1: test data set I — cardinalities and sizes.
+
+Regenerates the paper's dataset at a configurable scale with its exact
+ratios (orders = 10 x customers, lineitem = 4 x orders) and join behaviour
+(1 matching order per customer, 4 lineitems per order).
+"""
+
+from collections import Counter
+
+from repro.bench import experiments
+from repro.workloads import TpcrGenerator
+
+from _util import run_once
+
+
+def test_table1(benchmark, save_result):
+    result = run_once(benchmark, lambda: experiments.table1(scale=0.01))
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["customer"][1] == 150_000 and rows["customer"][3] == 1_500
+    assert rows["orders"][3] == 15_000
+    assert rows["lineitem"][3] == 60_000
+    # Join fan-outs underpinning Figures 13/14.
+    dataset = TpcrGenerator(scale=0.01).generate()
+    per_customer = Counter(order[1] for order in dataset.orders)
+    assert all(per_customer[c[0]] == 1 for c in dataset.customers)
+    per_order = Counter(item[1] for item in dataset.lineitems)
+    assert all(per_order[o[0]] == 4 for o in dataset.orders)

@@ -1,0 +1,20 @@
+"""The reproduction's central validation, as a benchmark artifact.
+
+Sweeps (L, N, variant) and asserts the simulator's measured costs equal
+the paper's closed forms: exactly, for both TW and response time, when the
+workload realizes the model's uniformity assumption exactly.
+"""
+
+import pytest
+
+from repro.bench import validation_grid
+
+from _util import run_once
+
+
+def test_validation_grid(benchmark, save_result):
+    result = run_once(benchmark, lambda: validation_grid())
+    save_result(result)
+    for row in result.rows:
+        assert row[1] == pytest.approx(1.0), f"TW mismatch for {row[0]}"
+        assert row[2] == pytest.approx(1.0), f"response mismatch for {row[0]}"

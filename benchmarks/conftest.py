@@ -1,0 +1,27 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Each benchmark regenerates one table/figure of the paper: the benchmarked
+callable produces the experiment's rows, and the rendered series is saved
+under ``benchmarks/results/`` so the reproduction artefacts survive the
+run (EXPERIMENTS.md links them).
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a rendered experiment next to the benchmarks."""
+
+    def save(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = result.experiment.lower().replace(" ", "_").replace("(", "").replace(")", "")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(result.render() + "\n")
+        return path
+
+    return save

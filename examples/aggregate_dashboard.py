@@ -1,0 +1,88 @@
+"""A live warehouse dashboard on aggregate join views.
+
+Plain join views materialize every joined tuple; dashboards want grouped
+aggregates (order counts and revenue per customer segment).  This example
+maintains ``SELECT nationkey, COUNT(*), SUM(totalprice), AVG(totalprice)
+FROM customer ⋈ orders GROUP BY nationkey`` incrementally through a stream
+of inserts and deletes, and shows why the aggregate form is so much
+cheaper on the view side: a 64-tuple transaction touches a handful of
+group rows instead of 64 join tuples.
+
+Run:  python examples/aggregate_dashboard.py
+"""
+
+from repro import Cluster, Tag, two_way_view
+from repro.core import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    aggregate_rows,
+    recompute_aggregate,
+)
+from repro.core.aggregates import define_aggregate_join_view
+from repro.costs import ascii_table
+from repro.workloads import TpcrGenerator, load_into
+
+NUM_NODES = 8
+SCALE = 0.004
+SEGMENTS_SHOWN = 6
+
+
+def main() -> None:
+    cluster = Cluster(NUM_NODES)
+    generator = TpcrGenerator(scale=SCALE)
+    dataset = generator.generate()
+    load_into(cluster, dataset)
+
+    spec = AggregateSpec(
+        group_by=(("customer", "nationkey"),),
+        aggregates=(
+            Aggregate(AggregateFunction.COUNT, "orders"),
+            Aggregate(AggregateFunction.SUM, "revenue", source=("orders", "totalprice")),
+            Aggregate(AggregateFunction.AVG, "avg_order", source=("orders", "totalprice")),
+        ),
+    )
+    define_aggregate_join_view(
+        cluster,
+        two_way_view("dashboard", "customer", "custkey", "orders", "custkey"),
+        spec,
+        method="auxiliary",
+    )
+
+    def show(title: str) -> None:
+        rows = sorted(aggregate_rows(cluster, "dashboard"))[:SEGMENTS_SHOWN]
+        print(title)
+        print(ascii_table(
+            ["nation", "orders", "revenue", "avg order"],
+            [[n, c, f"{r:,.0f}", f"{a:,.0f}"] for n, c, r, a in rows],
+        ))
+        print()
+
+    show(f"dashboard after initial load ({len(dataset.customers)} customers):")
+
+    # A burst of new customers lands; the dashboard stays current.
+    delta = generator.new_customers(64, starting_at=len(dataset.customers))
+    snapshot = cluster.insert("customer", delta)
+    show("after a 64-customer real-time transaction:")
+    print(f"that transaction's view-side work: "
+          f"{snapshot.total_workload([Tag.VIEW]):.0f} I/Os across "
+          f"{NUM_NODES} nodes - group rows, not join tuples.")
+    churn = cluster.delete("customer", delta[:32])
+    show("\nafter 32 of them churned right back out:")
+
+    # The maintained aggregates equal a from-scratch recomputation (up to
+    # float round-off from the incremental add/subtract cycles).
+    maintained = sorted(aggregate_rows(cluster, "dashboard"))
+    recomputed = sorted(recompute_aggregate(cluster, "dashboard"))
+    assert len(maintained) == len(recomputed)
+    for got, want in zip(maintained, recomputed):
+        for a, b in zip(got, want):
+            if isinstance(a, float):
+                assert abs(a - b) <= 1e-6 * max(1.0, abs(b))
+            else:
+                assert a == b
+    print("verified: maintained aggregates == recomputed from base relations.")
+
+
+if __name__ == "__main__":
+    main()

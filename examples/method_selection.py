@@ -1,0 +1,118 @@
+"""Choosing a maintenance method automatically (paper §4).
+
+"There are many factors that influence the performance of the three view
+maintenance methods, e.g., the update activity on base relations and the
+amount of available storage space.  For this reason, it is impossible to
+say that one method is always the best."
+
+This example runs the cost-model advisor across update sizes and storage
+budgets and prints the recommendation matrix, then sanity-checks one
+recommendation by actually executing all three methods.
+
+Run:  python examples/method_selection.py
+"""
+
+from repro import MethodAdvisor
+from repro.core import BoundView
+from repro.costs import ascii_table
+from repro.storage.pages import PageLayout
+from repro.workloads.uniform import UniformJoinWorkload, build_cluster
+
+LAYOUT = PageLayout(tuples_per_page=1, memory_pages=100)
+NUM_NODES = 32
+
+
+def make_advisor():
+    workload = UniformJoinWorkload(num_keys=640, fanout=10, clustered=True)
+    cluster = build_cluster(
+        workload, num_nodes=NUM_NODES, method="naive", layout=LAYOUT
+    )
+    bound = BoundView(
+        workload.definition("advised"),
+        {
+            "A": cluster.catalog.relation("A").schema,
+            "B": cluster.catalog.relation("B").schema,
+        },
+    )
+    return MethodAdvisor(cluster, bound), workload
+
+
+def recommendation_matrix(advisor) -> None:
+    update_sizes = (1, 10, 100, 1_000, 10_000, 100_000)
+    budgets = (None, 10_000, 0)
+    rows = []
+    for update_size in update_sizes:
+        row = [update_size]
+        for budget in budgets:
+            verdict = advisor.recommend(
+                update_size,
+                storage_budget_tuples=budget,
+                clustered_base_indexes=True,
+            )
+            row.append(verdict.method.value)
+        rows.append(row)
+    print(ascii_table(
+        ["update size", "unlimited storage", "10k tuples", "no extra storage"],
+        rows,
+    ))
+
+
+def check_one_recommendation(advisor) -> None:
+    update_size = 100
+    verdict = advisor.recommend(update_size, clustered_base_indexes=True)
+    print(f"\nadvisor for {update_size}-tuple transactions: {verdict.reason}\n")
+    measured = {}
+    for method in ("naive", "auxiliary", "global_index"):
+        workload = UniformJoinWorkload(num_keys=640, fanout=10, clustered=True)
+        cluster = build_cluster(
+            workload, num_nodes=NUM_NODES, method=method, layout=LAYOUT
+        )
+        snapshot = cluster.insert("A", workload.a_rows(update_size))
+        measured[method] = snapshot.maintenance_response_time()
+    print("measured response per method (I/Os):")
+    for method, response in sorted(measured.items(), key=lambda kv: kv[1]):
+        marker = "  <- advisor's pick" if method == verdict.method.value else ""
+        print(f"  {method:12s} {response:8.1f}{marker}")
+    assert measured[verdict.method.value] == min(measured.values())
+
+
+def workload_level_advice() -> None:
+    """One level up: is the view worth materializing at all?"""
+    from repro.core import BoundView, WorkloadAdvisor, WorkloadProfile
+    from repro.workloads.uniform import UniformJoinWorkload, build_cluster
+
+    workload = UniformJoinWorkload(num_keys=640, fanout=10, clustered=True)
+    cluster = build_cluster(
+        workload, num_nodes=NUM_NODES, method="naive", layout=LAYOUT
+    )
+    bound = BoundView(
+        workload.definition("candidate"),
+        {
+            "A": cluster.catalog.relation("A").schema,
+            "B": cluster.catalog.relation("B").schema,
+        },
+    )
+    advisor = WorkloadAdvisor(cluster, bound, clustered_base_indexes=True)
+    print("\nworkload-level advice (queries vs update transactions per hour):")
+    for queries, updates in ((200, 10), (20, 200), (1, 5_000)):
+        verdict = advisor.advise(
+            WorkloadProfile(
+                full_queries=queries,
+                update_transactions=updates,
+                tuples_per_update=8,
+            )
+        )
+        print(f"  {queries:>5} queries / {updates:>5} updates: {verdict.explain()}")
+
+
+def main() -> None:
+    advisor, _ = make_advisor()
+    print("recommended maintenance method by update size and storage budget")
+    print(f"(L = {NUM_NODES}, |B| = 6,400 pages, N = 10, clustered indexes)\n")
+    recommendation_matrix(advisor)
+    check_one_recommendation(advisor)
+    workload_level_advice()
+
+
+if __name__ == "__main__":
+    main()

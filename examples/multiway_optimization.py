@@ -1,0 +1,86 @@
+"""Maintenance-plan optimization for multi-relation views (paper §2.2).
+
+The paper's cyclic example: a view over A ⋈ B ⋈ C ⋈ A where every relation
+is partitioned off its join attributes.  When a tuple arrives in A there
+are exactly four ways to propagate it through the auxiliary relations, and
+"it is impossible to state which alternative is best without considering
+relational statistics".  This example prints all four priced plans, shows
+the optimizer's choice tracking a skew we inject, and verifies maintenance
+stays correct either way.
+
+Run:  python examples/multiway_optimization.py
+"""
+
+from collections import Counter
+
+from repro import Cluster, Schema, recompute_view
+from repro.cluster.partitioning import RoundRobinPartitioning
+from repro.core import JoinCondition, JoinViewDefinition
+
+A = Schema.of("A", "x", "y", "pa")
+B = Schema.of("B", "y2", "z", "pb")
+C = Schema.of("C", "z2", "x2", "pc")
+
+TRIANGLE = JoinViewDefinition(
+    name="TRI",
+    relations=("A", "B", "C"),
+    conditions=(
+        JoinCondition("A", "y", "B", "y2"),
+        JoinCondition("B", "z", "C", "z2"),
+        JoinCondition("C", "x2", "A", "x"),
+    ),
+    select=(("A", "x"), ("B", "z"), ("C", "x2")),
+    partitioning=RoundRobinPartitioning(),
+)
+
+
+def build(skew_towards: str) -> Cluster:
+    """B and C get asymmetric fan-outs so the optimizer has a real choice."""
+    cluster = Cluster(4)
+    cluster.create_relation(A, partitioned_on="pa")
+    cluster.create_relation(B, partitioned_on="pb")
+    cluster.create_relation(C, partitioned_on="pc")
+    if skew_towards == "B":
+        # B has 16 matches per y2 value, C has 1 per x2 value.
+        cluster.insert("B", [(1, i % 4, i) for i in range(16)])
+        cluster.insert("C", [(i % 4, i, i) for i in range(16)])
+    else:
+        cluster.insert("B", [(i, i % 4, i) for i in range(16)])
+        cluster.insert("C", [(i % 4, 1, i) for i in range(16)])
+    cluster.create_join_view(TRIANGLE, method="auxiliary")
+    return cluster
+
+
+def show_plans(cluster: Cluster, label: str) -> None:
+    view = cluster.catalog.view("TRI")
+    alternatives = view.maintainer.planner.alternatives("A")
+    print(f"plans for a delta on A ({label}):")
+    for rank, (plan, cost) in enumerate(alternatives, start=1):
+        hops = ", ".join(
+            f"{hop.left_relation}.{hop.left_column}->{hop.partner}.{hop.right_column}"
+            for hop in plan.hops
+        )
+        print(f"  {rank}. {hops:40s} estimated cost {cost:8.2f} I/Os")
+    best, _ = alternatives[0]
+    print(f"  optimizer picks: probe {best.hops[0].partner} first\n")
+
+
+def main() -> None:
+    print("the paper's triangle view A |x| B |x| C |x| A under the AR method")
+    print("four legal propagation plans exist for each updated relation\n")
+    for skew in ("B", "C"):
+        cluster = build(skew_towards=skew)
+        show_plans(cluster, f"fan-out skewed towards {skew}")
+        best_first = cluster.catalog.view("TRI").maintainer.planner.plan_for("A")
+        expected_first = "C" if skew == "B" else "B"
+        assert best_first.hops[0].partner == expected_first, (
+            "optimizer should start at the low-fanout side"
+        )
+        cluster.insert("A", [(5, 2, 0), (6, 3, 1)])
+        assert Counter(cluster.view_rows("TRI")) == recompute_view(cluster, "TRI")
+    print("maintenance verified correct under both skews - the plans differ,")
+    print("the view contents do not.")
+
+
+if __name__ == "__main__":
+    main()

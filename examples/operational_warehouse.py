@@ -1,0 +1,78 @@
+"""The paper's motivating scenario: an operational data warehouse.
+
+A TPC-R-style warehouse serves analytics through two materialized join
+views (JV1 = customer ⋈ orders, JV2 = customer ⋈ orders ⋈ lineitem) while
+absorbing a real-time stream of small update transactions.  This example
+plays the same stream against a naive-maintained and an AR-maintained
+deployment and reports the aggregate maintenance workload and the busiest
+node's share — the throughput collapse of the paper's introduction, and
+the fix.
+
+Run:  python examples/operational_warehouse.py
+"""
+
+from collections import Counter
+
+from repro import Cluster, recompute_view
+from repro.costs import Tag
+from repro.workloads import (
+    TpcrGenerator,
+    jv1_definition,
+    jv2_definition,
+    load_into,
+)
+
+NUM_NODES = 8
+SCALE = 0.004          # 600 customers / 6,000 orders / 24,000 lineitems
+TRANSACTIONS = 40      # small real-time transactions
+TUPLES_PER_TXN = 4
+
+
+def run_deployment(method: str) -> dict:
+    cluster = Cluster(NUM_NODES)
+    generator = TpcrGenerator(scale=SCALE)
+    dataset = generator.generate()
+    load_into(cluster, dataset)
+    cluster.create_join_view(jv1_definition(), method=method)
+    cluster.create_join_view(jv2_definition(), method=method)
+
+    next_custkey = len(dataset.customers)
+    total_tw = 0.0
+    busiest = 0.0
+    for _ in range(TRANSACTIONS):
+        delta = generator.new_customers(TUPLES_PER_TXN, starting_at=next_custkey)
+        next_custkey += TUPLES_PER_TXN
+        with cluster.transaction() as txn:
+            txn.insert("customer", delta)
+        total_tw += txn.report.maintenance_workload
+        busiest = max(busiest, txn.report.maintenance_response_time)
+
+    for view in ("JV1", "JV2"):
+        assert Counter(cluster.view_rows(view)) == recompute_view(cluster, view)
+    return {
+        "method": method,
+        "total_tw": total_tw,
+        "worst_txn_response": busiest,
+        "jv1_rows": len(cluster.view_rows("JV1")),
+        "jv2_rows": len(cluster.view_rows("JV2")),
+    }
+
+
+def main() -> None:
+    print(f"operational warehouse: {TRANSACTIONS} transactions x "
+          f"{TUPLES_PER_TXN} customer inserts, L = {NUM_NODES} nodes\n")
+    results = [run_deployment(method) for method in ("naive", "auxiliary")]
+    for r in results:
+        print(f"  {r['method']:10s} total maintenance TW = {r['total_tw']:8.0f} I/Os"
+              f"   worst txn response = {r['worst_txn_response']:6.1f} I/Os")
+    naive, ar = results
+    print(f"\nviews stay identical under both methods "
+          f"(JV1: {ar['jv1_rows']} rows, JV2: {ar['jv2_rows']} rows).")
+    print(f"the auxiliary-relation deployment does "
+          f"{naive['total_tw'] / ar['total_tw']:.1f}x less maintenance work —")
+    print("the all-node probes of the naive method are what 'bring a "
+          "well-performing system to a crawl' (paper, introduction).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: define a maintained join view and watch what an insert costs.
+
+Builds an 8-node parallel cluster with two base relations partitioned off
+their join attributes (the paper's worst case), defines the same view under
+each of the three maintenance methods, and inserts one tuple — printing the
+total workload (TW) each method charges, which reproduces the headline
+numbers of the paper's Figure 7 column for L = 8.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cluster,
+    HashPartitioning,
+    Schema,
+    recompute_view,
+    two_way_view,
+)
+from collections import Counter
+
+
+def build_cluster(method: str) -> Cluster:
+    cluster = Cluster(num_nodes=8)
+    # A(a, c, e) partitioned on a; the view joins on A.c = B.d.
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    # Pre-load B: every join key 0..9 has 5 matching tuples.
+    cluster.insert("B", [(i, i % 10, f"payload-{i}") for i in range(50)])
+    cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d",
+                     partitioning=HashPartitioning("e")),
+        method=method,
+        strategy="inl",
+    )
+    return cluster
+
+
+def main() -> None:
+    print("insert one tuple into A; differential maintenance cost per method")
+    print("(L = 8 nodes, N = 5 matching B tuples)\n")
+    for method in ("naive", "auxiliary", "global_index"):
+        cluster = build_cluster(method)
+        snapshot = cluster.insert("A", [(1, 3, "anything")])
+        # Verify the maintained view equals the from-scratch join.
+        assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+        print(f"  {method:12s}  TW = {snapshot.maintenance_workload():5.1f} I/Os"
+              f"   (response {snapshot.maintenance_response_time():4.1f} I/Os,"
+              f" view rows {len(cluster.view_rows('JV'))})")
+    print("\nnaive broadcasts to all 8 nodes; auxiliary touches exactly one;")
+    print("the global index visits only the nodes holding matches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline legacy
+editable installs); all real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

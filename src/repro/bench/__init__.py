@@ -1,0 +1,13 @@
+"""Benchmark harness: experiment drivers for every table and figure."""
+
+from .harness import ExperimentResult, agreement_ratio, render_results
+from .validation import validation_grid
+from . import experiments
+
+__all__ = [
+    "ExperimentResult",
+    "agreement_ratio",
+    "render_results",
+    "validation_grid",
+    "experiments",
+]

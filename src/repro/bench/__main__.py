@@ -1,0 +1,56 @@
+"""Run paper experiments from the command line.
+
+    python -m repro.bench              # list experiments
+    python -m repro.bench fig7 fig14   # run and print selected ones
+    python -m repro.bench all          # run everything
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from . import experiments
+from .harness import ExperimentResult
+from .validation import validation_grid
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig7": experiments.figure7,
+    "fig8": experiments.figure8,
+    "fig9": experiments.figure9,
+    "fig10": experiments.figure10,
+    "fig11": experiments.figure11,
+    "fig12": experiments.figure12,
+    "fig13": experiments.figure13,
+    "fig14": experiments.figure14,
+    "table1": experiments.table1,
+    "ext-large-update": experiments.ext_large_update,
+    "ext-method-chooser": experiments.ext_method_chooser,
+    "ext-storage": experiments.ext_storage_overhead,
+    "ext-skew": experiments.ext_skew_sensitivity,
+    "ext-query-speedup": experiments.ext_query_speedup,
+    "ext-view-placement": experiments.ext_view_placement,
+    "ext-aggregates": experiments.ext_aggregate_views,
+    "ext-cost-sensitivity": experiments.ext_cost_sensitivity,
+    "validation": validation_grid,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.bench <experiment ...|all>")
+        print("experiments:", ", ".join(EXPERIMENTS))
+        return 1
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}")
+            return 1
+        print(runner().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

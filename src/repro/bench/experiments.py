@@ -1,0 +1,905 @@
+"""One driver per paper experiment (Figures 7-14, Table 1, extensions).
+
+Each function returns an :class:`~repro.bench.harness.ExperimentResult`
+whose rows mirror the paper's series.  Where feasible the simulator
+*executes* the scenario and the measured numbers are reported next to the
+closed-form model — the reproduction's core validation.
+"""
+
+from __future__ import annotations
+
+import statistics as stats_module
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..backends.sqlite_maintenance import TeradataStyleExperiment
+from ..costs import Tag
+from ..cluster.cluster import Cluster
+from ..core import MethodAdvisor, BoundView
+from ..model import (
+    ALL_VARIANTS,
+    JoinRegime,
+    MethodVariant,
+    ModelParameters,
+    figure13_prediction,
+    paper_scenario,
+    response_time_ios,
+    total_workload_ios,
+)
+from ..storage.pages import PageLayout
+from ..workloads.tpcr import (
+    TpcrGenerator,
+    jv1_definition,
+    jv2_definition,
+    load_into,
+)
+from ..workloads.uniform import UniformJoinWorkload, build_cluster
+from .harness import ExperimentResult
+
+#: Paper sweep of node counts (Figures 7, 9, 10).
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: How each plotted variant maps onto an executable configuration.
+_VARIANT_CONFIG: Dict[MethodVariant, Tuple[str, bool]] = {
+    MethodVariant.NAIVE_NONCLUSTERED: ("naive", False),
+    MethodVariant.NAIVE_CLUSTERED: ("naive", True),
+    MethodVariant.AUXILIARY: ("auxiliary", False),
+    MethodVariant.GI_NONCLUSTERED: ("global_index", False),
+    MethodVariant.GI_CLUSTERED: ("global_index", True),
+}
+
+#: The synthetic scenario matching the model's defaults: N=10 matches per
+#: key; 640 keys x 10 matches = 6,400 B tuples = |B| = 6,400 pages at one
+#: tuple per page; M = 100.
+_MODEL_LAYOUT = PageLayout(tuples_per_page=1, memory_pages=100)
+_MODEL_KEYS = 640
+
+
+def _simulate_workload(
+    variant: MethodVariant,
+    num_nodes: int,
+    fanout: int,
+    num_inserted: int,
+    strategy: str,
+    num_keys: int = _MODEL_KEYS,
+    layout: PageLayout = _MODEL_LAYOUT,
+):
+    """Build the §3.1 scenario and run one insert transaction; returns the
+    transaction's cost snapshot."""
+    method, clustered = _VARIANT_CONFIG[variant]
+    workload = UniformJoinWorkload(
+        num_keys=num_keys, fanout=fanout, clustered=clustered
+    )
+    cluster = build_cluster(
+        workload, num_nodes=num_nodes, method=method, strategy=strategy,
+        layout=layout,
+    )
+    return cluster.insert("A", workload.a_rows(num_inserted))
+
+
+# ------------------------------------------------------------- Figure 7/8
+
+
+def figure7(
+    node_counts: Sequence[int] = NODE_COUNTS,
+    fanout: int = 10,
+    measured: bool = True,
+) -> ExperimentResult:
+    """TW per single-tuple insert vs L, model and (optionally) measured."""
+    headers = ["nodes"]
+    for variant in ALL_VARIANTS:
+        headers.append(f"{variant.value} [model]")
+        if measured:
+            headers.append(f"{variant.value} [measured]")
+    rows: List[List[object]] = []
+    for num_nodes in node_counts:
+        params = paper_scenario(num_nodes).with_fanout(float(fanout))
+        row: List[object] = [num_nodes]
+        for variant in ALL_VARIANTS:
+            row.append(total_workload_ios(variant, params))
+            if measured:
+                snapshot = _simulate_workload(
+                    variant, num_nodes, fanout, num_inserted=1, strategy="inl",
+                    num_keys=64, layout=PageLayout(),
+                )
+                row.append(snapshot.maintenance_workload())
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 7",
+        title="TW for a single-tuple insert vs number of data server nodes",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "AR is the constant 3 = INSERT(2)+SEARCH(1); naive grows with L; "
+            "GI plateaus at 3+N once L > N.",
+            "measured = the simulator executing the insert with per-op accounting.",
+        ],
+    )
+
+
+def figure8(
+    fanouts: Sequence[int] = (1, 2, 5, 10, 20, 50, 100),
+    num_nodes: int = 32,
+    measured: bool = True,
+) -> ExperimentResult:
+    """TW per single-tuple insert vs join fan-out N at L = 32."""
+    headers = ["fanout"]
+    for variant in ALL_VARIANTS:
+        headers.append(f"{variant.value} [model]")
+        if measured:
+            headers.append(f"{variant.value} [measured]")
+    rows: List[List[object]] = []
+    for fanout in fanouts:
+        params = paper_scenario(num_nodes).with_fanout(float(fanout))
+        row: List[object] = [fanout]
+        for variant in ALL_VARIANTS:
+            row.append(total_workload_ios(variant, params))
+            if measured:
+                snapshot = _simulate_workload(
+                    variant, num_nodes, fanout, num_inserted=1, strategy="inl",
+                    num_keys=64, layout=PageLayout(),
+                )
+                row.append(snapshot.maintenance_workload())
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 8",
+        title="TW for a single-tuple insert vs join fan-out N (L = 32)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "GI tracks AR for small N and the naive method for large N — "
+            "the 'intermediate method' claim.",
+        ],
+    )
+
+
+# ----------------------------------------------------------- Figure 9-12
+
+
+def _response_figure(
+    experiment: str,
+    title: str,
+    x_header: str,
+    x_values: Sequence[int],
+    regime: JoinRegime,
+    num_inserted: Optional[int],
+    num_nodes: Optional[int],
+    measured_limit: int,
+    notes: List[str],
+) -> ExperimentResult:
+    """Shared shape of Figures 9-12: response time per variant, model plus
+    simulator-measured points up to ``measured_limit`` inserted tuples."""
+    strategy = {
+        JoinRegime.INDEX_NESTED_LOOPS: "inl",
+        JoinRegime.SORT_MERGE: "sort_merge",
+        JoinRegime.AUTO: "auto",
+    }[regime]
+    headers = [x_header]
+    for variant in ALL_VARIANTS:
+        headers.append(f"{variant.value} [model]")
+        headers.append(f"{variant.value} [measured]")
+    rows: List[List[object]] = []
+    for x in x_values:
+        if num_inserted is None:
+            inserted, nodes = x, num_nodes
+        else:
+            inserted, nodes = num_inserted, x
+        params = paper_scenario(nodes)
+        row: List[object] = [x]
+        for variant in ALL_VARIANTS:
+            row.append(response_time_ios(variant, inserted, params, regime))
+            if inserted <= measured_limit:
+                snapshot = _simulate_workload(
+                    variant, nodes, fanout=10, num_inserted=inserted,
+                    strategy=strategy,
+                )
+                row.append(snapshot.maintenance_response_time())
+            else:
+                row.append(None)
+        rows.append(row)
+    return ExperimentResult(
+        experiment=experiment, title=title, headers=headers, rows=rows, notes=notes
+    )
+
+
+def figure9(
+    node_counts: Sequence[int] = NODE_COUNTS, num_inserted: int = 400
+) -> ExperimentResult:
+    """Response time of one 400-tuple transaction, index-join regime."""
+    return _response_figure(
+        "Figure 9",
+        f"execution time of one transaction with {num_inserted} tuples (index join)",
+        "nodes",
+        list(node_counts),
+        JoinRegime.INDEX_NESTED_LOOPS,
+        num_inserted=num_inserted,
+        num_nodes=None,
+        measured_limit=10_000,
+        notes=[
+            "AR falls as 3*ceil(A/L); naive with a clustered index is flat at A.",
+        ],
+    )
+
+
+def figure10(
+    node_counts: Sequence[int] = NODE_COUNTS, num_inserted: int = 6_500
+) -> ExperimentResult:
+    """Response time of one 6,500-tuple transaction, sort-merge regime —
+    where naive-with-clustered-index wins."""
+    return _response_figure(
+        "Figure 10",
+        f"execution time of one transaction with {num_inserted} tuples (sort merge join)",
+        "nodes",
+        list(node_counts),
+        JoinRegime.SORT_MERGE,
+        num_inserted=num_inserted,
+        num_nodes=None,
+        measured_limit=10_000,
+        notes=[
+            "6,500 ~ pages(B): every node scans/sorts its B fragment, so the "
+            "naive method with clustered base relations outperforms AR/GI, "
+            "which still pay their structure updates.",
+        ],
+    )
+
+
+def figure11(
+    insert_counts: Sequence[int] = (1, 10, 50, 100, 500, 1_000, 2_000, 5_000,
+                                    10_000, 20_000, 40_000, 70_000),
+    num_nodes: int = 128,
+    measured_limit: int = 2_000,
+) -> ExperimentResult:
+    """Response time vs inserted tuples at L = 128, cost-chosen regime."""
+    return _response_figure(
+        "Figure 11",
+        "execution time vs number of inserted tuples (L = 128)",
+        "inserted",
+        list(insert_counts),
+        JoinRegime.AUTO,
+        num_inserted=None,
+        num_nodes=num_nodes,
+        measured_limit=measured_limit,
+        notes=[
+            "each curve flattens at its sort-merge plateau; naive flattens "
+            "first, GI later, AR last (its crossover is near |B| pages).",
+            f"measured points are reported up to {measured_limit} inserted "
+            "tuples to keep the harness fast; the model covers the rest.",
+        ],
+    )
+
+
+def figure12(
+    insert_counts: Sequence[int] = tuple(range(1, 301, 7)),
+    num_nodes: int = 128,
+) -> ExperimentResult:
+    """The 1..300-tuple detail: AR's step-wise ceil(A/L) response."""
+    return _response_figure(
+        "Figure 12",
+        "execution time vs inserted tuples - detail (L = 128)",
+        "inserted",
+        list(insert_counts),
+        JoinRegime.AUTO,
+        num_inserted=None,
+        num_nodes=num_nodes,
+        measured_limit=10_000,
+        notes=[
+            "the AR curve steps at multiples of L = 128: the busiest node "
+            "sees ceil(A/L) tuples.",
+        ],
+    )
+
+
+# ------------------------------------------------------------- Figure 13
+
+
+def _tpcr_cluster(num_nodes: int, scale: float) -> Tuple[Cluster, TpcrGenerator]:
+    generator = TpcrGenerator(scale=scale)
+    dataset = generator.generate()
+    cluster = Cluster(num_nodes=num_nodes)
+    load_into(cluster, dataset)
+    return cluster, generator
+
+
+def figure13(
+    node_counts: Sequence[int] = (2, 4, 8),
+    delta: int = 128,
+    scale: float = 0.005,
+    measured: bool = True,
+) -> ExperimentResult:
+    """Predicted JV1/JV2 maintenance time (units of 128 I/Os), model and
+    simulator-measured on the TPC-R workload."""
+    headers = ["nodes"]
+    lines = [
+        "AR method for JV1", "naive method for JV1",
+        "AR method for JV2", "naive method for JV2",
+    ]
+    for line in lines:
+        headers.append(f"{line} [model]")
+        if measured:
+            headers.append(f"{line} [measured]")
+    configs = {
+        "AR method for JV1": (jv1_definition, "auxiliary"),
+        "naive method for JV1": (jv1_definition, "naive"),
+        "AR method for JV2": (jv2_definition, "auxiliary"),
+        "naive method for JV2": (jv2_definition, "naive"),
+    }
+    rows: List[List[object]] = []
+    for num_nodes in node_counts:
+        prediction = figure13_prediction(num_nodes, delta)
+        row: List[object] = [num_nodes]
+        for line in lines:
+            row.append(prediction[line])
+            if measured:
+                definition_factory, method = configs[line]
+                cluster, generator = _tpcr_cluster(num_nodes, scale)
+                cluster.create_join_view(
+                    definition_factory(), method=method, strategy="inl"
+                )
+                start = len(cluster.scan_relation("customer"))
+                snapshot = cluster.insert(
+                    "customer", generator.new_customers(delta, starting_at=start)
+                )
+                row.append(snapshot.maintenance_response_time() / delta)
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 13",
+        title=f"predicted view maintenance time ({delta}-tuple insert, "
+              f"time unit = {delta} I/Os)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "each delta customer matches 1 orders tuple; each orders tuple "
+            "matches 4 lineitem tuples (paper section 3.3).",
+            "the AR speedup over naive grows with the number of nodes.",
+        ],
+    )
+
+
+# ------------------------------------------------------------- Figure 14
+
+
+def figure14(
+    node_counts: Sequence[int] = (2, 4, 8),
+    delta: int = 1024,
+    scale: float = 0.08,
+    repeats: int = 7,
+) -> ExperimentResult:
+    """Real maintenance time on the SQLite parallel backend (the stand-in
+    for the paper's Teradata measurement)."""
+    headers = [
+        "nodes",
+        "AR method for JV1 [ms]", "naive method for JV1 [ms]",
+        "AR method for JV2 [ms]", "naive method for JV2 [ms]",
+    ]
+    rows: List[List[object]] = []
+    for num_nodes in node_counts:
+        with TeradataStyleExperiment(num_nodes=num_nodes, scale=scale) as experiment:
+            delta_rows = experiment.new_delta(delta)
+            timings = {
+                "ar_jv1": [], "naive_jv1": [], "ar_jv2": [], "naive_jv2": [],
+            }
+            for _ in range(repeats):
+                timings["naive_jv1"].append(
+                    experiment.naive_jv1(delta_rows).response_seconds
+                )
+                timings["ar_jv1"].append(
+                    experiment.ar_jv1(delta_rows).response_seconds
+                )
+                timings["naive_jv2"].append(
+                    experiment.naive_jv2(delta_rows).response_seconds
+                )
+                timings["ar_jv2"].append(
+                    experiment.ar_jv2(delta_rows).response_seconds
+                )
+        # min over repeats: the noise-robust estimator for deterministic
+        # work (scheduling noise only ever adds time).
+        rows.append(
+            [
+                num_nodes,
+                min(timings["ar_jv1"]) * 1e3,
+                min(timings["naive_jv1"]) * 1e3,
+                min(timings["ar_jv2"]) * 1e3,
+                min(timings["naive_jv2"]) * 1e3,
+            ]
+        )
+    return ExperimentResult(
+        experiment="Figure 14",
+        title=f"real view maintenance time (SQLite partitions, "
+              f"{delta}-tuple insert, scale {scale}, milliseconds)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "response time = slowest node's join-step wall time, minimum of "
+            f"{repeats} runs (scheduling noise only ever adds time).",
+            "the naive method broadcasts the whole delta to every node; the "
+            "AR method ships each tuple to one node - its per-node work "
+            "falls with L while the naive method's stays flat.",
+        ],
+    )
+
+
+# --------------------------------------------------------------- Table 1
+
+
+def table1(scale: float = 0.01) -> ExperimentResult:
+    """Test data set I: cardinalities and sizes, paper vs generated."""
+    dataset = TpcrGenerator(scale=scale).generate()
+    from ..workloads.tpcr import PAPER_ROWS, PAPER_SIZES_MB
+
+    rows: List[List[object]] = []
+    for name, tuples, size_mb in dataset.summary_rows():
+        rows.append(
+            [
+                name,
+                PAPER_ROWS[name],
+                f"{PAPER_SIZES_MB[name]}MB",
+                tuples,
+                f"{size_mb:.2f}MB",
+            ]
+        )
+    return ExperimentResult(
+        experiment="Table 1",
+        title=f"test data set I (scale factor {scale})",
+        headers=[
+            "relation", "paper tuples", "paper size",
+            "generated tuples", "est. size",
+        ],
+        rows=rows,
+        notes=[
+            "each customer matches one orders tuple on custkey; each orders "
+            "tuple matches 4 lineitem tuples on orderkey (paper section 3.3).",
+        ],
+    )
+
+
+# ------------------------------------------------------------ Extensions
+
+
+def ext_large_update(
+    deltas: Sequence[int] = (128, 512, 2_048, 8_192),
+    num_nodes: int = 4,
+    scale: float = 0.02,
+) -> ExperimentResult:
+    """Paper §3.3's unplotted observation: with large update transactions
+    the naive and AR methods grow comparable, which the authors attribute
+    to buffering ("substantial fractions of the base and auxiliary
+    relations end up getting cached in main memory")."""
+    rows: List[List[object]] = []
+    repeats = 5
+    with TeradataStyleExperiment(num_nodes=num_nodes, scale=scale) as experiment:
+        for delta in deltas:
+            delta_rows = experiment.new_delta(delta)
+            naive = stats_module.median(
+                experiment.naive_jv1(delta_rows).response_seconds
+                for _ in range(repeats)
+            )
+            ar = stats_module.median(
+                experiment.ar_jv1(delta_rows).response_seconds
+                for _ in range(repeats)
+            )
+            rows.append(
+                [delta, naive * 1e3, ar * 1e3, naive / ar if ar else float("inf")]
+            )
+    return ExperimentResult(
+        experiment="Extension (large updates)",
+        title=f"naive vs AR join-step time as the delta grows (L={num_nodes})",
+        headers=["delta tuples", "naive [ms]", "AR [ms]", "naive/AR ratio"],
+        rows=rows,
+        notes=[
+            "the index-regime model predicts a ratio near L; the measured "
+            "ratio sits far below it because the SQLite partitions are fully "
+            "memory-resident - the buffering effect the paper blamed for its "
+            "model's inaccuracy on large Teradata updates.",
+        ],
+    )
+
+
+def ext_method_chooser(
+    update_sizes: Sequence[int] = (1, 10, 100, 1_000, 10_000, 100_000),
+    num_nodes: int = 32,
+) -> ExperimentResult:
+    """The §4 cost-model method chooser over a range of update activities."""
+    workload = UniformJoinWorkload(num_keys=_MODEL_KEYS, fanout=10, clustered=True)
+    cluster = build_cluster(
+        workload, num_nodes=num_nodes, method="naive", layout=_MODEL_LAYOUT
+    )
+    bound = BoundView(
+        workload.definition("advised"),
+        {
+            "A": cluster.catalog.relation("A").schema,
+            "B": cluster.catalog.relation("B").schema,
+        },
+    )
+    advisor = MethodAdvisor(cluster, bound)
+    rows: List[List[object]] = []
+    for update_size in update_sizes:
+        verdict = advisor.recommend(
+            update_size, clustered_base_indexes=True
+        )
+        rows.append(
+            [
+                update_size,
+                verdict.method.value,
+                verdict.predicted_response_ios,
+                verdict.per_method_response["naive"],
+                verdict.per_method_response["auxiliary"],
+                verdict.per_method_response["global_index"],
+                verdict.storage_overhead_tuples,
+            ]
+        )
+    return ExperimentResult(
+        experiment="Extension (method chooser)",
+        title=f"cost-model method recommendation vs update size (L={num_nodes})",
+        headers=[
+            "update size", "recommended", "best [I/Os]",
+            "naive [I/Os]", "auxiliary [I/Os]", "global_index [I/Os]",
+            "extra storage [tuples]",
+        ],
+        rows=rows,
+        notes=[
+            "small updates favour AR; once the update approaches the pages "
+            "of B, the naive method with clustered indexes takes over "
+            "(the paper's conclusion).",
+        ],
+    )
+
+
+def ext_cost_sensitivity(
+    num_nodes: int = 32,
+    fanout: int = 10,
+) -> ExperimentResult:
+    """The paper's robustness claim, §3.1.1: "we will assume that SEARCH
+    takes one I/O, FETCH takes one I/O, and INSERT takes two I/Os.  Our
+    conclusions would remain unchanged by small variations in these
+    assumptions."  This experiment perturbs all four weights and checks the
+    method ordering AR < GI < naive (per single-tuple TW) at every point.
+    """
+    from ..costs import CostParameters
+
+    weight_sets = [
+        ("paper (0/1/1/2)", CostParameters()),
+        ("billed sends", CostParameters(send_ios=0.5)),
+        ("expensive sends", CostParameters(send_ios=2.0)),
+        ("cheap inserts", CostParameters(insert_ios=1.0)),
+        ("expensive inserts", CostParameters(insert_ios=4.0)),
+        ("expensive fetches", CostParameters(fetch_ios=3.0)),
+        ("slow searches", CostParameters(search_ios=2.0)),
+    ]
+    rows: List[List[object]] = []
+    for label, costs in weight_sets:
+        params = ModelParameters(
+            num_nodes=num_nodes, fanout=float(fanout), costs=costs
+        )
+        ar = total_workload_ios(MethodVariant.AUXILIARY, params)
+        gi = total_workload_ios(MethodVariant.GI_NONCLUSTERED, params)
+        naive = total_workload_ios(MethodVariant.NAIVE_NONCLUSTERED, params)
+        rows.append([label, ar, gi, naive, "yes" if ar <= gi <= naive else "NO"])
+    return ExperimentResult(
+        experiment="Extension (cost sensitivity)",
+        title=f"TW ordering under perturbed cost weights (L={num_nodes}, N={fanout})",
+        headers=[
+            "weights", "AR TW", "GI TW", "naive TW", "AR <= GI <= naive?",
+        ],
+        rows=rows,
+        notes=[
+            "the comparative conclusion survives every perturbation tried, "
+            "as the paper asserts; only the gap sizes move.",
+        ],
+    )
+
+
+def ext_aggregate_views(
+    num_nodes: int = 8,
+    num_inserted: int = 128,
+    fanout: int = 10,
+    num_groups: int = 16,
+) -> ExperimentResult:
+    """Extension: aggregate join views vs plain join views.
+
+    Same join, same delta, same AR maintenance — but the aggregate view
+    folds the N·A join tuples into at most ``num_groups`` group rows, so
+    its view-side cost and storage collapse relative to materializing the
+    raw join.
+    """
+    from ..core import (
+        Aggregate,
+        AggregateFunction,
+        AggregateSpec,
+        aggregate_rows,
+        define_aggregate_join_view,
+    )
+    from ..core.view import two_way_view
+    from ..workloads.uniform import UniformJoinWorkload, build_cluster
+
+    workload = UniformJoinWorkload(num_keys=num_groups, fanout=fanout)
+    plain = build_cluster(workload, num_nodes=num_nodes, method="auxiliary")
+    plain_cost = plain.insert("A", workload.a_rows(num_inserted))
+
+    from ..workloads.uniform import A_SCHEMA, B_SCHEMA
+
+    agg_cluster = Cluster(num_nodes)
+    agg_cluster.create_relation(A_SCHEMA, partitioned_on="a")
+    agg_cluster.create_relation(B_SCHEMA, partitioned_on="b")
+    agg_cluster.insert("B", workload.b_rows())
+    spec = AggregateSpec(
+        group_by=(("B", "d"),),
+        aggregates=(
+            Aggregate(AggregateFunction.COUNT, "n"),
+            Aggregate(AggregateFunction.SUM, "total", source=("B", "f")),
+        ),
+    )
+    define_aggregate_join_view(
+        agg_cluster, two_way_view("AGG", "A", "c", "B", "d"), spec,
+        method="auxiliary",
+    )
+    agg_cost = agg_cluster.insert("A", workload.a_rows(num_inserted))
+
+    rows = [
+        [
+            "plain join view",
+            plain_cost.maintenance_workload(),
+            plain_cost.total_workload([Tag.VIEW]),
+            len(plain.view_rows("JV")),
+        ],
+        [
+            "aggregate view",
+            agg_cost.maintenance_workload(),
+            agg_cost.total_workload([Tag.VIEW]),
+            len(aggregate_rows(agg_cluster, "AGG")),
+        ],
+    ]
+    return ExperimentResult(
+        experiment="Extension (aggregate views)",
+        title=f"plain vs aggregate join view, {num_inserted}-tuple insert "
+              f"(L={num_nodes}, N={fanout}, {num_groups} groups)",
+        headers=[
+            "view kind", "join TW [I/Os]", "view-side cost [I/Os]",
+            "stored view rows",
+        ],
+        rows=rows,
+        notes=[
+            "the join-side work is identical; the aggregate view folds "
+            f"{num_inserted * fanout} join tuples into at most "
+            f"{num_groups} group rows.",
+        ],
+    )
+
+
+def ext_view_placement(
+    num_nodes: int = 16,
+    num_changes: int = 64,
+    fanout: int = 4,
+) -> ExperimentResult:
+    """The (a)/(b) split of the paper's Figures 1-6: a view partitioned on
+    an attribute of A versus one with no exploitable placement.
+
+    For inserts the difference is only routing (SENDs, free in the paper's
+    weights).  For *deletes* it bites: a hash-placed view removes each
+    derived tuple with one indexed probe at its home node, while a
+    round-robin view must hunt it across the cluster.
+    """
+    from ..cluster.partitioning import RoundRobinPartitioning
+    from ..core.view import two_way_view
+    from ..workloads.uniform import UniformJoinWorkload, build_cluster
+
+    rows: List[List[object]] = []
+    for placed, label in ((True, "hash on A.e (variant a)"),
+                          (False, "round-robin (variant b)")):
+        workload = UniformJoinWorkload(
+            num_keys=_MODEL_KEYS, fanout=fanout, view_partitioned=placed
+        )
+        cluster = build_cluster(
+            workload, num_nodes=num_nodes, method="auxiliary", strategy="inl"
+        )
+        a_rows = workload.a_rows(num_changes)
+        insert_cost = cluster.insert("A", a_rows)
+        delete_cost = cluster.delete("A", a_rows)
+        rows.append(
+            [
+                label,
+                insert_cost.total_workload([Tag.VIEW]),
+                delete_cost.total_workload([Tag.VIEW]),
+                delete_cost.response_time([Tag.VIEW]),
+            ]
+        )
+    return ExperimentResult(
+        experiment="Extension (view placement)",
+        title=f"view-side cost of inserts vs deletes by placement "
+              f"(L={num_nodes}, {num_changes} tuples, N={fanout})",
+        headers=[
+            "view placement", "insert view-cost [I/Os]",
+            "delete view-cost [I/Os]", "delete view-response [I/Os]",
+        ],
+        rows=rows,
+        notes=[
+            "hash placement deletes each derived tuple with one probe at "
+            "its home node; round-robin placement must search node by node "
+            "- the hidden price of the figures' (b) variants.",
+        ],
+    )
+
+
+def ext_query_speedup(
+    num_nodes: int = 8,
+    scale: float = 0.01,
+    lookups: int = 20,
+) -> ExperimentResult:
+    """The premise the whole paper rests on, measured: "materialized views
+    are used to speed up query execution".
+
+    Three plans for the same customer-orders join query: the parallel base
+    join, a scan of the materialized JV1, and — when the query pins the
+    view's partitioning attribute — a single-node view probe.
+    """
+    from ..core.view import JoinCondition
+    from ..query import Comparison, Filter, Query, QueryEngine
+
+    cluster, generator = _tpcr_cluster(num_nodes, scale)
+    cluster.create_join_view(jv1_definition(), method="auxiliary")
+    engine = QueryEngine(cluster)
+    join_query = Query(
+        relations=("customer", "orders"),
+        select=(("customer", "custkey"), ("orders", "totalprice")),
+        conditions=(JoinCondition("customer", "custkey", "orders", "custkey"),),
+    )
+    base = engine.answer_from_base(join_query)
+    auto = engine.answer(join_query)
+    probe_total = 0.0
+    probe_response = 0.0
+    num_customers = len(cluster.scan_relation("customer"))
+    for custkey in range(0, lookups):
+        lookup = Query(
+            relations=("customer", "orders"),
+            select=(("customer", "custkey"), ("orders", "totalprice")),
+            conditions=(
+                JoinCondition("customer", "custkey", "orders", "custkey"),
+            ),
+            filters=(
+                Filter("customer", "custkey", Comparison.EQ,
+                       custkey % num_customers),
+            ),
+        )
+        result = engine.answer(lookup)
+        assert "view probe" in result.plan
+        probe_total += result.cost_ios
+        probe_response += result.response_ios
+    rows = [
+        ["base join (full)", base.plan, base.cost_ios, base.response_ios],
+        ["materialized view (full)", auto.plan, auto.cost_ios, auto.response_ios],
+        [
+            f"pinned lookups (avg of {lookups})",
+            "view probe",
+            probe_total / lookups,
+            probe_response / lookups,
+        ],
+    ]
+    return ExperimentResult(
+        experiment="Extension (query speedup)",
+        title=f"answering customer-orders joins with and without JV1 "
+              f"(L={num_nodes}, scale {scale})",
+        headers=["query", "plan", "total I/Os", "response I/Os"],
+        rows=rows,
+        notes=[
+            "the view turns a two-relation repartition join into a scan, "
+            "and a key lookup into a single SEARCH at one node - the very "
+            "speed-up that makes view maintenance worth optimizing.",
+        ],
+    )
+
+
+def ext_skew_sensitivity(
+    skews: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    num_nodes: int = 32,
+    num_inserted: int = 512,
+) -> ExperimentResult:
+    """Ablation of the model's assumption 9 (uniform insert keys).
+
+    Under skew, a hot join value funnels its whole delta share through one
+    node, so the AR method's measured response exceeds the uniform-model
+    prediction 3·⌈A/L⌉; the naive method is unaffected (every node always
+    sees the whole delta).
+    """
+    from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
+
+    params = paper_scenario(num_nodes)
+    model_ar = response_time_ios(
+        MethodVariant.AUXILIARY, num_inserted, params,
+        JoinRegime.INDEX_NESTED_LOOPS,
+    )
+    rows: List[List[object]] = []
+    for skew in skews:
+        workload = SkewedJoinWorkload(
+            num_keys=_MODEL_KEYS, fanout=10, skew=skew
+        )
+        measured = {}
+        for method in ("auxiliary", "naive"):
+            cluster = build_skewed_cluster(
+                workload, num_nodes=num_nodes, method=method, strategy="inl"
+            )
+            snapshot = cluster.insert("A", workload.a_rows(num_inserted))
+            measured[method] = snapshot.maintenance_response_time()
+        rows.append(
+            [
+                skew,
+                workload.hot_key_share(),
+                model_ar,
+                measured["auxiliary"],
+                measured["auxiliary"] / model_ar,
+                measured["naive"],
+            ]
+        )
+    return ExperimentResult(
+        experiment="Extension (skew sensitivity)",
+        title=f"AR response under Zipf insert keys "
+              f"(L={num_nodes}, A={num_inserted})",
+        headers=[
+            "zipf skew", "hottest-key share",
+            "AR model (uniform) [I/Os]", "AR measured [I/Os]",
+            "AR inflation", "naive measured [I/Os]",
+        ],
+        rows=rows,
+        notes=[
+            "assumption 9 (uniform keys) is what keeps the AR busiest node "
+            "at ceil(A/L); skew concentrates the delta and inflates the AR "
+            "response while leaving the naive method's roughly unchanged.",
+            "the skew=0 row isolates multinomial sampling noise: random "
+            "uniform keys already exceed the model's perfectly-even "
+            "ceil(A/L) by the balls-into-bins maximum.",
+        ],
+    )
+
+
+def ext_storage_overhead(num_nodes: int = 8, fanout: int = 10) -> ExperimentResult:
+    """Space ablation: what each method stores beyond the bases and the view,
+    with and without §2.1.2 trimming.
+
+    The view projects only A.e and B.f, so a trimmed AR_B keeps (d, f) —
+    two of B's three columns; trimming shrinks *fields*, not tuple counts.
+    GI entries are counted as (key, node, rowid) triples.
+    """
+    from ..cluster.partitioning import RoundRobinPartitioning
+    from ..core.view import two_way_view
+    from ..workloads.uniform import A_SCHEMA, B_SCHEMA
+
+    rows: List[List[object]] = []
+    for method, trim in (
+        ("naive", False),
+        ("global_index", False),
+        ("auxiliary", False),
+        ("auxiliary", True),
+    ):
+        workload = UniformJoinWorkload(num_keys=64, fanout=fanout)
+        cluster = Cluster(num_nodes=num_nodes)
+        cluster.create_relation(A_SCHEMA, partitioned_on="a")
+        cluster.create_relation(B_SCHEMA, partitioned_on="b", indexes=[("d", False)])
+        cluster.insert("B", workload.b_rows())
+        definition = two_way_view(
+            "JV", "A", "c", "B", "d",
+            select=[("A", "e"), ("B", "f")],
+            partitioning=RoundRobinPartitioning(),
+        )
+        cluster.create_join_view(definition, method=method, trim_auxiliaries=trim)
+        extra_tuples = 0
+        extra_fields = 0
+        for name, info in cluster.catalog.auxiliaries.items():
+            count = len(cluster.scan_relation(name))
+            extra_tuples += count
+            extra_fields += count * info.schema.arity
+        for name in cluster.catalog.global_indexes:
+            entries = sum(len(node.gi_partition(name)) for node in cluster.nodes)
+            extra_tuples += entries
+            extra_fields += entries * 3
+        label = f"{method}{' (trimmed)' if trim else ''}"
+        rows.append(
+            [label, len(cluster.scan_relation("B")), extra_tuples, extra_fields]
+        )
+    return ExperimentResult(
+        experiment="Extension (storage overhead)",
+        title="extra storage per maintenance method (A empty, |B| = 640)",
+        headers=["method", "B tuples", "extra tuples/entries", "extra fields"],
+        rows=rows,
+        notes=[
+            "naive stores nothing extra; GI stores an entry per tuple; AR "
+            "stores a copy per tuple, whose width projection trimming "
+            "reduces (here 3 columns -> 2).",
+        ],
+    )

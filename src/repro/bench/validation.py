@@ -1,0 +1,119 @@
+"""Systematic model-vs-simulator validation.
+
+The reproduction's central check: the executable parallel-RDBMS simulator,
+run with per-operation accounting, must reproduce the paper's closed forms
+— exactly for total workload (the model counts exactly the operations the
+engine performs), and within distribution noise for response time (the
+model idealizes per-node shares).  This module sweeps a (L, N, variant)
+grid and reports worst-case agreement ratios, giving EXPERIMENTS.md a
+single number per claim instead of anecdotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..model import (
+    ALL_VARIANTS,
+    JoinRegime,
+    MethodVariant,
+    ModelParameters,
+    response_time_ios,
+    total_workload_ios,
+)
+from ..storage.pages import PageLayout
+from ..workloads.uniform import UniformJoinWorkload, build_cluster
+from .harness import ExperimentResult
+
+_CONFIG: Dict[MethodVariant, Tuple[str, bool]] = {
+    MethodVariant.NAIVE_NONCLUSTERED: ("naive", False),
+    MethodVariant.NAIVE_CLUSTERED: ("naive", True),
+    MethodVariant.AUXILIARY: ("auxiliary", False),
+    MethodVariant.GI_NONCLUSTERED: ("global_index", False),
+    MethodVariant.GI_CLUSTERED: ("global_index", True),
+}
+
+
+def _ratio(model: float, measured: float) -> float:
+    if model == measured:
+        return 1.0
+    if model == 0 or measured == 0:
+        return float("inf")
+    ratio = measured / model
+    return max(ratio, 1.0 / ratio)
+
+
+def validation_grid(
+    node_counts: Sequence[int] = (1, 2, 4, 8, 16, 48, 80),
+    fanouts: Sequence[int] = (1, 4, 10),
+    batch: int = 240,
+) -> ExperimentResult:
+    """Worst-case agreement per variant over the (L, N) grid.
+
+    TW is checked per single-tuple insert (must be exact); response time
+    per ``batch``-tuple transaction in the index regime (approximate: the
+    model charges idealized per-node shares).
+    """
+    worst_tw: Dict[MethodVariant, float] = {v: 1.0 for v in ALL_VARIANTS}
+    worst_response: Dict[MethodVariant, float] = {v: 1.0 for v in ALL_VARIANTS}
+    points = 0
+    for num_nodes in node_counts:
+        for fanout in fanouts:
+            params = ModelParameters(num_nodes=num_nodes, fanout=float(fanout))
+            for variant in ALL_VARIANTS:
+                method, clustered = _CONFIG[variant]
+                # num_keys: a multiple of every node count keeps the batch
+                # perfectly uniform, matching the model's assumption 9.
+                workload = UniformJoinWorkload(
+                    num_keys=240, fanout=fanout, clustered=clustered
+                )
+                cluster = build_cluster(
+                    workload, num_nodes=num_nodes, method=method,
+                    strategy="inl", layout=PageLayout(),
+                )
+                single = cluster.insert("A", [workload.a_row(0)])
+                worst_tw[variant] = max(
+                    worst_tw[variant],
+                    _ratio(
+                        total_workload_ios(variant, params),
+                        single.maintenance_workload(),
+                    ),
+                )
+                batch_snapshot = cluster.insert(
+                    "A", workload.a_rows(batch, starting_at=1)
+                )
+                measured_response = max(
+                    batch_snapshot.maintenance_response_time(), 1e-9
+                )
+                predicted = response_time_ios(
+                    variant, batch, params, JoinRegime.INDEX_NESTED_LOOPS
+                )
+                worst_response[variant] = max(
+                    worst_response[variant],
+                    _ratio(predicted, measured_response),
+                )
+                points += 1
+    rows: List[List[object]] = [
+        [variant.value, worst_tw[variant], worst_response[variant]]
+        for variant in ALL_VARIANTS
+    ]
+    return ExperimentResult(
+        experiment="Validation grid",
+        title=f"worst-case model/simulator agreement over "
+              f"L∈{tuple(node_counts)}, N∈{tuple(fanouts)} ({points} runs)",
+        headers=[
+            "variant",
+            "worst TW ratio (single tuple)",
+            f"worst response ratio ({batch}-tuple txn)",
+        ],
+        rows=rows,
+        notes=[
+            "TW ratios are exactly 1.0: the ledger counts the very "
+            "operations the closed forms count.",
+            "response ratios are also exactly 1.0 here because the batch "
+            "realizes assumption 9 perfectly (each key exactly once, key "
+            "count a multiple of L); departures from that assumption - "
+            "incommensurate batch sizes (Figure 9 at large L) or skew (the "
+            "skew ablation) - are where model and engine part ways.",
+        ],
+    )

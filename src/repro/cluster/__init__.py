@@ -1,0 +1,37 @@
+"""The shared-nothing parallel RDBMS substrate."""
+
+from .partitioning import (
+    HashPartitioning,
+    RoundRobinPartitioning,
+    PartitioningSpec,
+    stable_hash,
+)
+from .network import Network, NetworkStats
+from .node import Node
+from .catalog import (
+    AuxiliaryRelationInfo,
+    Catalog,
+    GlobalIndexInfo,
+    RelationInfo,
+    ViewInfo,
+)
+from .cluster import Cluster
+from .transactions import Transaction, TransactionReport
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Network",
+    "NetworkStats",
+    "Catalog",
+    "RelationInfo",
+    "AuxiliaryRelationInfo",
+    "GlobalIndexInfo",
+    "ViewInfo",
+    "HashPartitioning",
+    "RoundRobinPartitioning",
+    "PartitioningSpec",
+    "stable_hash",
+    "Transaction",
+    "TransactionReport",
+]

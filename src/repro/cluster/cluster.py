@@ -1,0 +1,498 @@
+"""The parallel RDBMS: L shared-nothing data servers behind one facade.
+
+The :class:`Cluster` owns the nodes, the accounted network, the catalog, and
+the cost ledger.  Its update path follows the paper's transaction sketch:
+
+    begin transaction
+        update base relation;
+        update auxiliary relations / global indexes of that relation;
+        update every join view defined over it;
+    end transaction
+
+Base-relation writes are tagged ``BASE``, auxiliary-structure co-updates and
+join probing are tagged ``MAINTAIN`` (the paper's TW), and view writes are
+tagged ``VIEW``, so measurements can reproduce exactly the differential cost
+the paper models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.delta import Delta, PlacedRow
+from ..costs import CostLedger, CostParameters, CostSnapshot, Op, PAPER_COSTS, Tag
+from ..storage import GlobalRowId, PageLayout, Row, Schema
+from ..storage.pages import DEFAULT_LAYOUT
+from .catalog import (
+    AuxiliaryRelationInfo,
+    Catalog,
+    GlobalIndexInfo,
+    RelationInfo,
+    ViewInfo,
+)
+from .network import Network
+from .node import Node
+from .partitioning import (
+    BoundRoundRobin,
+    HashPartitioning,
+    PartitioningSpec,
+    RoundRobinPartitioning,
+)
+
+
+class Cluster:
+    """A parallel RDBMS with ``num_nodes`` data-server nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        costs: CostParameters = PAPER_COSTS,
+        layout: PageLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.layout = layout
+        self.ledger = CostLedger(costs)
+        self.network = Network(num_nodes, self.ledger)
+        self.nodes: List[Node] = [
+            Node(node_id, self.ledger, layout) for node_id in range(num_nodes)
+        ]
+        self.catalog = Catalog()
+
+    # ================================================================= DDL
+
+    def create_relation(
+        self,
+        schema: Schema,
+        partitioned_on: str,
+        indexes: Sequence[Tuple[str, bool]] = (),
+    ) -> RelationInfo:
+        """Create a hash-partitioned base relation on every node.
+
+        ``indexes`` lists (column, clustered) local indexes to build on each
+        fragment; a fragment may be clustered on at most one column.
+        """
+        spec = HashPartitioning(partitioned_on)
+        partitioner = spec.bind(schema, self.num_nodes)
+        info = RelationInfo(schema=schema, spec=spec, partitioner=partitioner)
+        self.catalog.add_relation(info)
+        for node in self.nodes:
+            node.create_fragment(schema)
+        for column, clustered in indexes:
+            self.create_index(schema.name, column, clustered=clustered)
+        return info
+
+    def create_index(self, relation: str, column: str, clustered: bool = False) -> None:
+        """Build a local index on ``relation.column`` at every node."""
+        info = self.catalog.relation(relation)
+        if column not in info.schema:
+            raise KeyError(f"{relation!r} has no column {column!r}")
+        if column in info.indexes:
+            return
+        for node in self.nodes:
+            node.create_local_index(relation, column, clustered)
+        info.indexes[column] = clustered
+
+    def has_index(self, relation: str, column: str) -> bool:
+        return column in self.catalog.relation(relation).indexes
+
+    def create_auxiliary_relation(
+        self,
+        base: str,
+        on_column: str,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        name: Optional[str] = None,
+    ) -> AuxiliaryRelationInfo:
+        """Create AR_base: a selection/projection of ``base`` repartitioned
+        on ``on_column`` with a clustered index on it (paper §2.1.2).
+
+        ``columns`` trims the copy to the listed columns (``on_column`` is
+        always kept); ``predicate`` keeps only matching base rows.  Existing
+        base rows are copied in without cost charging (one-time build, like
+        the paper's offline creation of orders_1/lineitem_1).
+        """
+        base_info = self.catalog.relation(base)
+        if on_column not in base_info.schema:
+            raise KeyError(f"{base!r} has no column {on_column!r}")
+        if base_info.is_partitioned_on(on_column):
+            raise ValueError(
+                f"{base!r} is already partitioned on {on_column!r}; "
+                "the paper keeps no auxiliary relation in that case"
+            )
+        ar_name = name or f"AR_{base}_{on_column}"
+        kept: Tuple[str, ...]
+        if columns is None:
+            kept = base_info.schema.column_names
+        else:
+            kept = tuple(columns)
+            if on_column not in kept:
+                kept = (on_column,) + kept
+        ar_schema = base_info.schema.project(kept, name=ar_name)
+        project = base_info.schema.projector(kept)
+        spec = HashPartitioning(on_column)
+        partitioner = spec.bind(ar_schema, self.num_nodes)
+        info = AuxiliaryRelationInfo(
+            name=ar_name,
+            base=base,
+            column=on_column,
+            schema=ar_schema,
+            partitioner=partitioner,
+            columns=None if columns is None else kept,
+            predicate=predicate,
+            project=project,
+        )
+        self.catalog.add_auxiliary(info)
+        for node in self.nodes:
+            node.create_fragment(ar_schema)
+            node.create_local_index(ar_name, on_column, clustered=True)
+        # Backfill from the existing base contents (uncharged: offline build).
+        for node in self.nodes:
+            if node.has_fragment(base):
+                for row in node.scan(base):
+                    image = info.image_of(row)
+                    if image is None:
+                        continue
+                    dest = partitioner.node_of_row(image)
+                    self.nodes[dest].fragment(ar_name).insert(image)
+        return info
+
+    def create_global_index(
+        self,
+        base: str,
+        on_column: str,
+        distributed_clustered: bool = False,
+        name: Optional[str] = None,
+    ) -> GlobalIndexInfo:
+        """Create GI_base on ``base.on_column`` (paper §2.1.3).
+
+        ``distributed_clustered`` asserts that every node's fragment of
+        ``base`` is physically clustered on ``on_column``; it is validated
+        against the declared local indexes.
+        """
+        base_info = self.catalog.relation(base)
+        if on_column not in base_info.schema:
+            raise KeyError(f"{base!r} has no column {on_column!r}")
+        if base_info.is_partitioned_on(on_column):
+            raise ValueError(
+                f"{base!r} is already partitioned on {on_column!r}; "
+                "the paper keeps no global index in that case"
+            )
+        if distributed_clustered and base_info.indexes.get(on_column) is not True:
+            raise ValueError(
+                f"a distributed clustered GI on {base}.{on_column} requires "
+                "the base fragments to be clustered on that column "
+                "(create the relation with a clustered local index first)"
+            )
+        gi_name = name or f"GI_{base}_{on_column}"
+        info = GlobalIndexInfo(
+            name=gi_name,
+            base=base,
+            column=on_column,
+            distributed_clustered=distributed_clustered,
+            key_position=base_info.schema.index_of(on_column),
+            num_nodes=self.num_nodes,
+        )
+        self.catalog.add_global_index(info)
+        for node in self.nodes:
+            node.create_gi_partition(gi_name, base, on_column)
+        # Backfill entries for existing base rows (uncharged: offline build).
+        for node in self.nodes:
+            if node.has_fragment(base):
+                for rowid, row in node.fragment(base).table.scan():
+                    key = row[info.key_position]
+                    dest = info.home_node(key)
+                    self.nodes[dest].gi_partition(gi_name).insert(
+                        key, GlobalRowId(node.node_id, rowid)
+                    )
+        return info
+
+    def create_view_storage(
+        self, schema: Schema, spec: PartitioningSpec
+    ) -> BoundRoundRobin:
+        """Create the view's fragments on every node; returns the bound
+        partitioner.  Hash-partitioned views get an index on the partitioning
+        column (paper assumption 3)."""
+        partitioner = spec.bind(schema, self.num_nodes)
+        for node in self.nodes:
+            node.create_fragment(schema)
+        if isinstance(spec, HashPartitioning):
+            for node in self.nodes:
+                node.create_local_index(schema.name, spec.column, clustered=False)
+        return partitioner
+
+    def create_join_view(self, definition, method="auxiliary", **kwargs) -> ViewInfo:
+        """Define and register a maintained join view.
+
+        ``definition`` is a :class:`repro.core.JoinViewDefinition`;
+        ``method`` one of ``"naive"``, ``"auxiliary"``, ``"global_index"``
+        (or a :class:`repro.core.MaintenanceMethod`).  Creates any missing
+        auxiliary relations / global indexes the method requires.  Imported
+        lazily to keep the cluster layer free of a dependency cycle on the
+        maintenance layer.
+        """
+        from ..core import define_join_view
+
+        return define_join_view(self, definition, method=method, **kwargs)
+
+    def create_view_from_sql(self, sql: str, method="auxiliary", **kwargs) -> ViewInfo:
+        """CREATE VIEW in the paper's SQL dialect (see :mod:`repro.sql`).
+
+        >>> cluster.create_view_from_sql(
+        ...     "create view JV as select * from A, B "
+        ...     "where A.c = B.d partitioned on A.e;",
+        ...     method="auxiliary",
+        ... )  # doctest: +SKIP
+        """
+        from ..sql import parse_join_view
+
+        schemas = {name: info.schema for name, info in self.catalog.relations.items()}
+        definition = parse_join_view(sql, schemas)
+        return self.create_join_view(definition, method=method, **kwargs)
+
+    # ================================================================ drops
+
+    def drop_view(self, name: str) -> None:
+        """Drop a materialized view: its fragments, registration, and the
+        serves-views links of the structures it used.  The structures
+        themselves stay (other views may share them); drop them separately
+        when unreferenced."""
+        self.catalog.remove_view(name)
+        for node in self.nodes:
+            if node.has_fragment(name):
+                node.drop_fragment(name)
+
+    def drop_auxiliary_relation(self, name: str, force: bool = False) -> None:
+        """Drop an auxiliary relation.  Refuses while views still rely on
+        it unless ``force`` is given (after which those views would fall
+        back to planning errors on their next delta — the caller owns it).
+        """
+        self.catalog.remove_auxiliary(name, force=force)
+        for node in self.nodes:
+            if node.has_fragment(name):
+                node.drop_fragment(name)
+
+    def drop_global_index(self, name: str, force: bool = False) -> None:
+        """Drop a global index (same safety rule as auxiliary relations)."""
+        self.catalog.remove_global_index(name, force=force)
+        for node in self.nodes:
+            node.drop_gi_partition(name)
+
+    # ================================================================= DML
+
+    def insert(self, relation: str, rows: Iterable[Row]) -> CostSnapshot:
+        """Insert rows into a base relation, maintaining all views over it.
+
+        Returns the cost snapshot of everything this statement caused.
+        """
+        with self.ledger.measure() as measured:
+            self._apply(relation, inserts=list(rows), deletes=[])
+        return measured.snapshot
+
+    def delete(self, relation: str, rows: Iterable[Row]) -> CostSnapshot:
+        """Delete the given rows (one stored instance each) from a base
+        relation, maintaining all views over it."""
+        with self.ledger.measure() as measured:
+            self._apply(relation, inserts=[], deletes=list(rows))
+        return measured.snapshot
+
+    def update(
+        self, relation: str, changes: Iterable[Tuple[Row, Row]]
+    ) -> CostSnapshot:
+        """Update rows: ``changes`` pairs (old_row, new_row).
+
+        Modelled as delete+insert within one maintained statement, per the
+        paper's treatment of updates.
+        """
+        pairs = list(changes)
+        with self.ledger.measure() as measured:
+            self._apply(
+                relation,
+                inserts=[new for _, new in pairs],
+                deletes=[old for old, _ in pairs],
+            )
+        return measured.snapshot
+
+    def _apply(self, relation: str, inserts: List[Row], deletes: List[Row]) -> None:
+        info = self.catalog.relation(relation)
+        self._validate_deletes(info, deletes)
+        for row in inserts:
+            info.schema.check_row(row)
+        delta = Delta(relation=relation)
+        # Deletes first so an update whose new row equals another stored row
+        # cannot delete the row it just inserted.
+        for row in deletes:
+            home = info.partitioner.node_of_row(row)
+            rowid = self.nodes[home].delete_matching(relation, row, Tag.BASE)
+            delta.deletes.append(PlacedRow(home, rowid, row))
+        for row in inserts:
+            home = info.partitioner.node_of_row(row)
+            rowid = self.nodes[home].insert(relation, row, Tag.BASE)
+            delta.inserts.append(PlacedRow(home, rowid, row))
+        info.row_count += len(inserts) - len(deletes)
+        self._co_update_auxiliaries(info, delta)
+        self._co_update_global_indexes(info, delta)
+        for view in self.catalog.views_on(relation):
+            view.maintainer.apply(delta)
+
+    def _validate_deletes(self, info: RelationInfo, deletes: List[Row]) -> None:
+        """Reject the whole statement if any requested delete cannot apply.
+
+        Checked before any mutation so a failing statement leaves the
+        cluster unchanged (statement atomicity).  Multiplicity-aware: the
+        home fragment must hold at least as many copies of each row as the
+        statement deletes.  Uncharged — this is validation, not execution.
+        """
+        if not deletes:
+            return
+        from collections import Counter
+
+        requested = Counter(deletes)
+        for row, count in requested.items():
+            info.schema.check_row(row)
+            home = info.partitioner.node_of_row(row)
+            fragment = self.nodes[home].fragment(info.name)
+            available = sum(1 for stored in fragment.table if stored == row)
+            if available < count:
+                raise KeyError(
+                    f"cannot delete {count} instance(s) of {row!r} from "
+                    f"{info.name!r}: node {home} holds {available}; "
+                    "statement rolled back"
+                )
+
+    def _co_update_auxiliaries(self, info: RelationInfo, delta: Delta) -> None:
+        """Propagate the base delta into every AR of the relation.
+
+        Each delta tuple is redistributed (one SEND) to the node its AR
+        partitioning key hashes to and written there — the "update auxiliary
+        relation (cheap)" line of the paper's transaction sketch.
+        """
+        for aux in self.catalog.auxiliaries_of(info.name):
+            for placed in delta.deletes:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                self.network.send(placed.node, dest, Tag.MAINTAIN)
+                self.nodes[dest].delete_matching(aux.name, image, Tag.MAINTAIN)
+            for placed in delta.inserts:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                self.network.send(placed.node, dest, Tag.MAINTAIN)
+                self.nodes[dest].insert(aux.name, image, Tag.MAINTAIN)
+
+    def _co_update_global_indexes(self, info: RelationInfo, delta: Delta) -> None:
+        """Propagate the base delta into every GI of the relation."""
+        for gi in self.catalog.global_indexes_of(info.name):
+            for placed in delta.deletes:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                self.network.send(placed.node, dest, Tag.MAINTAIN)
+                self.nodes[dest].gi_delete(
+                    gi.name, key, GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN
+                )
+            for placed in delta.inserts:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                self.network.send(placed.node, dest, Tag.MAINTAIN)
+                self.nodes[dest].gi_insert(
+                    gi.name, key, GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN
+                )
+
+    # ============================================== view delta application
+
+    def apply_view_delta(
+        self,
+        view: ViewInfo,
+        inserts: Sequence[Tuple[int, Row]],
+        deletes: Sequence[Tuple[int, Row]],
+    ) -> None:
+        """Route computed view-delta rows from their join sites to the
+        view's home nodes and write them there (tagged VIEW).
+
+        For a hash-partitioned view each row goes to one node; deletions
+        locate the victim through the view's index on the partitioning
+        column.  For a round-robin view inserts spread across nodes and
+        deletions must search node by node (there is no placement to
+        exploit — the paper's "(b)" variants).
+        """
+        partitioner = view.partitioner
+        name = view.name
+        for source, row in deletes:
+            if isinstance(partitioner, BoundRoundRobin):
+                self._round_robin_delete(view, source, row)
+            else:
+                dest = partitioner.node_of_row(row)
+                self.network.send(source, dest, Tag.VIEW)
+                self.nodes[dest].delete_matching(name, row, Tag.VIEW)
+            view.row_count -= 1
+        for source, row in inserts:
+            dest = partitioner.node_of_row(row)
+            self.network.send(source, dest, Tag.VIEW)
+            self.nodes[dest].insert(name, row, Tag.VIEW)
+            view.row_count += 1
+
+    def _round_robin_delete(self, view: ViewInfo, source: int, row: Row) -> None:
+        for node in self.nodes:
+            self.network.send(source, node.node_id, Tag.VIEW)
+            fragment = node.fragment(view.name)
+            self.ledger.charge(node.node_id, Op.SEARCH, Tag.VIEW)
+            for rowid, stored in fragment.table.scan():
+                if stored == row:
+                    node.delete_by_rowid(view.name, rowid, Tag.VIEW)
+                    return
+        raise KeyError(f"view {view.name!r} holds no tuple equal to {row!r}")
+
+    # ================================================================ reads
+
+    def scan_relation(self, name: str) -> List[Row]:
+        """All rows of a base relation / AR across nodes (uncharged)."""
+        rows: List[Row] = []
+        for node in self.nodes:
+            if node.has_fragment(name):
+                rows.extend(node.scan(name))
+        return rows
+
+    def view_rows(self, name: str) -> List[Row]:
+        """The materialized contents of a view across nodes (uncharged)."""
+        self.catalog.view(name)
+        return self.scan_relation(name)
+
+    def fragment_sizes(self, name: str) -> Dict[int, int]:
+        """Tuple count of each node's fragment of ``name``."""
+        return {
+            node.node_id: len(node.fragment(name).table)
+            for node in self.nodes
+            if node.has_fragment(name)
+        }
+
+    def relation_pages(self, name: str) -> int:
+        """Total pages of a relation across all fragments."""
+        return sum(
+            node.fragment_pages(name) for node in self.nodes if node.has_fragment(name)
+        )
+
+    def storage_tuples(self) -> Dict[str, int]:
+        """Tuples stored per catalog object — the space-overhead comparison
+        of naive (none) vs GI (entries) vs AR (copies)."""
+        usage: Dict[str, int] = {}
+        for name in self.catalog.relations:
+            usage[name] = len(self.scan_relation(name))
+        for name in self.catalog.auxiliaries:
+            usage[name] = len(self.scan_relation(name))
+        for name, gi in self.catalog.global_indexes.items():
+            usage[name] = sum(len(node.gi_partition(name)) for node in self.nodes)
+        for name in self.catalog.views:
+            usage[name] = len(self.scan_relation(name))
+        return usage
+
+    # ========================================================== transactions
+
+    def transaction(self) -> "Transaction":
+        """Scope several DML statements into one measured transaction."""
+        from .transactions import Transaction
+
+        return Transaction(self)

@@ -1,0 +1,71 @@
+"""The interconnect, as an accounting object.
+
+The model charges a constant SEND per message regardless of size (paper
+assumption 4) and charges nothing when source and destination coincide —
+the "dashed lines" of Figures 2/4/6, where the message never leaves the
+node.  Besides charging the ledger, the network keeps raw message counts so
+tests can assert on communication patterns (e.g. the naive method really
+does broadcast to all L nodes and the AR method really does send exactly
+one message per delta tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from ..costs import CostLedger, Op, Tag
+
+
+@dataclass
+class NetworkStats:
+    """Raw (unweighted) message counters."""
+
+    messages: int = 0            # messages that crossed the interconnect
+    local_deliveries: int = 0    # src == dst, free per the paper
+    by_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int) -> None:
+        if src == dst:
+            self.local_deliveries += 1
+            return
+        self.messages += 1
+        self.by_link[(src, dst)] = self.by_link.get((src, dst), 0) + 1
+
+
+class Network:
+    """Charges SENDs to the ledger and tallies message statistics."""
+
+    def __init__(self, num_nodes: int, ledger: CostLedger) -> None:
+        self.num_nodes = num_nodes
+        self.ledger = ledger
+        self.stats = NetworkStats()
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
+
+    def send(self, src: int, dst: int, tag: Tag = Tag.MAINTAIN) -> None:
+        """One message from ``src`` to ``dst``; free if they coincide."""
+        self._check(src)
+        self._check(dst)
+        self.stats.record(src, dst)
+        if src != dst:
+            self.ledger.charge(src, Op.SEND, tag)
+
+    def broadcast(self, src: int, tag: Tag = Tag.MAINTAIN) -> Iterable[int]:
+        """Send to *every* node (the naive method's redistribution).
+
+        The paper charges L sends for a broadcast — the self-delivery is
+        counted too, because the message is materialized for all L
+        destinations (Figure 2 draws L solid arrows).  Yields destination
+        node ids so callers can do per-node work.
+        """
+        for dst in range(self.num_nodes):
+            self._check(src)
+            self.stats.record(src, dst)
+            self.ledger.charge(src, Op.SEND, tag)
+            yield dst
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()

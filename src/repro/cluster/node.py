@@ -1,0 +1,194 @@
+"""A data-server node: local fragments, local indexes, GI partitions.
+
+A node knows nothing about partitioning or maintenance policy — it stores
+what the cluster hands it and charges the operations it performs.  All cost
+charging for node-local work happens here so the maintainers cannot forget
+to bill an access path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..costs import CostLedger, Op, Tag
+from ..storage import (
+    GlobalIndexPartition,
+    GlobalRowId,
+    HeapTable,
+    IndexedHeap,
+    LocalIndex,
+    PageLayout,
+    Row,
+    Schema,
+)
+
+
+class Node:
+    """One shared-nothing data server."""
+
+    def __init__(self, node_id: int, ledger: CostLedger, layout: PageLayout) -> None:
+        self.node_id = node_id
+        self.ledger = ledger
+        self.layout = layout
+        self._fragments: Dict[str, IndexedHeap] = {}
+        self._gi_partitions: Dict[str, GlobalIndexPartition] = {}
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_fragment(self, schema: Schema) -> IndexedHeap:
+        if schema.name in self._fragments:
+            raise ValueError(f"node {self.node_id} already stores {schema.name!r}")
+        fragment = IndexedHeap(HeapTable(schema, self.layout))
+        self._fragments[schema.name] = fragment
+        return fragment
+
+    def drop_fragment(self, name: str) -> None:
+        del self._fragments[name]
+
+    def fragment(self, name: str) -> IndexedHeap:
+        try:
+            return self._fragments[name]
+        except KeyError:
+            raise KeyError(
+                f"node {self.node_id} stores no fragment of {name!r}"
+            ) from None
+
+    def has_fragment(self, name: str) -> bool:
+        return name in self._fragments
+
+    def create_local_index(
+        self, name: str, column: str, clustered: bool = False
+    ) -> LocalIndex:
+        return self.fragment(name).create_index(column, clustered=clustered)
+
+    def create_gi_partition(self, gi_name: str, base: str, column: str) -> GlobalIndexPartition:
+        if gi_name in self._gi_partitions:
+            raise ValueError(f"node {self.node_id} already holds GI {gi_name!r}")
+        partition = GlobalIndexPartition(base, column)
+        self._gi_partitions[gi_name] = partition
+        return partition
+
+    def drop_gi_partition(self, gi_name: str) -> None:
+        self._gi_partitions.pop(gi_name, None)
+
+    def gi_partition(self, gi_name: str) -> GlobalIndexPartition:
+        try:
+            return self._gi_partitions[gi_name]
+        except KeyError:
+            raise KeyError(
+                f"node {self.node_id} holds no partition of GI {gi_name!r}"
+            ) from None
+
+    # ----------------------------------------------------------------- DML
+
+    def insert(self, name: str, row: Row, tag: Tag) -> int:
+        """Insert into the local fragment; bills one INSERT."""
+        rowid = self.fragment(name).insert(row)
+        self.ledger.charge(self.node_id, Op.INSERT, tag)
+        return rowid
+
+    def delete_matching(self, name: str, row: Row, tag: Tag) -> int:
+        """Delete one stored tuple equal to ``row``.
+
+        Billed as one INSERT-weight write (the model prices all single-tuple
+        table mutations identically) plus a SEARCH if an index located it.
+        """
+        fragment = self.fragment(name)
+        index = _any_index(fragment)
+        if index is not None:
+            self.ledger.charge(self.node_id, Op.SEARCH, tag)
+            key = index.key_of(row)
+            for rowid in index.search(key):
+                if fragment.table.fetch(rowid) == row:
+                    fragment.delete(rowid)
+                    self.ledger.charge(self.node_id, Op.INSERT, tag)
+                    return rowid
+            raise KeyError(f"no tuple equal to {row!r} in {name!r} at node {self.node_id}")
+        rowid = fragment.delete_matching(row)
+        self.ledger.charge(self.node_id, Op.INSERT, tag)
+        return rowid
+
+    def delete_by_rowid(self, name: str, rowid: int, tag: Tag) -> Row:
+        row = self.fragment(name).delete(rowid)
+        self.ledger.charge(self.node_id, Op.INSERT, tag)
+        return row
+
+    # -------------------------------------------------------- access paths
+
+    def index_probe(
+        self,
+        name: str,
+        column: str,
+        key: object,
+        tag: Tag,
+        fetch_rows: bool = True,
+    ) -> List[Row]:
+        """Probe a local index: 1 SEARCH, plus per-match FETCHes when the
+        index is non-clustered (clustered matches share the landing page and
+        are free — paper assumptions 5 and 7)."""
+        fragment = self.fragment(name)
+        index = fragment.index_on(column)
+        if index is None:
+            raise KeyError(f"{name!r} has no index on {column!r} at node {self.node_id}")
+        self.ledger.charge(self.node_id, Op.SEARCH, tag)
+        rowids = index.search(key)
+        if not rowids or not fetch_rows:
+            return []
+        if not index.clustered:
+            self.ledger.charge(self.node_id, Op.FETCH, tag, count=len(rowids))
+        return [fragment.table.fetch(rowid) for rowid in rowids]
+
+    def fetch_by_rowids(
+        self,
+        name: str,
+        rowids: List[int],
+        tag: Tag,
+        clustered_on_page: bool = False,
+    ) -> List[Row]:
+        """Fetch tuples by local rowid (the GI method's landing-node work).
+
+        ``clustered_on_page`` models a *distributed clustered* GI: the
+        matches at this node share one page, so the whole batch costs one
+        FETCH; otherwise each rowid costs its own FETCH.
+        """
+        if not rowids:
+            return []
+        count = 1 if clustered_on_page else len(rowids)
+        self.ledger.charge(self.node_id, Op.FETCH, tag, count=count)
+        fragment = self.fragment(name)
+        return [fragment.table.fetch(rowid) for rowid in rowids]
+
+    def gi_probe(self, gi_name: str, key: object, tag: Tag) -> Dict[int, List[GlobalRowId]]:
+        """Probe a GI partition: 1 SEARCH; entry fetch is free (assumption 6)."""
+        self.ledger.charge(self.node_id, Op.SEARCH, tag)
+        return self.gi_partition(gi_name).search_grouped(key)
+
+    def gi_insert(self, gi_name: str, key: object, grid: GlobalRowId, tag: Tag) -> None:
+        self.gi_partition(gi_name).insert(key, grid)
+        self.ledger.charge(self.node_id, Op.INSERT, tag)
+
+    def gi_delete(self, gi_name: str, key: object, grid: GlobalRowId, tag: Tag) -> None:
+        self.gi_partition(gi_name).delete(key, grid)
+        self.ledger.charge(self.node_id, Op.INSERT, tag)
+
+    # ----------------------------------------------------------- whole-frag
+
+    def scan(self, name: str, tag: Optional[Tag] = None) -> List[Row]:
+        """All live rows of a fragment; bills a page scan when tagged."""
+        fragment = self.fragment(name)
+        if tag is not None:
+            self.ledger.charge(
+                self.node_id, Op.SCAN_PAGE, tag, count=fragment.table.num_pages
+            )
+        return fragment.table.rows()
+
+    def fragment_pages(self, name: str) -> int:
+        return self.fragment(name).table.num_pages
+
+
+def _any_index(fragment: IndexedHeap) -> Optional[LocalIndex]:
+    """Prefer a clustered index, else any index, else None."""
+    clustered = [ix for ix in fragment.indexes.values() if ix.clustered]
+    if clustered:
+        return clustered[0]
+    return next(iter(fragment.indexes.values()), None)

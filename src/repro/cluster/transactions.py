@@ -1,0 +1,90 @@
+"""Transaction scoping for cost attribution.
+
+The paper's unit of evaluation is "one transaction that inserts A tuples".
+A :class:`Transaction` groups several DML statements, applies them eagerly
+(this engine models cost, not isolation — see DESIGN.md §6), and reports the
+combined cost snapshot with the paper's two metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+from ..costs import CostSnapshot, Tag
+from ..storage.schema import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import Cluster
+
+
+@dataclass
+class TransactionReport:
+    """Summary of one transaction's accounted work."""
+
+    snapshot: CostSnapshot
+    statements: int
+
+    @property
+    def total_workload(self) -> float:
+        """TW over every tag (base + maintenance + view)."""
+        return self.snapshot.total_workload()
+
+    @property
+    def maintenance_workload(self) -> float:
+        """The paper's TW: differential maintenance I/Os only."""
+        return self.snapshot.maintenance_workload()
+
+    @property
+    def maintenance_response_time(self) -> float:
+        """Max per-node maintenance I/Os — the paper's response-time metric."""
+        return self.snapshot.maintenance_response_time()
+
+    @property
+    def response_time(self) -> float:
+        return self.snapshot.response_time()
+
+
+class Transaction:
+    """Context manager grouping DML statements into one measurement.
+
+    >>> with cluster.transaction() as txn:
+    ...     txn.insert("A", rows)
+    >>> txn.report.maintenance_workload  # doctest: +SKIP
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self._statements = 0
+        self._before: Optional[CostSnapshot] = None
+        self.report: Optional[TransactionReport] = None
+
+    def __enter__(self) -> "Transaction":
+        if self._before is not None:
+            raise RuntimeError("transaction already entered")
+        self._before = self._cluster.ledger.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._before is not None
+        snapshot = self._cluster.ledger.diff_since(self._before)
+        self.report = TransactionReport(snapshot=snapshot, statements=self._statements)
+
+    def _check_open(self) -> None:
+        if self._before is None or self.report is not None:
+            raise RuntimeError("transaction is not open")
+
+    def insert(self, relation: str, rows: Iterable[Row]) -> None:
+        self._check_open()
+        self._statements += 1
+        self._cluster.insert(relation, rows)
+
+    def delete(self, relation: str, rows: Iterable[Row]) -> None:
+        self._check_open()
+        self._statements += 1
+        self._cluster.delete(relation, rows)
+
+    def update(self, relation: str, changes: Iterable[Tuple[Row, Row]]) -> None:
+        self._check_open()
+        self._statements += 1
+        self._cluster.update(relation, changes)

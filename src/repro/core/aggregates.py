@@ -1,0 +1,433 @@
+"""Aggregate join views.
+
+The paper studies plain join views; its authors' companion work extends
+the same maintenance machinery to *aggregate* join views — ``SELECT g,
+COUNT(*), SUM(x) FROM A, B WHERE ... GROUP BY g`` — which is also where
+materialized views earn most of their keep in a warehouse.  This module
+adds that extension on top of the existing delta pipeline:
+
+1. the join delta is computed exactly as for a plain view (naive / AR /
+   GI plans all work unchanged);
+2. instead of materializing raw join tuples, each result folds into its
+   group's running aggregates: +1/-1 to COUNT, ±value to SUM;
+3. each group row lives on the node its group key hashes to, so applying
+   a group's contribution is one probe + one write there;
+4. a group whose COUNT reaches zero is removed — which is why COUNT is
+   always maintained, even when not selected (the classic requirement for
+   deletable SUM/AVG views).
+
+Supported aggregates: COUNT, SUM, AVG (stored as SUM plus the shared
+COUNT; divided on read).  MIN/MAX are deliberately out: they are not
+self-maintainable under deletions without auxiliary per-group state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.catalog import ViewInfo
+from ..cluster.partitioning import HashPartitioning
+from ..costs import Op, Tag
+from ..storage.schema import Column, Row, Schema
+from .delta import Delta
+from .maintenance import JoinStrategy, JoinViewMaintainer, MaintenanceMethod
+from .multiway import OutputMapper
+from .view import BoundView, JoinViewDefinition, SelectItem, ViewDefinitionError
+
+
+class AggregateFunction(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate output: ``function(relation.column) AS name``.
+
+    COUNT takes no input column (``COUNT(*)``); SUM/AVG need a numeric
+    input column from one of the view's relations.
+    """
+
+    function: AggregateFunction
+    name: str
+    source: Optional[SelectItem] = None
+
+    def __post_init__(self) -> None:
+        if self.function is AggregateFunction.COUNT:
+            if self.source is not None:
+                raise ViewDefinitionError("COUNT(*) takes no input column")
+        elif self.source is None:
+            raise ViewDefinitionError(
+                f"{self.function.value.upper()} needs an input column"
+            )
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """GROUP BY columns plus the aggregate outputs."""
+
+    group_by: Tuple[SelectItem, ...]
+    aggregates: Tuple[Aggregate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_by:
+            raise ViewDefinitionError("aggregate views need GROUP BY columns")
+        if not self.aggregates:
+            raise ViewDefinitionError("aggregate views need at least one aggregate")
+        names = [a.name for a in self.aggregates]
+        if len(set(names)) != len(names):
+            raise ViewDefinitionError(f"duplicate aggregate names: {names}")
+
+    def needed_items(self) -> List[SelectItem]:
+        """Every (relation, column) the join delta must carry."""
+        items = list(self.group_by)
+        for aggregate in self.aggregates:
+            if aggregate.source is not None and aggregate.source not in items:
+                items.append(aggregate.source)
+        return items
+
+
+class AggregateViewMaintainer(JoinViewMaintainer):
+    """Maintains grouped aggregates from the join delta.
+
+    The stored row layout is::
+
+        (group columns..., _count, sum columns...)
+
+    ``_count`` is the group's join-tuple multiplicity (doubles as COUNT(*)
+    and as the AVG divisor); one sum column exists per distinct SUM/AVG
+    input.  ``read_rows`` projects this physical layout onto the declared
+    outputs.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        view_info: ViewInfo,
+        bound: BoundView,
+        planner,
+        spec: AggregateSpec,
+        strategy: JoinStrategy = JoinStrategy.AUTO,
+    ) -> None:
+        super().__init__(cluster, view_info, bound, planner, strategy)
+        self.spec = spec
+        #: distinct SUM/AVG inputs, in first-appearance order
+        self.sum_sources: List[SelectItem] = []
+        for aggregate in spec.aggregates:
+            if aggregate.source is not None and aggregate.source not in self.sum_sources:
+                self.sum_sources.append(aggregate.source)
+
+    # ---------------------------------------------------------- the apply
+
+    def apply(self, delta: Delta) -> None:
+        if delta.is_empty:
+            return
+        plan = self.planner.plan_for(delta.relation)
+        mapper = OutputMapper(self.bound, plan)
+        group_positions = tuple(
+            mapper.position(relation, column) for relation, column in self.spec.group_by
+        )
+        sum_positions = tuple(
+            mapper.position(relation, column) for relation, column in self.sum_sources
+        )
+
+        contributions: Dict[int, Dict[Row, List[float]]] = {}
+
+        def fold(results, sign: int) -> None:
+            for node, tup in results:
+                group = tuple(tup[i] for i in group_positions)
+                sums = [float(tup[i]) for i in sum_positions]
+                per_node = contributions.setdefault(node, {})
+                entry = per_node.setdefault(group, [0] + [0.0] * len(sums))
+                entry[0] += sign
+                for offset, value in enumerate(sums):
+                    entry[1 + offset] += sign * value
+
+        fold(self._compute_join(plan, mapper, delta.deletes), -1)
+        fold(self._compute_join(plan, mapper, delta.inserts), +1)
+        self._apply_contributions(contributions)
+
+    def _apply_contributions(
+        self, contributions: Dict[int, Dict[Row, List[float]]]
+    ) -> None:
+        """Route each group's net contribution to its home node and fold it
+        into the stored row there (probe + rewrite, tagged VIEW)."""
+        view = self.view_info
+        name = view.name
+        arity = len(self.spec.group_by)
+        for source_node, groups in contributions.items():
+            for group, entry in groups.items():
+                count_delta, sums_delta = int(entry[0]), entry[1:]
+                if count_delta == 0 and all(v == 0 for v in sums_delta):
+                    continue
+                home = view.partitioner.node_of_key(group)
+                self.cluster.network.send(source_node, home, Tag.VIEW)
+                node = self.cluster.nodes[home]
+                fragment = node.fragment(name)
+                index = fragment.index_on("_group")
+                node.ledger.charge(home, Op.SEARCH, Tag.VIEW)
+                rowids = index.search(group)
+                if rowids:
+                    rowid = rowids[0]
+                    stored = fragment.table.fetch(rowid)
+                    new_count = stored[arity] + count_delta
+                    new_sums = [
+                        stored[arity + 1 + i] + sums_delta[i]
+                        for i in range(len(sums_delta))
+                    ]
+                    fragment.delete(rowid)
+                    if new_count > 0:
+                        fragment.insert(group + (new_count,) + tuple(new_sums))
+                    else:
+                        view.row_count -= 1
+                    node.ledger.charge(home, Op.INSERT, Tag.VIEW)
+                else:
+                    if count_delta < 0:  # pragma: no cover - guarded upstream
+                        raise ViewDefinitionError(
+                            f"aggregate group {group!r} underflow in {name!r}"
+                        )
+                    if count_delta > 0:
+                        fragment.insert(group + (count_delta,) + tuple(sums_delta))
+                        node.ledger.charge(home, Op.INSERT, Tag.VIEW)
+                        view.row_count += 1
+
+    # -------------------------------------------------------------- reads
+
+    def read_rows(self) -> List[Row]:
+        """The view's declared output rows (groups + aggregate values)."""
+        rows: List[Row] = []
+        arity = len(self.spec.group_by)
+        for node in self.cluster.nodes:
+            for stored in node.scan(self.view_info.name):
+                group = stored[:arity]
+                count = stored[arity]
+                sums = stored[arity + 1:]
+                outputs: List[object] = list(group)
+                for aggregate in self.spec.aggregates:
+                    if aggregate.function is AggregateFunction.COUNT:
+                        outputs.append(count)
+                    else:
+                        value = sums[self.sum_sources.index(aggregate.source)]
+                        if aggregate.function is AggregateFunction.SUM:
+                            outputs.append(value)
+                        else:
+                            outputs.append(value / count)
+                rows.append(tuple(outputs))
+        return rows
+
+
+def aggregate_storage_schema(
+    name: str, spec: AggregateSpec, bound: BoundView
+) -> Schema:
+    """Physical schema of the stored group rows: the group columns
+    (queryable), the shared ``_count``, then one ``_sum_<i>`` per distinct
+    SUM/AVG input, in first-appearance order.  A synthetic ``_group`` index
+    over the group-column prefix gives each group an O(1) home-node probe.
+    """
+    columns = [
+        Column(f"g{i}_{column}") for i, (_, column) in enumerate(spec.group_by)
+    ]
+    columns.append(Column("_count", int))
+    seen = []
+    for aggregate in spec.aggregates:
+        if aggregate.source is not None and aggregate.source not in seen:
+            seen.append(aggregate.source)
+    for i, _ in enumerate(seen):
+        columns.append(Column(f"_sum_{i}", float))
+    return Schema(name, tuple(columns))
+
+
+def define_aggregate_join_view(
+    cluster,
+    definition: JoinViewDefinition,
+    spec: AggregateSpec,
+    method: "MaintenanceMethod | str" = MaintenanceMethod.AUXILIARY,
+    strategy: "JoinStrategy | str" = JoinStrategy.AUTO,
+) -> ViewInfo:
+    """CREATE an aggregate join view: ``SELECT group_by, aggregates FROM
+    <definition's join> GROUP BY group_by``.
+
+    ``definition.select`` is ignored — the needed columns are derived from
+    the spec; ``definition.partitioning`` is ignored too (aggregate views
+    hash-partition on the group key so each group has one home node).
+    """
+    cluster.catalog.ensure_name_free(definition.name)
+    method = MaintenanceMethod.coerce(method)
+    if isinstance(strategy, str):
+        strategy = JoinStrategy(strategy)
+    schemas = {
+        name: cluster.catalog.relation(name).schema for name in definition.relations
+    }
+    join_definition = JoinViewDefinition(
+        name=definition.name,
+        relations=definition.relations,
+        conditions=definition.conditions,
+        select=tuple(spec.needed_items()),
+    )
+    bound = BoundView(join_definition, schemas)
+
+    from .auxiliary import provision_auxiliary
+    from .global_index import provision_global_index
+    from .hybrid import provision_hybrid
+    from .naive import provision_naive
+    from .optimizer import MaintenancePlanner
+
+    if method is MaintenanceMethod.NAIVE:
+        provision_naive(cluster, bound)
+    elif method is MaintenanceMethod.AUXILIARY:
+        provision_auxiliary(cluster, bound)
+    elif method is MaintenanceMethod.HYBRID:
+        provision_hybrid(cluster, bound)
+    else:
+        provision_global_index(cluster, bound)
+
+    storage_schema = aggregate_storage_schema(definition.name, spec, bound)
+    for node in cluster.nodes:
+        fragment = node.create_fragment(storage_schema)
+        # The _group index maps the packed group-key tuple to its row; the
+        # index key extractor is the group-column prefix.
+        index = _GroupIndex(fragment.table, len(spec.group_by))
+        fragment.indexes["_group"] = index
+    partitioner = _GroupPartitioner(storage_schema, cluster.num_nodes, len(spec.group_by))
+
+    planner = MaintenancePlanner(cluster, bound, method)
+    view_info = ViewInfo(
+        name=definition.name,
+        definition=join_definition,
+        schema=storage_schema,
+        partitioner=partitioner,
+        maintainer=None,
+        method=f"aggregate/{method.value}",
+    )
+    maintainer = AggregateViewMaintainer(
+        cluster, view_info, bound, planner, spec, strategy
+    )
+    view_info.maintainer = maintainer
+    cluster.catalog.add_view(view_info, list(definition.relations))
+
+    # Initial materialization from current contents (uncharged).
+    counter = bound.evaluate(
+        {name: cluster.scan_relation(name) for name in definition.relations}
+    )
+    boot: Dict[Row, List[float]] = {}
+    group_positions = tuple(
+        bound.select.index(item) for item in spec.group_by
+    )
+    sum_positions = tuple(
+        bound.select.index(item) for item in maintainer.sum_sources
+    )
+    for row, multiplicity in counter.items():
+        group = tuple(row[i] for i in group_positions)
+        entry = boot.setdefault(group, [0] + [0.0] * len(sum_positions))
+        entry[0] += multiplicity
+        for offset, position in enumerate(sum_positions):
+            entry[1 + offset] += multiplicity * float(row[position])
+    for group, entry in boot.items():
+        home = partitioner.node_of_key(group)
+        cluster.nodes[home].fragment(definition.name).insert(
+            group + (int(entry[0]),) + tuple(entry[1:])
+        )
+        view_info.row_count += 1
+    return view_info
+
+
+def _aggregate_maintainer(cluster, view_name: str) -> "AggregateViewMaintainer":
+    """The view's aggregate maintainer, unwrapping a deferred wrapper."""
+    maintainer = cluster.catalog.view(view_name).maintainer
+    inner = getattr(maintainer, "inner", None)
+    if inner is not None:
+        maintainer = inner
+    if not isinstance(maintainer, AggregateViewMaintainer):
+        raise ViewDefinitionError(f"{view_name!r} is not an aggregate view")
+    return maintainer
+
+
+def aggregate_rows(cluster, view_name: str) -> List[Row]:
+    """The declared output rows of an aggregate join view."""
+    return _aggregate_maintainer(cluster, view_name).read_rows()
+
+
+def recompute_aggregate(cluster, view_name: str) -> List[Row]:
+    """Ground truth: the aggregate outputs recomputed from the bases."""
+    maintainer = _aggregate_maintainer(cluster, view_name)
+    bound = maintainer.bound
+    spec = maintainer.spec
+    counter = bound.evaluate(
+        {name: cluster.scan_relation(name) for name in bound.definition.relations}
+    )
+    group_positions = tuple(bound.select.index(item) for item in spec.group_by)
+    groups: Dict[Row, Dict[SelectItem, float]] = {}
+    counts: Dict[Row, int] = {}
+    for row, multiplicity in counter.items():
+        group = tuple(row[i] for i in group_positions)
+        counts[group] = counts.get(group, 0) + multiplicity
+        sums = groups.setdefault(group, {})
+        for item in maintainer.sum_sources:
+            position = bound.select.index(item)
+            sums[item] = sums.get(item, 0.0) + multiplicity * float(row[position])
+    rows: List[Row] = []
+    for group, count in counts.items():
+        outputs: List[object] = list(group)
+        for aggregate in spec.aggregates:
+            if aggregate.function is AggregateFunction.COUNT:
+                outputs.append(count)
+            elif aggregate.function is AggregateFunction.SUM:
+                outputs.append(groups[group][aggregate.source])
+            else:
+                outputs.append(groups[group][aggregate.source] / count)
+        rows.append(tuple(outputs))
+    return rows
+
+
+class _GroupIndex:
+    """A LocalIndex-alike keyed by the group-column prefix of stored rows."""
+
+    def __init__(self, table, group_arity: int) -> None:
+        self.table = table
+        self.group_arity = group_arity
+        self.clustered = False
+        self.column = "_group"
+        self._entries: Dict[Row, List[int]] = {}
+
+    def key_of(self, row: Row) -> Row:
+        return tuple(row[: self.group_arity])
+
+    def on_insert(self, rowid: int, row: Row) -> None:
+        self._entries.setdefault(self.key_of(row), []).append(rowid)
+
+    def on_delete(self, rowid: int, row: Row) -> None:
+        key = self.key_of(row)
+        self._entries[key].remove(rowid)
+        if not self._entries[key]:
+            del self._entries[key]
+
+    def search(self, key: Row) -> List[int]:
+        return list(self._entries.get(tuple(key), ()))
+
+    def distinct_keys(self) -> int:
+        return len(self._entries)
+
+
+class _GroupPartitioner:
+    """Hash placement on the packed group-key tuple."""
+
+    def __init__(self, schema: Schema, num_nodes: int, group_arity: int) -> None:
+        self.schema = schema
+        self.num_nodes = num_nodes
+        self.group_arity = group_arity
+        self.column = "_group"
+
+    @property
+    def is_hash(self) -> bool:
+        return True
+
+    def node_of_key(self, key) -> int:
+        from ..cluster.partitioning import stable_hash
+
+        return stable_hash(tuple(key)) % self.num_nodes
+
+    def node_of_row(self, row: Row) -> int:
+        return self.node_of_key(row[: self.group_arity])

@@ -1,0 +1,78 @@
+"""The auxiliary-relation maintenance method (paper §2.1.2).
+
+For every base relation R and every join attribute c that R is *not*
+partitioned on, keep AR_R: a selection/projection of R hash-partitioned on
+c with a clustered index on c.  A delta tuple then travels to exactly one
+node — the one its join-attribute value hashes to — is appended to AR_R
+there, and joins against AR_partner *at the same node* (both ARs partition
+on the same attribute's value domain).  All-node work becomes one-node
+work, at the price of storing the copies and co-updating them.
+
+Provisioning here creates the missing ARs (optionally trimmed to the
+columns the view needs, §2.1.2's storage minimization) and records which
+views each AR serves, so shared ARs are widened consciously rather than
+silently under-provisioned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .trimming import requirement_for
+from .view import BoundView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.cluster import Cluster
+
+
+class AuxiliaryProvisioningError(RuntimeError):
+    """An existing AR cannot serve the new view (missing columns)."""
+
+
+def provision_auxiliary(
+    cluster: "Cluster", bound: BoundView, trim: bool = False
+) -> None:
+    """Create the auxiliary relations the view's maintenance plans need.
+
+    For each (relation, join attribute) pair: nothing if the relation is
+    already partitioned on the attribute (only an index is ensured there);
+    otherwise an AR partitioned on it.  With ``trim=True`` the AR keeps only
+    the columns this view needs; an existing trimmed AR that lacks a column
+    the new view needs raises, with the remedy in the message.
+    """
+    view_name = bound.definition.name
+    for relation in bound.definition.relations:
+        info = cluster.catalog.relation(relation)
+        for column in bound.definition.join_columns_of(relation):
+            if info.is_partitioned_on(column):
+                if column not in info.indexes:
+                    cluster.create_index(relation, column, clustered=False)
+                continue
+            existing = cluster.catalog.find_auxiliary(relation, column)
+            if existing is not None:
+                _check_coverage(existing, bound, relation, column)
+                if view_name not in existing.serves_views:
+                    existing.serves_views.append(view_name)
+                continue
+            columns = None
+            if trim:
+                columns = requirement_for(bound, relation, column).needed_columns
+            created = cluster.create_auxiliary_relation(
+                relation, column, columns=columns
+            )
+            created.serves_views.append(view_name)
+
+
+def _check_coverage(existing, bound: BoundView, relation: str, column: str) -> None:
+    if existing.columns is None:
+        return  # full copy covers everything
+    needed = set(requirement_for(bound, relation, column).needed_columns)
+    missing = needed - set(existing.columns)
+    if missing:
+        raise AuxiliaryProvisioningError(
+            f"auxiliary relation {existing.name!r} (serving "
+            f"{existing.serves_views}) was trimmed to {existing.columns} and "
+            f"lacks {sorted(missing)} needed by view "
+            f"{bound.definition.name!r}; recreate it with the merged column "
+            "set (see repro.core.trimming.merge_requirements)"
+        )

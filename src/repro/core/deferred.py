@@ -1,0 +1,192 @@
+"""Deferred view maintenance.
+
+The paper maintains views *immediately* — inside the updating transaction.
+Operational warehouses often defer instead: queue the deltas and refresh
+the view in batches.  This extension wraps any
+:class:`~repro.core.maintenance.JoinViewMaintainer` with a queue that
+
+* **nets** pending changes (an insert annihilates a queued delete of the
+  same tuple and vice versa, so churn costs nothing at refresh time), and
+* **batches** the survivors into one maintenance pass, letting the regime
+  chooser amortize the partner access (many small transactions refresh at
+  sort-merge cost instead of per-tuple probes).
+
+Correctness note: pending deltas of one relation may be held back freely —
+no self-joins means a relation's own delta never changes its probe side.
+A delta on a *different* relation, however, must not be queued behind one
+it could interact with (the earlier delta would later join against partner
+state from the future), so the queue auto-flushes whenever the updated
+relation changes.  Reads through :meth:`flush_if_stale` get
+refresh-on-demand semantics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .delta import Delta, PlacedRow
+from .maintenance import JoinViewMaintainer
+
+
+@dataclass
+class RefreshReport:
+    """What one refresh applied and what the netting saved."""
+
+    flushed_inserts: int
+    flushed_deletes: int
+    netted_away: int          # queued changes cancelled before maintenance
+    statements_absorbed: int
+
+
+class DeferredMaintainer:
+    """Queue-and-batch wrapper with the maintainer interface.
+
+    Registered in the catalog exactly like an eager maintainer; the
+    cluster's update path calls :meth:`apply`, which queues.  ``flush_threshold``
+    (pending tuples) triggers automatic refresh; ``None`` defers until an
+    explicit :meth:`refresh` (or a cross-relation delta forces one).
+    """
+
+    def __init__(
+        self,
+        inner: JoinViewMaintainer,
+        flush_threshold: Optional[int] = None,
+    ) -> None:
+        if flush_threshold is not None and flush_threshold < 1:
+            raise ValueError("flush_threshold must be >= 1 (or None)")
+        self.inner = inner
+        self.flush_threshold = flush_threshold
+        self._pending_relation: Optional[str] = None
+        self._pending: Counter = Counter()  # row -> net multiplicity (+/-)
+        self._placed: Dict[object, List[PlacedRow]] = {}
+        self._statements = 0
+        self._netted = 0
+
+    # ------------------------------------------------------------- status
+
+    @property
+    def view_info(self):
+        return self.inner.view_info
+
+    @property
+    def bound(self):
+        return self.inner.bound
+
+    @property
+    def planner(self):
+        return self.inner.planner
+
+    @property
+    def pending_changes(self) -> int:
+        """Net queued tuple changes awaiting refresh."""
+        return sum(abs(count) for count in self._pending.values())
+
+    @property
+    def is_stale(self) -> bool:
+        return self.pending_changes > 0
+
+    # ------------------------------------------------------------- writes
+
+    def apply(self, delta: Delta) -> None:
+        """Queue a base-relation delta; flush first if it switches relation."""
+        if delta.is_empty:
+            return
+        if self._pending_relation not in (None, delta.relation):
+            self.refresh()
+        self._pending_relation = delta.relation
+        self._statements += 1
+        for placed in delta.deletes:
+            self._note(placed, -1)
+        for placed in delta.inserts:
+            self._note(placed, +1)
+        if (
+            self.flush_threshold is not None
+            and self.pending_changes >= self.flush_threshold
+        ):
+            self.refresh()
+
+    def _note(self, placed: PlacedRow, sign: int) -> None:
+        row = placed.row
+        before = self._pending[row]
+        self._pending[row] = before + sign
+        if abs(self._pending[row]) < abs(before):
+            self._netted += 2  # one queued change cancelled one incoming
+        if sign > 0:
+            self._placed.setdefault(row, []).append(placed)
+        if self._pending[row] == 0:
+            del self._pending[row]
+
+    # ------------------------------------------------------------ refresh
+
+    def refresh(self) -> RefreshReport:
+        """Apply all pending changes as one batched maintenance pass."""
+        if not self._pending:
+            report = RefreshReport(0, 0, self._netted, self._statements)
+            self._reset_counters()
+            return report
+        relation = self._pending_relation
+        assert relation is not None
+        inserts: List[PlacedRow] = []
+        deletes: List[PlacedRow] = []
+        for row, net in self._pending.items():
+            if net > 0:
+                placements = self._placed.get(row, [])
+                for i in range(net):
+                    if i < len(placements):
+                        inserts.append(placements[-(i + 1)])
+                    else:  # pragma: no cover - placements always recorded
+                        inserts.append(PlacedRow(0, -1, row))
+            else:
+                # Deleted rows have already left the base fragments; their
+                # placement only needs the originating node for SEND
+                # accounting, so node 0 is a neutral stand-in.
+                deletes.extend(PlacedRow(0, -1, row) for _ in range(-net))
+        batch = Delta(relation=relation, inserts=inserts, deletes=deletes)
+        self.inner.apply(batch)
+        report = RefreshReport(
+            flushed_inserts=len(inserts),
+            flushed_deletes=len(deletes),
+            netted_away=self._netted,
+            statements_absorbed=self._statements,
+        )
+        self._pending.clear()
+        self._placed.clear()
+        self._pending_relation = None
+        self._reset_counters()
+        return report
+
+    def _reset_counters(self) -> None:
+        self._statements = 0
+        self._netted = 0
+
+    def flush_if_stale(self) -> Optional[RefreshReport]:
+        """Refresh-on-read: bring the view current before serving it."""
+        if self.is_stale:
+            return self.refresh()
+        return None
+
+
+def defer_view(cluster, view_name: str, flush_threshold: Optional[int] = None) -> DeferredMaintainer:
+    """Switch a registered view to deferred maintenance.
+
+    Returns the wrapper (also installed in the catalog).  Call
+    ``wrapper.refresh()`` — or read through ``fresh_view_rows`` — to bring
+    the view current.
+    """
+    info = cluster.catalog.view(view_name)
+    if isinstance(info.maintainer, DeferredMaintainer):
+        raise ValueError(f"view {view_name!r} is already deferred")
+    wrapper = DeferredMaintainer(info.maintainer, flush_threshold)
+    info.maintainer = wrapper
+    return wrapper
+
+
+def fresh_view_rows(cluster, view_name: str):
+    """View contents with refresh-on-demand semantics."""
+    info = cluster.catalog.view(view_name)
+    maintainer = info.maintainer
+    if isinstance(maintainer, DeferredMaintainer):
+        maintainer.flush_if_stale()
+    return cluster.view_rows(view_name)

@@ -1,0 +1,63 @@
+"""Delta types: what changed in a base relation, and where.
+
+Maintenance is driven by *placed* rows — the row together with the node and
+local rowid it occupies — because the global-index method must record exactly
+that placement, and because response-time accounting depends on which node
+originated each delta tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..storage.schema import Row
+
+
+@dataclass(frozen=True)
+class PlacedRow:
+    """A row plus its physical location (node, local rowid)."""
+
+    node: int
+    rowid: int
+    row: Row
+
+
+@dataclass
+class Delta:
+    """The net change one DML statement made to one base relation.
+
+    An SQL ``UPDATE`` is represented as matched deletes+inserts, per the
+    paper's "the steps needed when a tuple is ... updated ... are similar"
+    treatment.
+    """
+
+    relation: str
+    inserts: List[PlacedRow] = field(default_factory=list)
+    deletes: List[PlacedRow] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes
+
+    def inserted_rows(self) -> List[Row]:
+        return [placed.row for placed in self.inserts]
+
+    def deleted_rows(self) -> List[Row]:
+        return [placed.row for placed in self.deletes]
+
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """Computed change to a view: rows to add and rows to remove.
+
+    ``inserts``/``deletes`` pair each result row with the node that produced
+    it (the join site), which determines the SEND to the view's home node.
+    """
+
+    view: str
+    inserts: Tuple[Tuple[int, Row], ...] = ()
+    deletes: Tuple[Tuple[int, Row], ...] = ()

@@ -1,0 +1,54 @@
+"""The global-index maintenance method (paper §2.1.3).
+
+For every base relation R and join attribute c that R is not partitioned
+on, keep GI_R: a hash-partitioned index mapping each value of c to the
+global row ids — (node, local rowid) pairs — of the tuples holding it.  A
+delta tuple travels to the value's GI home node, probes GI_partner there,
+and then visits only the K ≤ min(N, L) nodes that actually own matching
+tuples, fetching them by rowid.
+
+The GI is the intermediate design point: it stores an entry per tuple
+instead of a copy per tuple (less space than ARs), and visits K nodes
+instead of one (AR) or all L (naive).  A GI is *distributed clustered* when
+the base fragments are physically clustered on c at every node — then each
+visited node serves all its matches with one page fetch.  At most one GI
+per base relation can be distributed clustered, because a fragment clusters
+on at most one attribute; provisioning enforces that by deriving the flag
+from the declared local indexes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .view import BoundView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.cluster import Cluster
+
+
+def provision_global_index(cluster: "Cluster", bound: BoundView) -> None:
+    """Create the global indexes the view's maintenance plans need.
+
+    A GI on R.c is distributed clustered exactly when R's fragments declare
+    a clustered local index on c (the validation in
+    :meth:`Cluster.create_global_index` re-checks this).
+    """
+    view_name = bound.definition.name
+    for relation in bound.definition.relations:
+        info = cluster.catalog.relation(relation)
+        for column in bound.definition.join_columns_of(relation):
+            if info.is_partitioned_on(column):
+                if column not in info.indexes:
+                    cluster.create_index(relation, column, clustered=False)
+                continue
+            existing = cluster.catalog.find_global_index(relation, column)
+            if existing is not None:
+                if view_name not in existing.serves_views:
+                    existing.serves_views.append(view_name)
+                continue
+            distributed_clustered = info.indexes.get(column) is True
+            created = cluster.create_global_index(
+                relation, column, distributed_clustered=distributed_clustered
+            )
+            created.serves_views.append(view_name)

@@ -1,0 +1,382 @@
+"""The maintenance engine shared by all three methods.
+
+The three methods differ in *where a delta tuple must travel* and *what is
+probed there*; that is captured entirely by the access paths in a
+:class:`~repro.core.multiway.MaintenancePlan`.  This module executes plans:
+it walks the hops per delta tuple (index-nested-loops) or per batch
+(sort-merge), charges every SEND/SEARCH/FETCH/INSERT to the ledger, and
+applies the resulting view delta.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..cluster.catalog import ViewInfo
+from ..costs import Op, Tag
+from ..storage.schema import Row
+from .delta import Delta, PlacedRow
+from .multiway import (
+    AuxiliaryAccess,
+    BaseAccess,
+    GlobalIndexAccess,
+    Hop,
+    MaintenancePlan,
+    OutputMapper,
+)
+from .view import BoundView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.cluster import Cluster
+    from .optimizer import MaintenancePlanner
+
+
+class MaintenanceMethod(enum.Enum):
+    """The paper's three methods, plus the §4 per-relation hybrid."""
+
+    NAIVE = "naive"
+    AUXILIARY = "auxiliary"
+    GLOBAL_INDEX = "global_index"
+    HYBRID = "hybrid"
+
+    @classmethod
+    def coerce(cls, value: "MaintenanceMethod | str") -> "MaintenanceMethod":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown maintenance method {value!r}; "
+                f"expected one of {[m.value for m in cls]}"
+            ) from None
+
+
+class JoinStrategy(enum.Enum):
+    """How delta tuples are joined with the partner at each hop."""
+
+    AUTO = "auto"                    # the paper's cost-based choice
+    INDEX_NESTED_LOOPS = "inl"       # per-tuple index probes
+    SORT_MERGE = "sort_merge"        # batch scan/sort of the partner
+
+
+#: An intermediate result: the node it currently resides on plus the
+#: concatenated values joined so far.
+Intermediate = Tuple[int, Row]
+
+
+class JoinViewMaintainer:
+    """Incrementally maintains one join view under one method."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        view_info: ViewInfo,
+        bound: BoundView,
+        planner: "MaintenancePlanner",
+        strategy: JoinStrategy = JoinStrategy.AUTO,
+    ) -> None:
+        self.cluster = cluster
+        self.view_info = view_info
+        self.bound = bound
+        self.planner = planner
+        self.strategy = strategy
+
+    @property
+    def method(self) -> MaintenanceMethod:
+        return self.planner.method
+
+    # ------------------------------------------------------------- driver
+
+    def apply(self, delta: Delta) -> None:
+        """Propagate a base-relation delta into the view."""
+        if delta.is_empty:
+            return
+        plan = self.planner.plan_for(delta.relation)
+        mapper = OutputMapper(self.bound, plan)
+        view_deletes = self._compute_join(plan, mapper, delta.deletes)
+        view_inserts = self._compute_join(plan, mapper, delta.inserts)
+        self.cluster.apply_view_delta(
+            self.view_info,
+            inserts=[(node, mapper.to_view_row(tup)) for node, tup in view_inserts],
+            deletes=[(node, mapper.to_view_row(tup)) for node, tup in view_deletes],
+        )
+
+    def _compute_join(
+        self,
+        plan: MaintenancePlan,
+        mapper: OutputMapper,
+        placed: Sequence[PlacedRow],
+    ) -> List[Intermediate]:
+        """Join delta rows through every hop of the plan."""
+        if not placed:
+            return []
+        state: List[Intermediate] = [(p.node, p.row) for p in placed]
+        for hop_index, hop in enumerate(plan.hops):
+            if not state:
+                break
+            use_sort_merge = self._pick_sort_merge(hop, len(state))
+            key_position = mapper.position(hop.left_relation, hop.left_column)
+            filters = self._compile_filters(hop, mapper)
+            if use_sort_merge:
+                state = self._hop_sort_merge(hop, state, key_position, filters)
+            else:
+                state = self._hop_index_nested_loops(hop, state, key_position, filters)
+        return state
+
+    def _pick_sort_merge(self, hop: Hop, state_size: int) -> bool:
+        if self.strategy is JoinStrategy.INDEX_NESTED_LOOPS:
+            return False
+        if self.strategy is JoinStrategy.SORT_MERGE:
+            return True
+        return self.planner.prefer_sort_merge(hop, state_size)
+
+    def _compile_filters(self, hop: Hop, mapper: OutputMapper):
+        """Turn extra join conditions into (left position, partner column
+        position) pairs evaluated against candidate joined tuples."""
+        compiled = []
+        for condition in hop.extra_filters:
+            left_relation, left_column = condition.other(hop.partner)
+            left_position = mapper.position(left_relation, left_column)
+            partner_position = hop.contributed.index_of(condition.column_of(hop.partner))
+            compiled.append((left_position, partner_position))
+        return compiled
+
+    @staticmethod
+    def _passes(
+        filters, prefix: Row, partner_row: Row
+    ) -> bool:
+        return all(
+            prefix[left_position] == partner_row[partner_position]
+            for left_position, partner_position in filters
+        )
+
+    # --------------------------------------------- index-nested-loops hops
+
+    def _hop_index_nested_loops(
+        self,
+        hop: Hop,
+        state: List[Intermediate],
+        key_position: int,
+        filters,
+    ) -> List[Intermediate]:
+        access = hop.access
+        if isinstance(access, BaseAccess):
+            if access.broadcast:
+                return self._inl_broadcast(hop, state, key_position, filters, access)
+            return self._inl_colocated(
+                hop, state, key_position, filters, access.fragment_name, access.column,
+                self._base_key_router(access),
+            )
+        if isinstance(access, AuxiliaryAccess):
+            aux = self.cluster.catalog.auxiliary(access.ar_name)
+            return self._inl_colocated(
+                hop, state, key_position, filters, access.ar_name, access.column,
+                aux.partitioner.node_of_key,
+            )
+        if isinstance(access, GlobalIndexAccess):
+            return self._inl_global_index(hop, state, key_position, filters, access)
+        raise TypeError(f"unknown access path {access!r}")
+
+    def _base_key_router(self, access: BaseAccess):
+        info = self.cluster.catalog.relation(access.relation)
+        return info.partitioner.node_of_key
+
+    def _inl_broadcast(
+        self, hop, state, key_position, filters, access: BaseAccess
+    ) -> List[Intermediate]:
+        """The naive method's hop: every delta tuple visits every node and
+        probes the partner's local index there (Figure 2)."""
+        results: List[Intermediate] = []
+        for node, prefix in state:
+            key = prefix[key_position]
+            for destination in self.cluster.network.broadcast(node, Tag.MAINTAIN):
+                matches = self.cluster.nodes[destination].index_probe(
+                    access.relation, access.column, key, Tag.MAINTAIN
+                )
+                for partner_row in matches:
+                    if self._passes(filters, prefix, partner_row):
+                        results.append((destination, prefix + partner_row))
+        return results
+
+    def _inl_colocated(
+        self, hop, state, key_position, filters, fragment_name, column, router
+    ) -> List[Intermediate]:
+        """The AR method's hop (and every method's hop when the partner is
+        partitioned on the join attribute): one SEND to the owning node, one
+        probe there (Figure 4)."""
+        results: List[Intermediate] = []
+        for node, prefix in state:
+            key = prefix[key_position]
+            destination = router(key)
+            self.cluster.network.send(node, destination, Tag.MAINTAIN)
+            matches = self.cluster.nodes[destination].index_probe(
+                fragment_name, column, key, Tag.MAINTAIN
+            )
+            for partner_row in matches:
+                if self._passes(filters, prefix, partner_row):
+                    results.append((destination, prefix + partner_row))
+        return results
+
+    def _inl_global_index(
+        self, hop, state, key_position, filters, access: GlobalIndexAccess
+    ) -> List[Intermediate]:
+        """The GI method's hop: probe the GI partition at the key's home
+        node, then visit only the K nodes owning matches and fetch there by
+        rowid (Figure 6)."""
+        gi = self.cluster.catalog.global_index(access.gi_name)
+        results: List[Intermediate] = []
+        for node, prefix in state:
+            key = prefix[key_position]
+            home = gi.home_node(key)
+            self.cluster.network.send(node, home, Tag.MAINTAIN)
+            grouped = self.cluster.nodes[home].gi_probe(access.gi_name, key, Tag.MAINTAIN)
+            for owner, grids in grouped.items():
+                self.cluster.network.send(home, owner, Tag.MAINTAIN)
+                rows = self.cluster.nodes[owner].fetch_by_rowids(
+                    access.relation,
+                    [grid.rowid for grid in grids],
+                    Tag.MAINTAIN,
+                    clustered_on_page=access.distributed_clustered,
+                )
+                for partner_row in rows:
+                    if self._passes(filters, prefix, partner_row):
+                        results.append((owner, prefix + partner_row))
+        return results
+
+    # ---------------------------------------------------- sort-merge hops
+
+    def _hop_sort_merge(
+        self,
+        hop: Hop,
+        state: List[Intermediate],
+        key_position: int,
+        filters,
+    ) -> List[Intermediate]:
+        """Batch alternative: instead of per-tuple probes, the partner's
+        fragments are scanned (clustered) or sorted (non-clustered) once and
+        merged with the routed delta (paper §3.1.2)."""
+        access = hop.access
+        if isinstance(access, BaseAccess) and access.broadcast:
+            return self._sm_broadcast(hop, state, key_position, filters, access)
+        if isinstance(access, BaseAccess):
+            return self._sm_partitioned(
+                hop, state, key_position, filters,
+                access.fragment_name, access.column,
+                self._base_key_router(access), sorted_fragments=access.clustered,
+            )
+        if isinstance(access, AuxiliaryAccess):
+            aux = self.cluster.catalog.auxiliary(access.ar_name)
+            return self._sm_partitioned(
+                hop, state, key_position, filters,
+                access.ar_name, access.column,
+                aux.partitioner.node_of_key, sorted_fragments=True,
+            )
+        if isinstance(access, GlobalIndexAccess):
+            # In the sort-merge regime the GI brings nothing: the work is
+            # dominated by scanning/sorting the base fragments, exactly as
+            # the paper's response-time model charges it.
+            return self._sm_scan_all(
+                hop, state, key_position, filters,
+                access.relation, access.column,
+                sorted_fragments=access.distributed_clustered,
+            )
+        raise TypeError(f"unknown access path {access!r}")
+
+    def _charge_fragment_pass(self, fragment_name: str, node_id: int, is_sorted: bool) -> None:
+        """Charge one node for consuming its fragment in merge order:
+        a scan when already clustered on the join key, a sort otherwise."""
+        node = self.cluster.nodes[node_id]
+        pages = node.fragment_pages(fragment_name)
+        if pages == 0:
+            return
+        if is_sorted:
+            node.ledger.charge(node_id, Op.SCAN_PAGE, Tag.MAINTAIN, count=pages)
+        else:
+            cost = node.layout.sort_cost_pages(pages)
+            node.ledger.charge(node_id, Op.SORT_PAGE, Tag.MAINTAIN, count=cost)
+
+    def _merge_against_fragment(
+        self, hop, prefixes: List[Row], key_position, filters, fragment_name, column, node_id
+    ) -> List[Intermediate]:
+        """Join routed prefixes against one node's fragment contents."""
+        node = self.cluster.nodes[node_id]
+        position = node.fragment(fragment_name).table.schema.index_of(column)
+        by_key: Dict[object, List[Row]] = {}
+        for row in node.scan(fragment_name):
+            by_key.setdefault(row[position], []).append(row)
+        results: List[Intermediate] = []
+        for prefix in prefixes:
+            for partner_row in by_key.get(prefix[key_position], ()):
+                if self._passes(filters, prefix, partner_row):
+                    results.append((node_id, prefix + partner_row))
+        return results
+
+    def _sm_broadcast(
+        self, hop, state, key_position, filters, access: BaseAccess
+    ) -> List[Intermediate]:
+        """Naive sort-merge: every node receives the whole delta and merges
+        it with its own partner fragment."""
+        for node, _ in state:
+            for _ in self.cluster.network.broadcast(node, Tag.MAINTAIN):
+                pass
+        prefixes = [prefix for _, prefix in state]
+        results: List[Intermediate] = []
+        for node in self.cluster.nodes:
+            self._charge_fragment_pass(access.relation, node.node_id, access.clustered)
+            results.extend(
+                self._merge_against_fragment(
+                    hop, prefixes, key_position, filters,
+                    access.relation, access.column, node.node_id,
+                )
+            )
+        return results
+
+    def _sm_partitioned(
+        self, hop, state, key_position, filters, fragment_name, column, router,
+        sorted_fragments: bool,
+    ) -> List[Intermediate]:
+        """AR / co-located sort-merge: route the delta by join key, then
+        each node merges its slice with its (clustered) fragment."""
+        slices: Dict[int, List[Row]] = {}
+        for node, prefix in state:
+            destination = router(prefix[key_position])
+            self.cluster.network.send(node, destination, Tag.MAINTAIN)
+            slices.setdefault(destination, []).append(prefix)
+        results: List[Intermediate] = []
+        for node in self.cluster.nodes:
+            self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)
+            prefixes = slices.get(node.node_id)
+            if prefixes:
+                results.extend(
+                    self._merge_against_fragment(
+                        hop, prefixes, key_position, filters,
+                        fragment_name, column, node.node_id,
+                    )
+                )
+        return results
+
+    def _sm_scan_all(
+        self, hop, state, key_position, filters, fragment_name, column,
+        sorted_fragments: bool,
+    ) -> List[Intermediate]:
+        """GI sort-merge: the base fragments are scanned/sorted at every
+        node; the delta (already keyed) is merged against each."""
+        prefixes = [prefix for _, prefix in state]
+        for node, prefix in state:
+            # The delta still travels to its key's GI home node first.
+            gi_home = self.cluster.catalog.global_index(
+                hop.access.gi_name  # type: ignore[union-attr]
+            ).home_node(prefix[key_position])
+            self.cluster.network.send(node, gi_home, Tag.MAINTAIN)
+        results: List[Intermediate] = []
+        for node in self.cluster.nodes:
+            self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)
+            results.extend(
+                self._merge_against_fragment(
+                    hop, prefixes, key_position, filters,
+                    fragment_name, column, node.node_id,
+                )
+            )
+        return results

@@ -1,0 +1,74 @@
+"""Relation statistics for maintenance-plan optimization.
+
+Paper §2.2 observes that with multi-relation views "it is impossible to
+state which alternative is best without considering relational statistics".
+These are those statistics: cardinalities and per-column distinct counts,
+from which join fan-outs are estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Cardinality and distinct-value counts for one relation."""
+
+    name: str
+    rows: int
+    distinct: Dict[str, int] = field(default_factory=dict)
+
+    def fanout(self, column: str) -> float:
+        """Expected matches per probed key: rows / distinct(column).
+
+        A probe with a key absent from the relation still matches nothing,
+        so this is an upper estimate, which is the safe direction for
+        pricing maintenance plans.
+        """
+        if self.rows == 0:
+            return 0.0
+        d = self.distinct.get(column, 0)
+        if d <= 0:
+            return float(self.rows)
+        return self.rows / d
+
+
+class StatisticsCache:
+    """Computes and caches per-relation statistics.
+
+    Entries are keyed by (relation, row_count) so any DML that changes the
+    cardinality naturally invalidates them, without hooks into the update
+    path.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self._cache: Dict[Tuple[str, int], RelationStatistics] = {}
+
+    def for_relation(self, name: str) -> RelationStatistics:
+        info = self._cluster.catalog.relation(name)
+        key = (name, info.row_count)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        rows = self._cluster.scan_relation(name)
+        distinct = {
+            column: len({row[position] for row in rows})
+            for position, column in enumerate(info.schema.column_names)
+        }
+        stats = RelationStatistics(name=name, rows=len(rows), distinct=distinct)
+        self._cache[key] = stats
+        return stats
+
+    def fanout(self, relation: str, column: str) -> float:
+        return self.for_relation(relation).fanout(column)
+
+    def spread(self, relation: str, column: str, num_nodes: int) -> float:
+        """Expected number of nodes K holding the matches for one key:
+        min(fanout, L) under the paper's uniform-placement assumption 11."""
+        return min(self.fanout(relation, column), float(num_nodes))

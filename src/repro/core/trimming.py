@@ -1,0 +1,85 @@
+"""Auxiliary-relation storage trimming (paper §2.1.2).
+
+An auxiliary relation need not copy the whole base relation:
+``AR_R = partition(select(project(R)))`` — only the columns a view's select
+list and join conditions need, and only the rows its selections admit.
+When several views share the same (base relation, join attribute), one
+auxiliary relation can serve them all if it keeps the union of their needs;
+the paper notes both the saving and the flip side (one full-width shared AR
+can grow as large as the base relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .view import BoundView
+
+
+@dataclass(frozen=True)
+class AuxiliaryRequirement:
+    """What one view demands from an AR of ``base`` partitioned on ``column``."""
+
+    base: str
+    column: str
+    needed_columns: Tuple[str, ...]
+    view: str
+
+
+def requirement_for(bound: BoundView, base: str, column: str) -> AuxiliaryRequirement:
+    """The trimmed column set view ``bound`` needs from AR_base(column)."""
+    needed = bound.columns_needed_from(base)
+    if column not in needed:
+        needed = [column] + needed
+    return AuxiliaryRequirement(
+        base=base,
+        column=column,
+        needed_columns=tuple(needed),
+        view=bound.definition.name,
+    )
+
+
+def merge_requirements(
+    requirements: Iterable[AuxiliaryRequirement],
+) -> Tuple[str, ...]:
+    """Union of column needs across views sharing one (base, column) AR.
+
+    Mirrors the paper's "keep only one auxiliary relation AR_A for all the
+    views that use the same attribute A.c" consolidation.  Column order
+    follows first appearance, so the shared AR's schema is stable.
+    """
+    merged: List[str] = []
+    base = column = None
+    for requirement in requirements:
+        if base is None:
+            base, column = requirement.base, requirement.column
+        elif (requirement.base, requirement.column) != (base, column):
+            raise ValueError(
+                "cannot merge requirements of different auxiliary relations: "
+                f"{(base, column)} vs {(requirement.base, requirement.column)}"
+            )
+        for name in requirement.needed_columns:
+            if name not in merged:
+                merged.append(name)
+    if base is None:
+        raise ValueError("no requirements to merge")
+    return tuple(merged)
+
+
+def trimming_savings(
+    base_arity: int,
+    base_rows: int,
+    kept_columns: Sequence[str],
+) -> float:
+    """Fraction of the full-copy storage a trimmed AR avoids (by width).
+
+    A width-only estimate (rows are kept unless a selection predicate is
+    supplied); used in reports and the storage-vs-speed ablation bench.
+    """
+    if base_arity <= 0:
+        raise ValueError("base_arity must be positive")
+    kept = len(kept_columns)
+    if kept > base_arity:
+        raise ValueError("cannot keep more columns than the base relation has")
+    return (base_arity - kept) / base_arity

@@ -1,0 +1,129 @@
+"""Per-node cost ledgers.
+
+Every accounted operation is charged to a ``(node, Op, Tag)`` cell.  From
+the cells the two metrics of the paper derive directly:
+
+* **total workload (TW)** — the sum of weighted work over all nodes
+  (paper §3.1.1); and
+* **response time** — the maximum weighted work at any single node
+  (paper §3.1.2), since nodes execute in parallel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .model import CostParameters, Op, PAPER_COSTS, Tag
+
+_Cell = Tuple[int, Op, Tag]
+
+
+@dataclass
+class CostSnapshot:
+    """An immutable summary of charged work, queryable by op/tag/node."""
+
+    params: CostParameters
+    cells: Dict[_Cell, float] = field(default_factory=dict)
+
+    def _selected(self, tags: Optional[Iterable[Tag]], ops: Optional[Iterable[Op]]):
+        tag_set = set(tags) if tags is not None else None
+        op_set = set(ops) if ops is not None else None
+        for (node, op, tag), count in self.cells.items():
+            if tag_set is not None and tag not in tag_set:
+                continue
+            if op_set is not None and op not in op_set:
+                continue
+            yield node, op, tag, count
+
+    def op_count(self, op: Op, tags: Optional[Iterable[Tag]] = None) -> float:
+        """Total number of ``op`` operations charged (optionally per tags)."""
+        return sum(c for _, o, _, c in self._selected(tags, [op]) if o is op)
+
+    def per_node_ios(self, tags: Optional[Iterable[Tag]] = None) -> Dict[int, float]:
+        """Weighted I/Os charged at each node."""
+        by_node: Dict[int, float] = defaultdict(float)
+        for node, op, _, count in self._selected(tags, None):
+            by_node[node] += count * self.params.weight(op)
+        return dict(by_node)
+
+    def total_workload(self, tags: Optional[Iterable[Tag]] = None) -> float:
+        """TW: weighted I/Os summed over all nodes."""
+        return sum(self.per_node_ios(tags).values())
+
+    def response_time(self, tags: Optional[Iterable[Tag]] = None) -> float:
+        """Response time: weighted I/Os at the busiest node."""
+        per_node = self.per_node_ios(tags)
+        return max(per_node.values()) if per_node else 0.0
+
+    def maintenance_workload(self) -> float:
+        """The paper's TW: differential maintenance work only."""
+        return self.total_workload(tags=[Tag.MAINTAIN])
+
+    def maintenance_response_time(self) -> float:
+        return self.response_time(tags=[Tag.MAINTAIN])
+
+    def op_breakdown(self, tags: Optional[Iterable[Tag]] = None) -> Dict[Op, float]:
+        """Operation counts (not weighted) summed over nodes."""
+        by_op: Dict[Op, float] = defaultdict(float)
+        for _, op, _, count in self._selected(tags, None):
+            by_op[op] += count
+        return dict(by_op)
+
+
+class CostLedger:
+    """Mutable accumulator of charged operations for one cluster."""
+
+    def __init__(self, params: CostParameters = PAPER_COSTS) -> None:
+        self.params = params
+        self._cells: Dict[_Cell, float] = defaultdict(float)
+
+    def charge(self, node: int, op: Op, tag: Tag, count: float = 1.0) -> None:
+        """Charge ``count`` operations of kind ``op`` at ``node`` under ``tag``."""
+        if count < 0:
+            raise ValueError("cannot charge a negative operation count")
+        if count:
+            self._cells[(node, op, tag)] += count
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(self.params, dict(self._cells))
+
+    def reset(self) -> None:
+        self._cells.clear()
+
+    def diff_since(self, before: CostSnapshot) -> CostSnapshot:
+        """The work charged since ``before`` was taken."""
+        cells: Dict[_Cell, float] = {}
+        for cell, count in self._cells.items():
+            delta = count - before.cells.get(cell, 0.0)
+            if delta > 1e-12:
+                cells[cell] = delta
+        return CostSnapshot(self.params, cells)
+
+    @contextmanager
+    def measure(self):
+        """Context manager yielding a snapshot holder for the enclosed work.
+
+        >>> ledger = CostLedger()
+        >>> with ledger.measure() as measured:
+        ...     ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+        >>> measured.snapshot.total_workload()
+        1.0
+        """
+        holder = _Measurement()
+        before = self.snapshot()
+        try:
+            yield holder
+        finally:
+            holder.snapshot = self.diff_since(before)
+
+
+class _Measurement:
+    """Mutable holder filled by :meth:`CostLedger.measure` on exit."""
+
+    snapshot: CostSnapshot
+
+    def __init__(self) -> None:
+        self.snapshot = CostSnapshot(PAPER_COSTS, {})

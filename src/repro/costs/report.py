@@ -1,0 +1,62 @@
+"""Human-readable cost reports and plain-text tables for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .ledger import CostSnapshot
+from .model import Op, Tag
+
+
+def format_snapshot(snapshot: CostSnapshot, title: str = "cost report") -> str:
+    """A compact multi-line report of a cost snapshot."""
+    lines = [title, "-" * len(title)]
+    breakdown = snapshot.op_breakdown()
+    for op in Op:
+        if op in breakdown:
+            lines.append(f"  {op.value:>9}: {breakdown[op]:,.0f}")
+    lines.append(f"  TW (all tags)      : {snapshot.total_workload():,.1f} I/Os")
+    lines.append(f"  TW (maintenance)   : {snapshot.maintenance_workload():,.1f} I/Os")
+    lines.append(f"  response (all tags): {snapshot.response_time():,.1f} I/Os")
+    lines.append(
+        f"  response (maint.)  : {snapshot.maintenance_response_time():,.1f} I/Os"
+    )
+    return "\n".join(lines)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width plain-text table.
+
+    Used by the benchmark harness to print each figure/table's series the
+    way the paper reports them.
+    """
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append([_format_cell(cell) for cell in row])
+    widths = [
+        max(len(line[i]) for line in materialized)
+        for i in range(len(materialized[0]))
+    ]
+    out_lines = []
+    for line_no, line in enumerate(materialized):
+        out_lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if line_no == 0:
+            out_lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(out_lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    return str(cell)
+
+
+def tags_legend() -> str:
+    """Explanation of tags, for report footers."""
+    return (
+        "tags: "
+        + ", ".join(f"{t.value}" for t in Tag)
+        + "  (the paper's TW counts only 'maintain')"
+    )

@@ -1,0 +1,76 @@
+"""Join-algorithm choice: the regime boundary of the paper's §3.1.2.
+
+"If |A| is large enough ... the sort merge algorithm is preferable to
+index nested loops."  The chooser compares the closed-form estimates of
+both algorithms for a concrete (delta size, fragment, index) situation and
+names the winner — the same comparison the maintenance planner applies per
+hop, exposed standalone for analysis and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.pages import PageLayout
+from . import nested_loops, sort_merge
+
+
+@dataclass(frozen=True)
+class JoinSituation:
+    """Everything the regime choice depends on, for one node."""
+
+    outer_rows: int          # delta tuples this node must join
+    fanout: float            # matches per delta tuple
+    fragment_pages: int      # pages of the local partner fragment
+    index_clustered: bool    # is the probed index clustered on the key?
+    layout: PageLayout
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    algorithm: str           # "index_nested_loops" | "sort_merge"
+    inl_ios: float
+    sort_merge_ios: float
+
+    @property
+    def winner_ios(self) -> float:
+        return min(self.inl_ios, self.sort_merge_ios)
+
+
+def choose(situation: JoinSituation) -> JoinChoice:
+    """Pick the cheaper algorithm for the situation."""
+    inl = nested_loops.estimate_cost_ios(
+        situation.outer_rows, situation.fanout, situation.index_clustered
+    )
+    sm = sort_merge.estimate_cost_ios(
+        situation.fragment_pages, situation.layout, situation.index_clustered
+    )
+    algorithm = "sort_merge" if sm < inl else "index_nested_loops"
+    return JoinChoice(algorithm=algorithm, inl_ios=inl, sort_merge_ios=sm)
+
+
+def crossover_outer_rows(
+    fanout: float,
+    fragment_pages: int,
+    index_clustered: bool,
+    layout: PageLayout,
+) -> int:
+    """Smallest delta size at which sort-merge wins, by bisection —
+    the per-node analogue of :func:`repro.model.sort_merge_crossover`."""
+    low, high = 1, 1
+    def sm_wins(outer: int) -> bool:
+        return choose(
+            JoinSituation(outer, fanout, fragment_pages, index_clustered, layout)
+        ).algorithm == "sort_merge"
+
+    while not sm_wins(high):
+        high *= 2
+        if high > 10**9:
+            raise RuntimeError("no crossover below 1e9 outer rows")
+    while low < high:
+        mid = (low + high) // 2
+        if sm_wins(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low

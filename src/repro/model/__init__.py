@@ -1,0 +1,55 @@
+"""The paper's analytical model (§3.1) in closed form."""
+
+from .params import (
+    ALL_VARIANTS,
+    MethodVariant,
+    ModelParameters,
+    paper_scenario,
+)
+from .total_workload import savings_vs_naive, total_workload_ios, total_workload_ops
+from .response_time import (
+    JoinRegime,
+    ResponsePrediction,
+    index_response_ios,
+    predict_response,
+    response_time_ios,
+    sort_merge_crossover,
+    sort_merge_response_ios,
+)
+from .multiway_model import (
+    HopModel,
+    JV1_HOPS,
+    JV2_HOPS,
+    auxiliary_response_ios,
+    figure13_prediction,
+    global_index_response_ios,
+    naive_response_ios,
+    predicted_time_units,
+)
+from . import figures
+
+__all__ = [
+    "MethodVariant",
+    "ALL_VARIANTS",
+    "ModelParameters",
+    "paper_scenario",
+    "total_workload_ios",
+    "total_workload_ops",
+    "savings_vs_naive",
+    "JoinRegime",
+    "ResponsePrediction",
+    "index_response_ios",
+    "sort_merge_response_ios",
+    "predict_response",
+    "response_time_ios",
+    "sort_merge_crossover",
+    "HopModel",
+    "JV1_HOPS",
+    "JV2_HOPS",
+    "naive_response_ios",
+    "auxiliary_response_ios",
+    "global_index_response_ios",
+    "predicted_time_units",
+    "figure13_prediction",
+    "figures",
+]

@@ -1,0 +1,155 @@
+"""Series generators for every analytical figure of the paper.
+
+Each function returns the rows of one figure exactly as the paper plots
+them (one row per x-value, one column per method variant).  The benchmark
+harness prints them and EXPERIMENTS.md records them against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .multiway_model import figure13_prediction
+from .params import ALL_VARIANTS, MethodVariant, ModelParameters, paper_scenario
+from .response_time import (
+    JoinRegime,
+    response_time_ios,
+    sort_merge_crossover,
+)
+from .total_workload import total_workload_ios
+
+#: Node counts the paper sweeps in Figures 7 and 9-10.
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+Row = Dict[str, float]
+
+
+def _variant_columns(compute) -> Row:
+    return {variant.value: compute(variant) for variant in ALL_VARIANTS}
+
+
+def figure7_rows(node_counts: Sequence[int] = DEFAULT_NODE_COUNTS) -> List[Row]:
+    """Figure 7: TW per single-tuple insert vs number of data server nodes.
+
+    AR stays at the constant 3; naive grows linearly in L; GI plateaus at
+    13 (= 3 + N) once L exceeds N.
+    """
+    rows: List[Row] = []
+    for num_nodes in node_counts:
+        params = paper_scenario(num_nodes)
+        row: Row = {"nodes": float(num_nodes)}
+        row.update(_variant_columns(lambda v: total_workload_ios(v, params)))
+        rows.append(row)
+    return rows
+
+
+def figure8_rows(
+    fanouts: Sequence[float] = (1, 2, 5, 10, 20, 50, 100),
+    num_nodes: int = 32,
+) -> List[Row]:
+    """Figure 8: TW per single-tuple insert vs join fan-out N, at L = 32.
+
+    Shows the GI method interpolating between AR (small N) and naive
+    (large N) — the paper's "intermediate method" claim.
+    """
+    rows: List[Row] = []
+    for fanout in fanouts:
+        params = paper_scenario(num_nodes).with_fanout(float(fanout))
+        row: Row = {"fanout": float(fanout)}
+        row.update(_variant_columns(lambda v: total_workload_ios(v, params)))
+        rows.append(row)
+    return rows
+
+
+def figure9_rows(
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    num_inserted: int = 400,
+) -> List[Row]:
+    """Figure 9: response time of one transaction (index-join regime).
+
+    The paper uses 400 inserted tuples: AR falls as 3·⌈A/L⌉, naive with a
+    clustered index is flat at A.
+    """
+    rows: List[Row] = []
+    for num_nodes in node_counts:
+        params = paper_scenario(num_nodes)
+        row: Row = {"nodes": float(num_nodes)}
+        row.update(
+            _variant_columns(
+                lambda v: response_time_ios(
+                    v, num_inserted, params, JoinRegime.INDEX_NESTED_LOOPS
+                )
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def figure10_rows(
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    num_inserted: int = 6_500,
+) -> List[Row]:
+    """Figure 10: response time of one 6,500-tuple transaction (sort-merge
+    regime) — the scenario where naive-with-clustered-index wins.
+    """
+    rows: List[Row] = []
+    for num_nodes in node_counts:
+        params = paper_scenario(num_nodes)
+        row: Row = {"nodes": float(num_nodes)}
+        row.update(
+            _variant_columns(
+                lambda v: response_time_ios(
+                    v, num_inserted, params, JoinRegime.SORT_MERGE
+                )
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def figure11_rows(
+    insert_counts: Sequence[int] = (
+        1, 10, 100, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 40_000, 70_000
+    ),
+    num_nodes: int = 128,
+) -> List[Row]:
+    """Figure 11: response time vs inserted tuples at L = 128, with the
+    regime chosen by cost — each curve flattens at its sort-merge plateau,
+    naive first, GI later, AR last."""
+    rows: List[Row] = []
+    for num_inserted in insert_counts:
+        params = paper_scenario(num_nodes)
+        row: Row = {"inserted": float(num_inserted)}
+        row.update(
+            _variant_columns(
+                lambda v: response_time_ios(v, num_inserted, params, JoinRegime.AUTO)
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def figure12_rows(
+    insert_counts: Sequence[int] = tuple(range(1, 301, 10)),
+    num_nodes: int = 128,
+) -> List[Row]:
+    """Figure 12: the 1..300-tuple detail of Figure 11, exposing the AR
+    method's step-wise ⌈A/L⌉ response."""
+    return figure11_rows(insert_counts=insert_counts, num_nodes=num_nodes)
+
+
+def figure13_rows(
+    node_counts: Sequence[int] = (2, 4, 8), delta: int = 128
+) -> List[Row]:
+    """Figure 13: predicted JV1/JV2 maintenance time (units of 128 I/Os)."""
+    return [figure13_prediction(num_nodes, delta) for num_nodes in node_counts]
+
+
+def crossover_summary(num_nodes: int = 128) -> Dict[str, int]:
+    """Where each variant's sort-merge regime takes over (Figure 11's
+    flattening points), per method."""
+    params = paper_scenario(num_nodes)
+    return {
+        variant.value: sort_merge_crossover(variant, params)
+        for variant in ALL_VARIANTS
+    }

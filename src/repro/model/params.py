@@ -1,0 +1,110 @@
+"""Parameters of the paper's analytical model (§3.1).
+
+The OCR of the published text lost digits in "Setting B =6,4, M=1, N=1";
+the values are recovered from the paper's own arithmetic:
+
+* the auxiliary-relation TW is quoted as "a small constant 3"
+  = INSERT(2) + SEARCH(1);
+* the global-index TW "quickly reaches a constant 13" once L > N, and
+  GI(non-clustered) TW = INSERT + SEARCH + N·FETCH = 3 + N, so **N = 10**;
+* Figure 10 inserts 6,500 tuples, chosen to be "greater than the number of
+  pages in base relation B", so **|B| = 6,400 pages**;
+* **M = 100** memory pages makes ``log_M B_i`` just under 2 for small L,
+  reproducing the relative order of the Figure 10/11 plateaus.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..costs import CostParameters, PAPER_COSTS
+
+
+class MethodVariant(enum.Enum):
+    """The five lines the paper plots."""
+
+    NAIVE_NONCLUSTERED = "naive (non-clustered index)"
+    NAIVE_CLUSTERED = "naive (clustered index)"
+    AUXILIARY = "auxiliary relation"
+    GI_NONCLUSTERED = "global index (distributed non-clustered)"
+    GI_CLUSTERED = "global index (distributed clustered)"
+
+
+#: All variants in the paper's legend order.
+ALL_VARIANTS = (
+    MethodVariant.AUXILIARY,
+    MethodVariant.NAIVE_NONCLUSTERED,
+    MethodVariant.NAIVE_CLUSTERED,
+    MethodVariant.GI_NONCLUSTERED,
+    MethodVariant.GI_CLUSTERED,
+)
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """One scenario of the two-relation model: a view JV = A ⋈ B, tuples
+    inserted into A, probing B (or its AR/GI).
+
+    ``fanout`` is N — join tuples generated per inserted tuple;
+    ``partner_pages`` is |B| in pages; ``memory_pages`` is M.
+    """
+
+    num_nodes: int
+    fanout: float = 10.0
+    partner_pages: int = 6_400
+    memory_pages: int = 100
+    costs: CostParameters = field(default_factory=lambda: PAPER_COSTS)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.fanout < 0:
+            raise ValueError("fanout must be >= 0")
+        if self.partner_pages < 0:
+            raise ValueError("partner_pages must be >= 0")
+        if self.memory_pages < 2:
+            raise ValueError("memory_pages must be >= 2")
+
+    @property
+    def spread(self) -> float:
+        """K: the nodes holding matches for one key — min(N, L), assumption 11."""
+        return min(self.fanout, float(self.num_nodes))
+
+    @property
+    def fragment_pages(self) -> float:
+        """|B_i| = |B| / L, assumption 2 (even distribution)."""
+        return self.partner_pages / self.num_nodes
+
+    def sort_pages(self, pages: float) -> float:
+        """External-sort cost ``pages · log_M pages``; a single scan when the
+        fragment fits in memory."""
+        if pages <= 0:
+            return 0.0
+        if pages <= self.memory_pages:
+            return float(pages)
+        return pages * math.log(pages, self.memory_pages)
+
+    def with_nodes(self, num_nodes: int) -> "ModelParameters":
+        return ModelParameters(
+            num_nodes=num_nodes,
+            fanout=self.fanout,
+            partner_pages=self.partner_pages,
+            memory_pages=self.memory_pages,
+            costs=self.costs,
+        )
+
+    def with_fanout(self, fanout: float) -> "ModelParameters":
+        return ModelParameters(
+            num_nodes=self.num_nodes,
+            fanout=fanout,
+            partner_pages=self.partner_pages,
+            memory_pages=self.memory_pages,
+            costs=self.costs,
+        )
+
+
+def paper_scenario(num_nodes: int) -> ModelParameters:
+    """The exact setting of Figures 7-12: |B|=6,400, M=100, N=10."""
+    return ModelParameters(num_nodes=num_nodes)

@@ -1,0 +1,65 @@
+"""Closed-form total workload (TW) per inserted tuple — paper §3.1.1.
+
+TW sums the differential maintenance work over all nodes:
+
+=====================================  =============================================
+variant                                TW per inserted tuple
+=====================================  =============================================
+naive, J_B non-clustered               (L+K)·SEND + L·SEARCH + N·FETCH
+naive, J_B clustered                   (L+K)·SEND + L·SEARCH
+auxiliary relation                     INSERT + 2·SEND + SEARCH
+global index, distributed non-clust.   INSERT + (1+2K)·SEND + SEARCH + N·FETCH
+global index, distributed clustered    INSERT + (1+2K)·SEND + SEARCH + K·FETCH
+=====================================  =============================================
+
+With the paper's weights (SEND≈0, SEARCH=1, FETCH=1, INSERT=2) these give
+the plotted constants: AR = 3 for any L, GI → 13 once L > N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..costs import Op
+from .params import MethodVariant, ModelParameters
+
+
+def total_workload_ops(
+    variant: MethodVariant, params: ModelParameters
+) -> Dict[Op, float]:
+    """Primitive-operation counts per inserted tuple, before weighting."""
+    L = float(params.num_nodes)
+    N = params.fanout
+    K = params.spread
+    if variant is MethodVariant.NAIVE_NONCLUSTERED:
+        return {Op.SEND: L + K, Op.SEARCH: L, Op.FETCH: N}
+    if variant is MethodVariant.NAIVE_CLUSTERED:
+        return {Op.SEND: L + K, Op.SEARCH: L}
+    if variant is MethodVariant.AUXILIARY:
+        return {Op.INSERT: 1, Op.SEND: 2, Op.SEARCH: 1}
+    if variant is MethodVariant.GI_NONCLUSTERED:
+        return {Op.INSERT: 1, Op.SEND: 1 + 2 * K, Op.SEARCH: 1, Op.FETCH: N}
+    if variant is MethodVariant.GI_CLUSTERED:
+        return {Op.INSERT: 1, Op.SEND: 1 + 2 * K, Op.SEARCH: 1, Op.FETCH: K}
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def total_workload_ios(variant: MethodVariant, params: ModelParameters) -> float:
+    """TW per inserted tuple in weighted I/Os."""
+    return sum(
+        count * params.costs.weight(op)
+        for op, count in total_workload_ops(variant, params).items()
+    )
+
+
+def savings_vs_naive(variant: MethodVariant, params: ModelParameters) -> float:
+    """I/Os saved per tuple relative to the matching naive scenario.
+
+    AR and GI-distributed-clustered are compared to naive-non-clustered and
+    naive-clustered respectively, per the paper's §3.1.1 discussion.
+    """
+    if variant in (MethodVariant.AUXILIARY, MethodVariant.GI_NONCLUSTERED):
+        baseline = MethodVariant.NAIVE_NONCLUSTERED
+    else:
+        baseline = MethodVariant.NAIVE_CLUSTERED
+    return total_workload_ios(baseline, params) - total_workload_ios(variant, params)

@@ -1,0 +1,16 @@
+"""The read side: queries, view matching, and the query engine."""
+
+from .query import Comparison, Filter, Query
+from .matching import ViewMatch, find_matches, match_view
+from .engine import QueryEngine, QueryResult
+
+__all__ = [
+    "Query",
+    "Filter",
+    "Comparison",
+    "ViewMatch",
+    "match_view",
+    "find_matches",
+    "QueryEngine",
+    "QueryResult",
+]

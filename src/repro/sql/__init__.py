@@ -1,0 +1,6 @@
+"""The paper's CREATE VIEW dialect: parsing and rendering."""
+
+from .parser import SqlSyntaxError, parse_join_view
+from .render import render_view_sql
+
+__all__ = ["parse_join_view", "render_view_sql", "SqlSyntaxError"]

@@ -1,0 +1,197 @@
+"""A parser for the paper's CREATE VIEW dialect.
+
+The paper writes its views as SQL::
+
+    create view JV as
+    select *
+    from A, B
+    where A.c = B.d
+    partitioned on A.e;
+
+    create view JV2 as
+    select c.custkey, c.acctbal, o.orderkey, o.totalprice,
+           l.discount, l.extendedprice
+    from orders o, customer c, lineitem l
+    where c.custkey = o.custkey and o.orderkey = l.orderkey;
+
+This module parses exactly that dialect — a select list (or ``*``), a FROM
+list with optional aliases, a conjunction of equi-join predicates, and the
+optional ``PARTITIONED ON`` clause — into a
+:class:`~repro.core.view.JoinViewDefinition`.  It is deliberately not a
+general SQL parser: anything outside the paper's view language is a loud
+:class:`SqlSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..cluster.partitioning import HashPartitioning, RoundRobinPartitioning
+from ..core.view import BoundView, JoinCondition, JoinViewDefinition
+from ..storage.schema import Schema
+
+
+class SqlSyntaxError(ValueError):
+    """Raised when the statement falls outside the paper's view dialect."""
+
+
+_VIEW_RE = re.compile(
+    r"""
+    ^\s*create\s+view\s+(?P<name>\w+)\s+as\s+
+    select\s+(?P<select>.+?)\s+
+    from\s+(?P<from>.+?)\s+
+    where\s+(?P<where>.+?)
+    (?:\s+partitioned\s+on\s+(?P<partition>[\w.]+))?
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_QUALIFIED_RE = re.compile(r"^(\w+)\.(\w+)$")
+
+
+@dataclass(frozen=True)
+class _FromItem:
+    relation: str
+    alias: str
+
+
+def _parse_from(clause: str) -> List[_FromItem]:
+    items: List[_FromItem] = []
+    for part in clause.split(","):
+        tokens = part.split()
+        if len(tokens) == 1:
+            items.append(_FromItem(tokens[0], tokens[0]))
+        elif len(tokens) == 2:
+            items.append(_FromItem(tokens[0], tokens[1]))
+        elif len(tokens) == 3 and tokens[1].lower() == "as":
+            items.append(_FromItem(tokens[0], tokens[2]))
+        else:
+            raise SqlSyntaxError(f"cannot parse FROM item {part.strip()!r}")
+    if not items:
+        raise SqlSyntaxError("empty FROM clause")
+    aliases = [item.alias for item in items]
+    if len(set(aliases)) != len(aliases):
+        raise SqlSyntaxError(f"duplicate aliases in FROM: {aliases}")
+    return items
+
+
+def _resolve(alias_map: Dict[str, str], reference: str) -> Tuple[str, str]:
+    match = _QUALIFIED_RE.match(reference.strip())
+    if not match:
+        raise SqlSyntaxError(
+            f"column references must be qualified (alias.column): {reference!r}"
+        )
+    alias, column = match.groups()
+    try:
+        return alias_map[alias], column
+    except KeyError:
+        raise SqlSyntaxError(
+            f"unknown alias {alias!r}; FROM declares {sorted(alias_map)}"
+        ) from None
+
+
+def _parse_where(alias_map: Dict[str, str], clause: str) -> List[JoinCondition]:
+    conditions: List[JoinCondition] = []
+    for predicate in re.split(r"\s+and\s+", clause, flags=re.IGNORECASE):
+        sides = predicate.split("=")
+        if len(sides) != 2:
+            raise SqlSyntaxError(
+                f"only equi-join predicates are supported: {predicate.strip()!r}"
+            )
+        left_rel, left_col = _resolve(alias_map, sides[0])
+        right_rel, right_col = _resolve(alias_map, sides[1])
+        conditions.append(JoinCondition(left_rel, left_col, right_rel, right_col))
+    return conditions
+
+
+def _parse_select(
+    alias_map: Dict[str, str], clause: str
+) -> Optional[Tuple[Tuple[str, str], ...]]:
+    clause = clause.strip()
+    if clause == "*":
+        return None
+    return tuple(
+        _resolve(alias_map, item) for item in clause.split(",") if item.strip()
+    )
+
+
+def parse_join_view(
+    sql: str, schemas: Mapping[str, Schema]
+) -> JoinViewDefinition:
+    """Parse a CREATE VIEW statement of the paper's dialect.
+
+    ``schemas`` maps relation names to their schemas; it is needed to
+    resolve the ``PARTITIONED ON`` reference to the view's *output* column
+    (which may be qualified, e.g. ``customer_custkey``, when two relations
+    share a column name).  Statements without the clause produce a
+    round-robin-placed view, the paper's "not partitioned on an attribute
+    of A" variant.
+    """
+    match = _VIEW_RE.match(sql)
+    if not match:
+        raise SqlSyntaxError(
+            "expected: CREATE VIEW <name> AS SELECT <list|*> FROM <relations> "
+            "WHERE <equi-joins> [PARTITIONED ON <alias.column>]"
+        )
+    name = match.group("name")
+    from_items = _parse_from(match.group("from"))
+    alias_map = {item.alias: item.relation for item in from_items}
+    for item in from_items:
+        if item.relation not in schemas:
+            raise SqlSyntaxError(f"unknown relation {item.relation!r} in FROM")
+    relations = tuple(item.relation for item in from_items)
+    select = _parse_select(alias_map, match.group("select"))
+    conditions = tuple(_parse_where(alias_map, match.group("where")))
+
+    definition = JoinViewDefinition(
+        name=name,
+        relations=relations,
+        conditions=conditions,
+        select=select,
+        partitioning=RoundRobinPartitioning(),
+    )
+    partition_ref = match.group("partition")
+    if partition_ref is None:
+        return definition
+    relation, column = _resolve_partition(alias_map, schemas, partition_ref, definition)
+    bound = BoundView(
+        JoinViewDefinition(
+            name=name, relations=relations, conditions=conditions, select=select
+        ),
+        schemas,
+    )
+    if (relation, column) not in bound.select:
+        raise SqlSyntaxError(
+            f"PARTITIONED ON {partition_ref!r} is not in the view's select list"
+        )
+    return JoinViewDefinition(
+        name=name,
+        relations=relations,
+        conditions=conditions,
+        select=select,
+        partitioning=HashPartitioning(bound.output_name(relation, column)),
+    )
+
+
+def _resolve_partition(
+    alias_map: Dict[str, str],
+    schemas: Mapping[str, Schema],
+    reference: str,
+    definition: JoinViewDefinition,
+) -> Tuple[str, str]:
+    if _QUALIFIED_RE.match(reference.strip()):
+        return _resolve(alias_map, reference)
+    # A bare column: unambiguous only if exactly one view relation has it.
+    owners = [
+        relation for relation in definition.relations
+        if reference in schemas[relation]
+    ]
+    if len(owners) != 1:
+        raise SqlSyntaxError(
+            f"PARTITIONED ON {reference!r} is ambiguous (owned by {owners}); "
+            "qualify it as alias.column"
+        )
+    return owners[0], reference

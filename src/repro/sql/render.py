@@ -1,0 +1,47 @@
+"""Rendering view definitions back to the paper's SQL dialect.
+
+The inverse of :mod:`repro.sql.parser`: given a
+:class:`~repro.core.view.JoinViewDefinition` (and the schemas needed to
+resolve a hash placement back to its source column), produce a CREATE VIEW
+statement that parses to an equivalent definition.  Used by reports and by
+the round-trip property tests that pin the dialect down.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..cluster.partitioning import HashPartitioning
+from ..core.view import BoundView, JoinViewDefinition
+from ..storage.schema import Schema
+
+
+def render_view_sql(
+    definition: JoinViewDefinition, schemas: Mapping[str, Schema]
+) -> str:
+    """A CREATE VIEW statement equivalent to ``definition``.
+
+    Round-trip guarantee: ``parse_join_view(render_view_sql(d, s), s)``
+    yields a definition with the same relations, conditions, select list,
+    and placement.
+    """
+    bound = BoundView(definition, schemas)
+    if definition.select is None:
+        select_clause = "*"
+    else:
+        select_clause = ", ".join(
+            f"{relation}.{column}" for relation, column in definition.select
+        )
+    from_clause = ", ".join(definition.relations)
+    where_clause = " and ".join(
+        f"{c.left}.{c.left_column} = {c.right}.{c.right_column}"
+        for c in definition.conditions
+    )
+    statement = (
+        f"create view {definition.name} as "
+        f"select {select_clause} from {from_clause} where {where_clause}"
+    )
+    if isinstance(definition.partitioning, HashPartitioning):
+        relation, column = bound.source_of_output(definition.partitioning.column)
+        statement += f" partitioned on {relation}.{column}"
+    return statement + ";"

@@ -1,0 +1,23 @@
+"""Single-node storage substrate: schemas, pages, heaps, indexes."""
+
+from .schema import Column, Row, Schema, SchemaError, concat_schemas
+from .pages import DEFAULT_LAYOUT, PageLayout
+from .heap import HeapTable, RowNotFound
+from .index import IndexedHeap, LocalIndex
+from .global_index import GlobalIndexPartition, GlobalRowId
+
+__all__ = [
+    "Column",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "concat_schemas",
+    "PageLayout",
+    "DEFAULT_LAYOUT",
+    "HeapTable",
+    "RowNotFound",
+    "LocalIndex",
+    "IndexedHeap",
+    "GlobalIndexPartition",
+    "GlobalRowId",
+]

@@ -1,0 +1,100 @@
+"""Heap tables: the per-node storage for base-relation fragments.
+
+A :class:`HeapTable` holds one node's fragment of a partitioned relation.
+Rows get monotonically increasing *local row ids*; deletion leaves a hole
+(ids are never reused), which is exactly the property global indexes need:
+a (node, local rowid) pair identifies a tuple for its whole lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from .pages import PageLayout, DEFAULT_LAYOUT
+from .schema import Row, Schema
+
+
+class RowNotFound(KeyError):
+    """Raised when a local rowid does not identify a live row."""
+
+
+class HeapTable:
+    """An append-mostly heap of rows with stable local row ids."""
+
+    def __init__(self, schema: Schema, layout: PageLayout = DEFAULT_LAYOUT) -> None:
+        self.schema = schema
+        self.layout = layout
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def insert(self, row: Row) -> int:
+        """Insert ``row``; returns its local rowid."""
+        self.schema.check_row(row)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        return rowid
+
+    def insert_many(self, rows) -> List[int]:
+        return [self.insert(row) for row in rows]
+
+    def fetch(self, rowid: int) -> Row:
+        """The row stored under ``rowid``."""
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise RowNotFound(
+                f"rowid {rowid} not present in {self.schema.name!r}"
+            ) from None
+
+    def delete(self, rowid: int) -> Row:
+        """Delete and return the row stored under ``rowid``."""
+        try:
+            return self._rows.pop(rowid)
+        except KeyError:
+            raise RowNotFound(
+                f"rowid {rowid} not present in {self.schema.name!r}"
+            ) from None
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> List[Tuple[int, Row]]:
+        """Delete every row satisfying ``predicate``; returns (rowid, row) pairs."""
+        victims = [(rid, row) for rid, row in self._rows.items() if predicate(row)]
+        for rid, _ in victims:
+            del self._rows[rid]
+        return victims
+
+    def update(self, rowid: int, row: Row) -> Row:
+        """Replace the row under ``rowid`` in place; returns the old row."""
+        self.schema.check_row(row)
+        old = self.fetch(rowid)
+        self._rows[rowid] = row
+        return old
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Iterate (rowid, row) pairs in insertion order."""
+        return iter(self._rows.items())
+
+    def rows(self) -> List[Row]:
+        """A snapshot list of all live rows."""
+        return list(self._rows.values())
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied by this fragment (dense-packing approximation)."""
+        return self.layout.pages_for_tuples(len(self._rows))
+
+    def page_of(self, rowid: int) -> int:
+        """The page a live row sits on.
+
+        For a heap we approximate dense packing by live-row rank; for
+        clustered tables the clustered index owns page placement and this is
+        only used as a fallback.
+        """
+        self.fetch(rowid)
+        return self.layout.page_of(rowid)

@@ -1,0 +1,148 @@
+"""Relational schemas.
+
+A :class:`Schema` names an ordered list of columns.  Rows are plain Python
+tuples positionally aligned with the schema; the schema provides the
+name-to-position mapping and helpers for projection and concatenation, which
+is all the join-view machinery needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+Row = Tuple[object, ...]
+
+
+class SchemaError(ValueError):
+    """Raised for schema misuse: unknown columns, duplicate names, arity."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a relation.
+
+    ``kind`` is advisory (used by generators and the SQLite backend to pick
+    column affinities); the in-memory engine stores arbitrary Python values.
+    """
+
+    name: str
+    kind: type = object
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"column name must be an identifier: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, named collection of columns.
+
+    ``name`` is the relation (or view) name the schema describes.  Column
+    names must be unique within a schema.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    _positions: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("schema must have a name")
+        positions: dict[str, int] = {}
+        for i, column in enumerate(self.columns):
+            if column.name in positions:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in schema {self.name!r}"
+                )
+            positions[column.name] = i
+        object.__setattr__(self, "_positions", positions)
+
+    @classmethod
+    def of(cls, name: str, *column_names: str, kinds: Sequence[type] | None = None) -> "Schema":
+        """Build a schema from bare column names (all ``object``-typed unless
+        ``kinds`` supplies a parallel list of types)."""
+        if kinds is None:
+            columns = tuple(Column(c) for c in column_names)
+        else:
+            if len(kinds) != len(column_names):
+                raise SchemaError("kinds must parallel column_names")
+            columns = tuple(Column(c, k) for c, k in zip(column_names, kinds))
+        return cls(name, columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._positions
+
+    def index_of(self, column_name: str) -> int:
+        """Position of ``column_name`` within a row tuple."""
+        try:
+            return self._positions[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no column {column_name!r}; "
+                f"columns are {self.column_names}"
+            ) from None
+
+    def value(self, row: Row, column_name: str) -> object:
+        """Extract a named column's value from a row."""
+        return row[self.index_of(column_name)]
+
+    def check_row(self, row: Row) -> None:
+        """Validate a row's arity against this schema."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row of arity {len(row)} does not match schema "
+                f"{self.name!r} of arity {self.arity}"
+            )
+
+    def project(self, column_names: Iterable[str], name: str | None = None) -> "Schema":
+        """A new schema containing only ``column_names``, in the given order."""
+        names = tuple(column_names)
+        columns = tuple(self.columns[self.index_of(c)] for c in names)
+        return Schema(name or self.name, columns)
+
+    def projector(self, column_names: Iterable[str]):
+        """A fast row-projection callable for the given columns."""
+        positions = tuple(self.index_of(c) for c in column_names)
+        def project(row: Row) -> Row:
+            return tuple(row[i] for i in positions)
+        return project
+
+    def rename(self, name: str) -> "Schema":
+        return Schema(name, self.columns)
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Schema with every column renamed ``<prefix>_<column>`` — used when
+        concatenating join operands whose column names collide."""
+        return Schema(
+            self.name,
+            tuple(Column(f"{prefix}_{c.name}", c.kind) for c in self.columns),
+        )
+
+
+def concat_schemas(name: str, left: Schema, right: Schema) -> Schema:
+    """Schema of the concatenation of a ``left`` row and a ``right`` row.
+
+    Collisions are resolved by prefixing colliding columns of *both* sides
+    with their relation names, mirroring SQL's qualified-name convention.
+    """
+    left_names = set(left.column_names)
+    right_names = set(right.column_names)
+    collisions = left_names & right_names
+
+    def resolved(schema: Schema) -> Iterable[Column]:
+        for column in schema.columns:
+            if column.name in collisions:
+                yield Column(f"{schema.name}_{column.name}", column.kind)
+            else:
+                yield column
+
+    return Schema(name, tuple(resolved(left)) + tuple(resolved(right)))

@@ -1,0 +1,40 @@
+"""Workload generators: the paper's TPC-R-style data and the model's
+synthetic uniform A ⋈ B scenario."""
+
+from .tpcr import (
+    CUSTOMER_SCHEMA,
+    LINEITEM_SCHEMA,
+    LINEITEMS_PER_ORDER,
+    ORDERS_SCHEMA,
+    TpcrDataset,
+    TpcrGenerator,
+    jv1_definition,
+    jv2_definition,
+    load_into,
+)
+from .uniform import A_SCHEMA, B_SCHEMA, UniformJoinWorkload, build_cluster
+from .skewed import SkewedJoinWorkload, build_skewed_cluster, zipf_weights
+from .updates import OpKind, UpdateOp, UpdateStream, batch_sizes_sweep
+
+__all__ = [
+    "CUSTOMER_SCHEMA",
+    "ORDERS_SCHEMA",
+    "LINEITEM_SCHEMA",
+    "LINEITEMS_PER_ORDER",
+    "TpcrGenerator",
+    "TpcrDataset",
+    "load_into",
+    "jv1_definition",
+    "jv2_definition",
+    "A_SCHEMA",
+    "B_SCHEMA",
+    "UniformJoinWorkload",
+    "build_cluster",
+    "SkewedJoinWorkload",
+    "build_skewed_cluster",
+    "zipf_weights",
+    "OpKind",
+    "UpdateOp",
+    "UpdateStream",
+    "batch_sizes_sweep",
+]

@@ -1,0 +1,111 @@
+"""Skewed workloads: stress-testing the paper's uniformity assumptions.
+
+The analytical model assumes inserted tuples are "uniformly distributed on
+the join attribute" (assumption 9), which is what makes the AR method's
+busiest node see only ⌈A/L⌉ tuples.  Under skew — some join-attribute
+values far more popular than others — all of a hot value's delta lands on
+one node and the AR response degrades towards serial execution.  This
+module provides a Zipf-distributed variant of the uniform workload so the
+degradation can be measured (the skew-sensitivity ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..storage.schema import Row
+from .uniform import UniformJoinWorkload
+
+
+def zipf_weights(num_keys: int, skew: float) -> List[float]:
+    """Normalized Zipf(s) probabilities over ranks 1..num_keys.
+
+    ``skew = 0`` is uniform; larger values concentrate mass on low ranks.
+    """
+    if num_keys < 1:
+        raise ValueError("num_keys must be >= 1")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    raw = [1.0 / math.pow(rank, skew) for rank in range(1, num_keys + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+@dataclass(frozen=True)
+class SkewedJoinWorkload:
+    """The uniform A ⋈ B scenario with Zipf-distributed insert keys.
+
+    B is identical to :class:`UniformJoinWorkload`'s (``fanout`` matches
+    per key, spread over min(N, L) nodes); only the delta's key choice is
+    skewed, isolating the placement effect the model's assumption 9 hides.
+    """
+
+    num_keys: int = 64
+    fanout: int = 10
+    skew: float = 1.0
+    clustered: bool = False
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        zipf_weights(self.num_keys, self.skew)  # validate parameters
+
+    @property
+    def uniform_twin(self) -> UniformJoinWorkload:
+        """The same scenario with uniform keys (the control)."""
+        return UniformJoinWorkload(
+            num_keys=self.num_keys,
+            fanout=self.fanout,
+            clustered=self.clustered,
+        )
+
+    def b_rows(self) -> List[Row]:
+        return self.uniform_twin.b_rows()
+
+    def a_rows(self, count: int, starting_at: int = 0) -> List[Row]:
+        """``count`` delta tuples with Zipf-sampled join keys.
+
+        Deterministic in (seed, starting_at); the key ranks are shuffled
+        once so the hot keys are not systematically the low hash values.
+        """
+        rng = random.Random(self.seed)
+        ranked_keys = list(range(self.num_keys))
+        rng.shuffle(ranked_keys)
+        weights = zipf_weights(self.num_keys, self.skew)
+        sampler = random.Random(self.seed + starting_at)
+        keys = sampler.choices(ranked_keys, weights=weights, k=count)
+        return [
+            (starting_at + offset, key, starting_at + offset)
+            for offset, key in enumerate(keys)
+        ]
+
+    def definition(self, name: str = "JV"):
+        return self.uniform_twin.definition(name)
+
+    def hot_key_share(self, count: int = 10_000) -> float:
+        """Fraction of sampled inserts hitting the single hottest key —
+        a quick skew diagnostic for reports."""
+        rows = self.a_rows(count)
+        from collections import Counter
+
+        popularity = Counter(row[1] for row in rows)
+        return popularity.most_common(1)[0][1] / count
+
+
+def build_skewed_cluster(
+    workload: SkewedJoinWorkload,
+    num_nodes: int,
+    method: str,
+    strategy: str = "inl",
+):
+    """A ready cluster for the skewed scenario (same shape as
+    :func:`repro.workloads.uniform.build_cluster`)."""
+    from .uniform import build_cluster
+
+    cluster = build_cluster(
+        workload.uniform_twin, num_nodes=num_nodes, method=method,
+        strategy=strategy,
+    )
+    return cluster

@@ -1,0 +1,195 @@
+"""Tests for aggregate join views (COUNT/SUM/AVG over the join)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Cluster, Schema
+from repro.core import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    aggregate_rows,
+    define_aggregate_join_view,
+    recompute_aggregate,
+)
+from repro.core.view import ViewDefinitionError, two_way_view
+
+
+def agg_counter(rows):
+    return Counter(
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in rows
+    )
+
+
+def check(cluster, name):
+    assert agg_counter(aggregate_rows(cluster, name)) == agg_counter(
+        recompute_aggregate(cluster, name)
+    )
+
+
+SPEC = AggregateSpec(
+    group_by=(("B", "d"),),
+    aggregates=(
+        Aggregate(AggregateFunction.COUNT, "n"),
+        Aggregate(AggregateFunction.SUM, "total", source=("B", "f")),
+        Aggregate(AggregateFunction.AVG, "avg_f", source=("B", "f")),
+    ),
+)
+
+
+def fresh(method="auxiliary"):
+    cluster = Cluster(4)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 3, float(i)) for i in range(12)])
+    define_aggregate_join_view(
+        cluster, two_way_view("AGG", "A", "c", "B", "d"), SPEC, method=method
+    )
+    return cluster
+
+
+def test_spec_validation():
+    with pytest.raises(ViewDefinitionError, match="GROUP BY"):
+        AggregateSpec(group_by=(), aggregates=(Aggregate(AggregateFunction.COUNT, "n"),))
+    with pytest.raises(ViewDefinitionError, match="at least one"):
+        AggregateSpec(group_by=(("B", "d"),), aggregates=())
+    with pytest.raises(ViewDefinitionError, match="duplicate"):
+        AggregateSpec(
+            group_by=(("B", "d"),),
+            aggregates=(
+                Aggregate(AggregateFunction.COUNT, "n"),
+                Aggregate(AggregateFunction.SUM, "n", source=("B", "f")),
+            ),
+        )
+    with pytest.raises(ViewDefinitionError, match="COUNT"):
+        Aggregate(AggregateFunction.COUNT, "n", source=("B", "f"))
+    with pytest.raises(ViewDefinitionError, match="input column"):
+        Aggregate(AggregateFunction.SUM, "s")
+
+
+def test_initial_materialization_empty_a():
+    cluster = fresh()
+    assert aggregate_rows(cluster, "AGG") == []
+
+
+def test_initial_materialization_with_data():
+    cluster = Cluster(3)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 2, float(i)) for i in range(4)])
+    cluster.insert("A", [(1, 0, "x"), (2, 1, "y")])
+    define_aggregate_join_view(
+        cluster, two_way_view("AGG", "A", "c", "B", "d"), SPEC
+    )
+    check(cluster, "AGG")
+    assert len(aggregate_rows(cluster, "AGG")) == 2  # two groups
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index", "hybrid"])
+def test_insert_maintains_aggregates(method):
+    cluster = fresh(method)
+    cluster.insert("A", [(1, 0, "x"), (2, 1, "y"), (3, 0, "z")])
+    check(cluster, "AGG")
+    rows = {row[0]: row for row in aggregate_rows(cluster, "AGG")}
+    # Group d=0: 2 A-tuples x 4 matching B rows (0,3,6,9) = 8 join tuples.
+    assert rows[0][1] == 8
+    assert rows[0][2] == pytest.approx(2 * (0 + 3 + 6 + 9))
+    assert rows[0][3] == pytest.approx((0 + 3 + 6 + 9) / 4)
+
+
+def test_delete_updates_and_removes_empty_groups():
+    cluster = fresh()
+    cluster.insert("A", [(1, 0, "x"), (2, 1, "y")])
+    cluster.delete("A", [(2, 1, "y")])
+    check(cluster, "AGG")
+    groups = {row[0] for row in aggregate_rows(cluster, "AGG")}
+    assert groups == {0}  # group 1 emptied and vanished
+    cluster.delete("A", [(1, 0, "x")])
+    assert aggregate_rows(cluster, "AGG") == []
+
+
+def test_b_side_updates_fold_in():
+    cluster = fresh()
+    cluster.insert("A", [(1, 0, "x")])
+    cluster.insert("B", [(100, 0, 50.0)])
+    check(cluster, "AGG")
+    cluster.delete("B", [(100, 0, 50.0)])
+    check(cluster, "AGG")
+
+
+def test_update_changing_group():
+    cluster = fresh()
+    cluster.insert("A", [(1, 0, "x")])
+    cluster.update("A", [((1, 0, "x"), (1, 2, "x"))])
+    check(cluster, "AGG")
+    groups = {row[0] for row in aggregate_rows(cluster, "AGG")}
+    assert groups == {2}
+
+
+def test_groups_partitioned_by_key():
+    cluster = fresh()
+    cluster.insert("A", [(i, i % 3, "x") for i in range(9)])
+    info = cluster.catalog.view("AGG")
+    for node in cluster.nodes:
+        for row in node.scan("AGG"):
+            assert info.partitioner.node_of_row(row) == node.node_id
+
+
+def test_aggregate_updates_charged_to_view_tag():
+    from repro import Tag
+
+    cluster = fresh()
+    snapshot = cluster.insert("A", [(1, 0, "x")])
+    assert snapshot.total_workload([Tag.VIEW]) > 0
+    # One group touched: exactly one group-row write.
+    from repro import Op
+
+    assert snapshot.op_count(Op.INSERT, tags=[Tag.VIEW]) == 1
+
+
+def test_multi_column_group_by():
+    spec = AggregateSpec(
+        group_by=(("B", "d"), ("A", "e")),
+        aggregates=(Aggregate(AggregateFunction.COUNT, "n"),),
+    )
+    cluster = Cluster(3)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 2, float(i)) for i in range(6)])
+    define_aggregate_join_view(
+        cluster, two_way_view("AGG2", "A", "c", "B", "d"), spec
+    )
+    cluster.insert("A", [(1, 0, "x"), (2, 0, "x"), (3, 0, "y")])
+    check(cluster, "AGG2")
+    rows = {(row[0], row[1]): row[2] for row in aggregate_rows(cluster, "AGG2")}
+    assert rows[(0, "x")] == 6  # 2 A tuples x 3 matches
+    assert rows[(0, "y")] == 3
+
+
+def test_aggregate_rows_rejects_plain_views(ab_cluster):
+    from tests.conftest import make_view
+
+    make_view(ab_cluster, "naive")
+    with pytest.raises(ViewDefinitionError, match="not an aggregate"):
+        aggregate_rows(ab_cluster, "JV")
+
+
+def test_property_random_stream_stays_consistent():
+    import random
+
+    rng = random.Random(17)
+    cluster = fresh()
+    live = []
+    for step in range(60):
+        if not live or rng.random() < 0.6:
+            row = (step, rng.randrange(3), f"e{step}")
+            live.append(row)
+            cluster.insert("A", [row])
+        else:
+            row = live.pop(rng.randrange(len(live)))
+            cluster.delete("A", [row])
+        if step % 10 == 0:
+            check(cluster, "AGG")
+    check(cluster, "AGG")

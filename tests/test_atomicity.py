@@ -1,0 +1,75 @@
+"""Statement atomicity: a failing statement must leave no partial state."""
+
+from collections import Counter
+
+import pytest
+
+from repro import recompute_view
+from tests.conftest import make_view
+
+
+def snapshot_state(cluster):
+    state = {
+        name: Counter(cluster.scan_relation(name))
+        for name in list(cluster.catalog.relations)
+        + list(cluster.catalog.auxiliaries)
+        + list(cluster.catalog.views)
+    }
+    for gi_name in cluster.catalog.global_indexes:
+        entries = []
+        for node in cluster.nodes:
+            for key, grids in node.gi_partition(gi_name).items():
+                entries.extend((key, grid) for grid in grids)
+        state[gi_name] = Counter(entries)
+    return state
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_failed_delete_batch_rolls_back(ab_cluster, method):
+    make_view(ab_cluster, method)
+    ab_cluster.insert("A", [(1, 2, "x"), (2, 3, "y")])
+    before = snapshot_state(ab_cluster)
+    with pytest.raises(KeyError, match="rolled back"):
+        # First victim exists, second does not: nothing may change.
+        ab_cluster.delete("A", [(1, 2, "x"), (99, 99, "nope")])
+    assert snapshot_state(ab_cluster) == before
+    assert Counter(ab_cluster.view_rows("JV")) == recompute_view(ab_cluster, "JV")
+
+
+def test_duplicate_deletes_validated_by_multiplicity(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    before = snapshot_state(ab_cluster)
+    with pytest.raises(KeyError, match="holds 1"):
+        ab_cluster.delete("A", [(1, 2, "x"), (1, 2, "x")])
+    assert snapshot_state(ab_cluster) == before
+    # Two copies present -> the same statement succeeds.
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.delete("A", [(1, 2, "x"), (1, 2, "x")])
+    assert ab_cluster.scan_relation("A") == []
+
+
+def test_failed_update_rolls_back(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    before = snapshot_state(ab_cluster)
+    with pytest.raises(KeyError):
+        ab_cluster.update("A", [((9, 9, "missing"), (9, 9, "new"))])
+    assert snapshot_state(ab_cluster) == before
+
+
+def test_malformed_insert_rejected_before_mutation(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    before = snapshot_state(ab_cluster)
+    with pytest.raises(Exception):
+        ab_cluster.insert("A", [(1, 2, "ok"), (1, 2)])  # wrong arity second
+    assert snapshot_state(ab_cluster) == before
+
+
+def test_validation_is_uncharged(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ledger_before = ab_cluster.ledger.snapshot()
+    with pytest.raises(KeyError):
+        ab_cluster.delete("A", [(5, 5, "none")])
+    assert ab_cluster.ledger.diff_since(ledger_before).total_workload() == 0.0

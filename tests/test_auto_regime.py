@@ -1,0 +1,70 @@
+"""The AUTO strategy must switch regimes where the model says it should."""
+
+import pytest
+
+from repro import Op
+from repro.model import MethodVariant, ModelParameters, sort_merge_crossover
+from repro.storage.pages import PageLayout
+from repro.workloads.uniform import UniformJoinWorkload, build_cluster
+
+# A compact instance of the model's scenario: |B| = 320 pages at one tuple
+# per page (64 keys x 5 matches), M = 100, L = 16.
+LAYOUT = PageLayout(tuples_per_page=1, memory_pages=100)
+NUM_NODES = 16
+FANOUT = 5
+NUM_KEYS = 64
+
+
+def params():
+    return ModelParameters(
+        num_nodes=NUM_NODES, fanout=float(FANOUT),
+        partner_pages=NUM_KEYS * FANOUT, memory_pages=100,
+    )
+
+
+def run_auto(method, clustered, batch):
+    workload = UniformJoinWorkload(
+        num_keys=NUM_KEYS, fanout=FANOUT, clustered=clustered
+    )
+    cluster = build_cluster(
+        workload, num_nodes=NUM_NODES, method=method, strategy="auto",
+        layout=LAYOUT,
+    )
+    return cluster.insert("A", workload.a_rows(batch))
+
+
+def test_naive_clustered_switches_at_model_crossover():
+    crossover = sort_merge_crossover(MethodVariant.NAIVE_CLUSTERED, params())
+    below = run_auto("naive", True, max(1, crossover - 4))
+    above = run_auto("naive", True, crossover + 4)
+    # Below: per-tuple index probes; above: fragment scans, no probes.
+    assert below.op_count(Op.SEARCH) > 0
+    assert below.op_count(Op.SCAN_PAGE) == 0
+    assert above.op_count(Op.SEARCH) == 0
+    assert above.op_count(Op.SCAN_PAGE) > 0
+
+
+def test_auxiliary_stays_inl_far_longer():
+    naive_crossover = sort_merge_crossover(MethodVariant.NAIVE_CLUSTERED, params())
+    ar_crossover = sort_merge_crossover(MethodVariant.AUXILIARY, params())
+    assert ar_crossover > 5 * naive_crossover
+    # At a batch where naive has long switched, AR still probes per tuple.
+    batch = min(2 * naive_crossover, ar_crossover - 1)
+    snapshot = run_auto("auxiliary", False, batch)
+    assert snapshot.op_count(Op.SEARCH) >= batch
+    assert snapshot.op_count(Op.SCAN_PAGE) == 0
+
+
+def test_auto_never_changes_results():
+    from collections import Counter
+
+    from repro import recompute_view
+
+    workload = UniformJoinWorkload(num_keys=NUM_KEYS, fanout=FANOUT, clustered=True)
+    for batch in (3, 50, 400):
+        cluster = build_cluster(
+            workload, num_nodes=NUM_NODES, method="naive", strategy="auto",
+            layout=LAYOUT,
+        )
+        cluster.insert("A", workload.a_rows(batch))
+        assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")

@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro.bench` command line."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_no_args_lists_experiments(capsys):
+    assert main([]) == 1
+    out = capsys.readouterr().out
+    assert "usage" in out
+    for name in ("fig7", "fig14", "table1"):
+        assert name in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["zzz"]) == 1
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_run_one_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "customer" in out
+
+
+def test_every_registered_experiment_is_callable():
+    for name, runner in EXPERIMENTS.items():
+        assert callable(runner), name
+    # The registry covers every figure and table of the paper.
+    for required in (
+        "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "table1",
+    ):
+        assert required in EXPERIMENTS
+
+
+def test_module_entrypoint_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "table1"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "Table 1" in completed.stdout

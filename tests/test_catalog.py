@@ -1,0 +1,100 @@
+"""Tests for repro.cluster.catalog."""
+
+import pytest
+
+from repro.cluster.catalog import (
+    AuxiliaryRelationInfo,
+    Catalog,
+    GlobalIndexInfo,
+    RelationInfo,
+)
+from repro.cluster.partitioning import HashPartitioning
+from repro.storage.schema import Schema
+
+
+def make_relation(name="R", partition="k"):
+    schema = Schema.of(name, "k", "v")
+    spec = HashPartitioning(partition)
+    return RelationInfo(schema=schema, spec=spec, partitioner=spec.bind(schema, 4))
+
+
+def test_add_and_lookup_relation():
+    catalog = Catalog()
+    info = make_relation()
+    catalog.add_relation(info)
+    assert catalog.relation("R") is info
+    assert info.partition_column == "k"
+    assert info.is_partitioned_on("k")
+    assert not info.is_partitioned_on("v")
+
+
+def test_unknown_lookups_raise():
+    catalog = Catalog()
+    with pytest.raises(KeyError, match="unknown relation"):
+        catalog.relation("R")
+    with pytest.raises(KeyError, match="unknown auxiliary"):
+        catalog.auxiliary("AR")
+    with pytest.raises(KeyError, match="unknown global index"):
+        catalog.global_index("GI")
+    with pytest.raises(KeyError, match="unknown view"):
+        catalog.view("V")
+
+
+def test_name_collision_rejected():
+    catalog = Catalog()
+    catalog.add_relation(make_relation())
+    with pytest.raises(ValueError, match="already in use"):
+        catalog.add_relation(make_relation())
+
+
+def test_auxiliary_requires_base():
+    catalog = Catalog()
+    schema = Schema.of("AR_R_v", "v", "k")
+    spec = HashPartitioning("v")
+    info = AuxiliaryRelationInfo(
+        name="AR_R_v", base="R", column="v", schema=schema,
+        partitioner=spec.bind(schema, 4),
+    )
+    with pytest.raises(KeyError, match="unknown base"):
+        catalog.add_auxiliary(info)
+    catalog.add_relation(make_relation())
+    catalog.add_auxiliary(info)
+    assert catalog.auxiliaries_of("R") == [info]
+    assert catalog.find_auxiliary("R", "v") is info
+    assert catalog.find_auxiliary("R", "k") is None
+
+
+def test_global_index_reverse_map():
+    catalog = Catalog()
+    catalog.add_relation(make_relation())
+    info = GlobalIndexInfo(
+        name="GI_R_v", base="R", column="v",
+        distributed_clustered=False, key_position=1, num_nodes=4,
+    )
+    catalog.add_global_index(info)
+    assert catalog.global_indexes_of("R") == [info]
+    assert catalog.find_global_index("R", "v") is info
+    assert catalog.find_global_index("R", "k") is None
+
+
+def test_gi_home_node_stable():
+    info = GlobalIndexInfo(
+        name="GI", base="R", column="v",
+        distributed_clustered=False, key_position=1, num_nodes=4,
+    )
+    assert info.home_node(6) == 2
+    assert info.home_node(6) == info.home_node(6)
+
+
+def test_auxiliary_image_respects_predicate_and_projection():
+    schema = Schema.of("R", "k", "v")
+    ar_schema = schema.project(["v"], name="AR")
+    spec = HashPartitioning("v")
+    info = AuxiliaryRelationInfo(
+        name="AR", base="R", column="v", schema=ar_schema,
+        partitioner=spec.bind(ar_schema, 2),
+        predicate=lambda row: row[0] > 0,
+        project=schema.projector(["v"]),
+    )
+    assert info.image_of((1, "keep")) == ("keep",)
+    assert info.image_of((0, "drop")) is None

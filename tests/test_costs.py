@@ -1,0 +1,130 @@
+"""Unit tests for repro.costs (model, ledger, report)."""
+
+import pytest
+
+from repro.costs import (
+    CostLedger,
+    CostParameters,
+    NETWORK_AWARE_COSTS,
+    Op,
+    PAPER_COSTS,
+    Tag,
+    ascii_table,
+    format_snapshot,
+    tags_legend,
+)
+
+
+def test_paper_weights():
+    assert PAPER_COSTS.weight(Op.SEND) == 0.0
+    assert PAPER_COSTS.weight(Op.SEARCH) == 1.0
+    assert PAPER_COSTS.weight(Op.FETCH) == 1.0
+    assert PAPER_COSTS.weight(Op.INSERT) == 2.0
+
+
+def test_network_aware_weights_bill_sends():
+    assert NETWORK_AWARE_COSTS.weight(Op.SEND) > 0
+
+
+def test_charge_and_total_workload():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    ledger.charge(1, Op.INSERT, Tag.MAINTAIN)
+    snapshot = ledger.snapshot()
+    assert snapshot.total_workload() == 3.0  # 1 search + 1 insert(2)
+
+
+def test_response_time_is_busiest_node():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN, count=5)
+    ledger.charge(1, Op.SEARCH, Tag.MAINTAIN, count=2)
+    assert ledger.snapshot().response_time() == 5.0
+
+
+def test_response_time_empty():
+    assert CostLedger().snapshot().response_time() == 0.0
+
+
+def test_tag_filtering():
+    ledger = CostLedger()
+    ledger.charge(0, Op.INSERT, Tag.BASE)
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    ledger.charge(0, Op.INSERT, Tag.VIEW)
+    snapshot = ledger.snapshot()
+    assert snapshot.maintenance_workload() == 1.0
+    assert snapshot.total_workload([Tag.BASE, Tag.VIEW]) == 4.0
+    assert snapshot.total_workload() == 5.0
+
+
+def test_op_count_and_breakdown():
+    ledger = CostLedger()
+    ledger.charge(0, Op.FETCH, Tag.MAINTAIN, count=3)
+    ledger.charge(1, Op.FETCH, Tag.VIEW, count=2)
+    snapshot = ledger.snapshot()
+    assert snapshot.op_count(Op.FETCH) == 5
+    assert snapshot.op_count(Op.FETCH, tags=[Tag.MAINTAIN]) == 3
+    assert snapshot.op_breakdown()[Op.FETCH] == 5
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        CostLedger().charge(0, Op.SEND, Tag.MAINTAIN, count=-1)
+
+
+def test_zero_charge_is_noop():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEND, Tag.MAINTAIN, count=0)
+    assert ledger.snapshot().cells == {}
+
+
+def test_diff_since():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    before = ledger.snapshot()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN, count=4)
+    diff = ledger.diff_since(before)
+    assert diff.total_workload() == 4.0
+
+
+def test_measure_context_manager():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    with ledger.measure() as measured:
+        ledger.charge(1, Op.INSERT, Tag.MAINTAIN)
+    assert measured.snapshot.total_workload() == 2.0
+    assert measured.snapshot.per_node_ios() == {1: 2.0}
+
+
+def test_reset():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    ledger.reset()
+    assert ledger.snapshot().total_workload() == 0.0
+
+
+def test_custom_weights_change_workload():
+    ledger = CostLedger(CostParameters(search_ios=10.0))
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    assert ledger.snapshot().total_workload() == 10.0
+
+
+def test_format_snapshot_mentions_tw():
+    ledger = CostLedger()
+    ledger.charge(0, Op.SEARCH, Tag.MAINTAIN)
+    text = format_snapshot(ledger.snapshot(), title="t")
+    assert "TW (maintenance)" in text
+    assert "search" in text
+
+
+def test_ascii_table_alignment():
+    table = ascii_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "2.50" in table
+    assert lines[1].startswith("-")
+
+
+def test_tags_legend_lists_all_tags():
+    legend = tags_legend()
+    for tag in Tag:
+        assert tag.value in legend

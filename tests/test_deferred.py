@@ -1,0 +1,161 @@
+"""Tests for deferred (batched) view maintenance."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Tag, recompute_view
+from repro.core import DeferredMaintainer, defer_view, fresh_view_rows
+from tests.conftest import make_view
+
+
+@pytest.fixture
+def deferred(ab_cluster):
+    make_view(ab_cluster, "auxiliary", strategy="inl")
+    wrapper = defer_view(ab_cluster, "JV")
+    return ab_cluster, wrapper
+
+
+def test_defer_queues_without_touching_view(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x")])
+    assert wrapper.is_stale
+    assert wrapper.pending_changes == 1
+    assert cluster.view_rows("JV") == []  # stale until refresh
+
+
+def test_refresh_applies_batch(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x"), (2, 3, "y")])
+    report = wrapper.refresh()
+    assert report.flushed_inserts == 2
+    assert report.statements_absorbed == 1
+    assert not wrapper.is_stale
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_netting_cancels_churn(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x")])
+    cluster.delete("A", [(1, 2, "x")])
+    assert wrapper.pending_changes == 0
+    snapshot = cluster.ledger.snapshot()
+    report = wrapper.refresh()
+    assert report.flushed_inserts == 0 and report.flushed_deletes == 0
+    assert report.netted_away == 2
+    # Refresh of a fully-netted queue does no maintenance work at all.
+    diff = cluster.ledger.diff_since(snapshot)
+    assert diff.maintenance_workload() == 0.0
+    assert cluster.view_rows("JV") == []
+
+
+def test_delete_then_insert_nets(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x")])
+    wrapper.refresh()
+    cluster.delete("A", [(1, 2, "x")])
+    cluster.insert("A", [(1, 2, "x")])
+    assert wrapper.pending_changes == 0
+    wrapper.refresh()
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_cross_relation_delta_forces_flush(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x")])
+    assert wrapper.is_stale
+    # A delta on B must not queue behind A's: auto-flush keeps ordering.
+    cluster.insert("B", [(99, 2, "new")])
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_flush_threshold_auto_refreshes(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    wrapper = defer_view(ab_cluster, "JV", flush_threshold=3)
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.insert("A", [(2, 3, "y")])
+    assert wrapper.is_stale
+    ab_cluster.insert("A", [(3, 4, "z")])  # hits the threshold
+    assert not wrapper.is_stale
+    assert Counter(ab_cluster.view_rows("JV")) == recompute_view(ab_cluster, "JV")
+
+
+def test_fresh_view_rows_refresh_on_read(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x")])
+    rows = fresh_view_rows(cluster, "JV")
+    assert len(rows) == 4
+    assert not wrapper.is_stale
+    # Eager views pass through unchanged.
+    assert fresh_view_rows(cluster, "JV") == cluster.view_rows("JV")
+
+
+def test_deferred_deletes_of_preexisting_rows(deferred):
+    cluster, wrapper = deferred
+    cluster.insert("A", [(1, 2, "x"), (2, 2, "y")])
+    wrapper.refresh()
+    cluster.delete("A", [(1, 2, "x")])
+    cluster.delete("A", [(2, 2, "y")])
+    assert wrapper.pending_changes == 2
+    report = wrapper.refresh()
+    assert report.flushed_deletes == 2
+    assert cluster.view_rows("JV") == []
+
+
+def test_double_defer_rejected(deferred):
+    cluster, _ = deferred
+    with pytest.raises(ValueError, match="already deferred"):
+        defer_view(cluster, "JV")
+
+
+def test_invalid_threshold():
+    with pytest.raises(ValueError):
+        DeferredMaintainer(inner=None, flush_threshold=0)  # type: ignore[arg-type]
+
+
+def test_batching_amortizes_maintenance_cost(uniform_cluster_factory):
+    """Many 1-tuple statements refreshed at once cost no more than eager
+    per-statement maintenance (and switch to sort-merge when cheaper)."""
+    eager_cluster, workload = uniform_cluster_factory(
+        "auxiliary", num_nodes=4, fanout=2, strategy="auto", num_keys=64
+    )
+    before = eager_cluster.ledger.snapshot()
+    for serial in range(40):
+        eager_cluster.insert("A", [workload.a_row(serial)])
+    eager_cost = eager_cluster.ledger.diff_since(before).maintenance_workload()
+
+    deferred_cluster, workload = uniform_cluster_factory(
+        "auxiliary", num_nodes=4, fanout=2, strategy="auto", num_keys=64
+    )
+    wrapper = defer_view(deferred_cluster, "JV")
+    before = deferred_cluster.ledger.snapshot()
+    for serial in range(40):
+        deferred_cluster.insert("A", [workload.a_row(serial)])
+    wrapper.refresh()
+    deferred_cost = deferred_cluster.ledger.diff_since(before).maintenance_workload()
+
+    assert deferred_cost <= eager_cost
+    assert Counter(deferred_cluster.view_rows("JV")) == Counter(
+        eager_cluster.view_rows("JV")
+    )
+
+
+def test_property_deferred_equals_eager(deferred):
+    """Arbitrary interleavings with periodic refresh stay equivalent."""
+    cluster, wrapper = deferred
+    script = [
+        ("insert", (1, 2, "a")), ("insert", (2, 2, "b")),
+        ("delete", (1, 2, "a")), ("insert", (3, 4, "c")),
+        ("refresh", None),
+        ("insert", (4, 0, "d")), ("delete", (2, 2, "b")),
+        ("refresh", None),
+    ]
+    for action, row in script:
+        if action == "insert":
+            cluster.insert("A", [row])
+        elif action == "delete":
+            cluster.delete("A", [row])
+        else:
+            wrapper.refresh()
+    wrapper.refresh()
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")

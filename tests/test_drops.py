@@ -1,0 +1,79 @@
+"""Tests for DROP VIEW / DROP auxiliary structure support."""
+
+from collections import Counter
+
+import pytest
+
+from repro import recompute_view, two_way_view
+from tests.conftest import make_view
+
+
+def test_drop_view_removes_storage_and_registration(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.drop_view("JV")
+    assert "JV" not in ab_cluster.catalog.views
+    assert not any(node.has_fragment("JV") for node in ab_cluster.nodes)
+    # Updates no longer pay any view maintenance.
+    snapshot = ab_cluster.insert("A", [(2, 3, "y")])
+    # AR co-updates remain (structures still exist) but no probes happen.
+    from repro import Op, Tag
+
+    assert snapshot.op_count(Op.SEARCH, tags=[Tag.MAINTAIN]) == 0
+
+
+def test_drop_view_releases_structures(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    aux = ab_cluster.catalog.auxiliary("AR_B_d")
+    assert aux.serves_views == ["JV"]
+    ab_cluster.drop_view("JV")
+    assert aux.serves_views == []
+    ab_cluster.drop_auxiliary_relation("AR_B_d")
+    assert "AR_B_d" not in ab_cluster.catalog.auxiliaries
+    assert not any(node.has_fragment("AR_B_d") for node in ab_cluster.nodes)
+
+
+def test_drop_auxiliary_in_use_refused(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    with pytest.raises(ValueError, match="still serves"):
+        ab_cluster.drop_auxiliary_relation("AR_B_d")
+    ab_cluster.drop_auxiliary_relation("AR_B_d", force=True)
+    assert "AR_B_d" not in ab_cluster.catalog.auxiliaries
+
+
+def test_drop_global_index(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    with pytest.raises(ValueError, match="still serves"):
+        ab_cluster.drop_global_index("GI_B_d")
+    ab_cluster.drop_view("JV")
+    ab_cluster.drop_global_index("GI_B_d")
+    ab_cluster.drop_global_index("GI_A_c")
+    assert ab_cluster.catalog.global_indexes == {}
+
+
+def test_shared_structure_survives_one_view_drop(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.create_join_view(
+        two_way_view("JV2", "A", "c", "B", "d", select=[("A", "a")]),
+        method="auxiliary",
+    )
+    ab_cluster.drop_view("JV")
+    aux = ab_cluster.catalog.auxiliary("AR_B_d")
+    assert aux.serves_views == ["JV2"]
+    # The surviving view still maintains correctly.
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert Counter(ab_cluster.view_rows("JV2")) == recompute_view(ab_cluster, "JV2")
+
+
+def test_recreate_after_drop(ab_cluster):
+    make_view(ab_cluster, "naive")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.drop_view("JV")
+    make_view(ab_cluster, "auxiliary")
+    assert Counter(ab_cluster.view_rows("JV")) == recompute_view(ab_cluster, "JV")
+    assert len(ab_cluster.view_rows("JV")) == 4
+
+
+def test_drop_unknown_view_raises(ab_cluster):
+    with pytest.raises(KeyError):
+        ab_cluster.drop_view("nope")

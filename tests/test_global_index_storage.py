@@ -1,0 +1,56 @@
+"""Unit tests for repro.storage.global_index."""
+
+import pytest
+
+from repro.storage.global_index import GlobalIndexPartition, GlobalRowId
+
+
+@pytest.fixture
+def partition():
+    return GlobalIndexPartition("B", "d")
+
+
+def test_insert_and_search(partition):
+    partition.insert(7, GlobalRowId(0, 3))
+    partition.insert(7, GlobalRowId(2, 5))
+    assert partition.search(7) == [GlobalRowId(0, 3), GlobalRowId(2, 5)]
+    assert partition.search(8) == []
+
+
+def test_search_grouped_by_node(partition):
+    partition.insert(7, GlobalRowId(0, 3))
+    partition.insert(7, GlobalRowId(0, 4))
+    partition.insert(7, GlobalRowId(2, 5))
+    grouped = partition.search_grouped(7)
+    assert set(grouped) == {0, 2}
+    assert grouped[0] == [GlobalRowId(0, 3), GlobalRowId(0, 4)]
+    assert grouped[2] == [GlobalRowId(2, 5)]
+
+
+def test_delete(partition):
+    grid = GlobalRowId(1, 1)
+    partition.insert(7, grid)
+    partition.delete(7, grid)
+    assert partition.search(7) == []
+    assert len(partition) == 0
+
+
+def test_delete_missing_raises(partition):
+    with pytest.raises(KeyError):
+        partition.delete(7, GlobalRowId(0, 0))
+    partition.insert(7, GlobalRowId(0, 1))
+    with pytest.raises(KeyError):
+        partition.delete(7, GlobalRowId(0, 2))
+
+
+def test_len_and_items(partition):
+    partition.insert(1, GlobalRowId(0, 0))
+    partition.insert(2, GlobalRowId(1, 0))
+    assert len(partition) == 2
+    assert sorted(key for key, _ in partition.items()) == [1, 2]
+    assert sorted(partition.keys()) == [1, 2]
+
+
+def test_global_row_id_ordering():
+    assert GlobalRowId(0, 5) < GlobalRowId(1, 0)
+    assert GlobalRowId(1, 1) < GlobalRowId(1, 2)

@@ -1,0 +1,138 @@
+"""Tests for the hybrid maintenance method (paper §4's suggestion)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Cluster, HashPartitioning, Op, Schema, recompute_view, two_way_view
+from repro.core import PlanningError
+from repro.core.multiway import AuxiliaryAccess, GlobalIndexAccess
+from repro.core.view import JoinCondition, JoinViewDefinition
+
+
+def three_way_cluster():
+    """B is small (candidate for an AR), C is large (candidate for a GI)."""
+    cluster = Cluster(4)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.create_relation(Schema.of("C", "g", "h", "p"), partitioned_on="p")
+    cluster.insert("B", [(i, i % 3, i % 5) for i in range(10)])
+    cluster.insert("C", [(i % 5, f"h{i}", i) for i in range(60)])
+    return cluster
+
+
+CHAIN = JoinViewDefinition(
+    name="HV",
+    relations=("A", "B", "C"),
+    conditions=(
+        JoinCondition("A", "c", "B", "d"),
+        JoinCondition("B", "f", "C", "g"),
+    ),
+    select=(("A", "a"), ("B", "b"), ("C", "h")),
+    partitioning=HashPartitioning("a"),
+)
+
+
+def test_size_heuristic_mixes_structures():
+    cluster = three_way_cluster()
+    cluster.create_join_view(
+        CHAIN, method="hybrid", hybrid_options={"ar_row_budget": 20}
+    )
+    # B (10 rows) got ARs; C (60 rows) got a GI; A (empty) got ARs too.
+    assert cluster.catalog.find_auxiliary("B", "d") is not None
+    assert cluster.catalog.find_auxiliary("B", "f") is not None
+    assert cluster.catalog.find_global_index("C", "g") is not None
+    assert cluster.catalog.find_auxiliary("C", "g") is None
+
+
+def test_hybrid_plan_mixes_access_paths():
+    cluster = three_way_cluster()
+    view = cluster.create_join_view(
+        CHAIN, method="hybrid", hybrid_options={"ar_row_budget": 20}
+    )
+    plan = view.maintainer.planner.plan_for("A")
+    accesses = [hop.access for hop in plan.hops]
+    assert isinstance(accesses[0], AuxiliaryAccess)     # small B via AR
+    assert isinstance(accesses[1], GlobalIndexAccess)   # large C via GI
+
+
+def test_hybrid_maintains_correctly_all_relations():
+    cluster = three_way_cluster()
+    cluster.create_join_view(
+        CHAIN, method="hybrid", hybrid_options={"ar_row_budget": 20}
+    )
+    cluster.insert("A", [(1, 0, "x"), (2, 1, "y")])
+    assert Counter(cluster.view_rows("HV")) == recompute_view(cluster, "HV")
+    cluster.insert("B", [(100, 0, 2)])
+    assert Counter(cluster.view_rows("HV")) == recompute_view(cluster, "HV")
+    cluster.insert("C", [(2, "hx", 999)])
+    assert Counter(cluster.view_rows("HV")) == recompute_view(cluster, "HV")
+    cluster.delete("A", [(1, 0, "x")])
+    assert Counter(cluster.view_rows("HV")) == recompute_view(cluster, "HV")
+
+
+def test_explicit_choices_override_heuristic():
+    cluster = three_way_cluster()
+    cluster.create_join_view(
+        CHAIN,
+        method="hybrid",
+        hybrid_options={"choices": {"B": "global_index", "C": "auxiliary"}},
+    )
+    assert cluster.catalog.find_global_index("B", "d") is not None
+    assert cluster.catalog.find_auxiliary("C", "g") is not None
+
+
+def test_invalid_choice_rejected():
+    cluster = three_way_cluster()
+    with pytest.raises(ValueError, match="hybrid choice"):
+        cluster.create_join_view(
+            CHAIN, method="hybrid", hybrid_options={"choices": {"B": "zzz"}}
+        )
+
+
+def test_hybrid_cost_between_pure_methods(ab_cluster):
+    """On a two-way view with one AR side, hybrid TW sits at the AR value
+    when probing the AR'd side."""
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d",
+                     partitioning=HashPartitioning("e")),
+        method="hybrid",
+        strategy="inl",
+        hybrid_options={"ar_row_budget": 100},
+    )
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    assert snapshot.maintenance_workload() == 3.0  # AR constant
+
+
+def test_hybrid_gi_side_cost(ab_cluster):
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d",
+                     partitioning=HashPartitioning("e")),
+        method="hybrid",
+        strategy="inl",
+        hybrid_options={"choices": {"A": "auxiliary", "B": "global_index"}},
+    )
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    # AR_A co-update insert (2) + GI_B probe (1) + N=4 fetches = 7.
+    assert snapshot.maintenance_workload() == 7.0
+
+
+def test_hybrid_falls_back_to_broadcast_with_index(ab_cluster):
+    """If no structure was provisioned (budget excludes the relation and
+    no GI either), hybrid needs a plain index to broadcast-probe."""
+    from repro.core import BoundView, MaintenanceMethod
+    from repro.core.optimizer import MaintenancePlanner
+
+    bound = BoundView(
+        two_way_view("JV", "A", "c", "B", "d"),
+        {
+            "A": ab_cluster.catalog.relation("A").schema,
+            "B": ab_cluster.catalog.relation("B").schema,
+        },
+    )
+    planner = MaintenancePlanner(ab_cluster, bound, MaintenanceMethod.HYBRID)
+    with pytest.raises(PlanningError, match="no structure"):
+        planner.resolve_access("B", "d")
+    ab_cluster.create_index("B", "d")
+    access = planner.resolve_access("B", "d")
+    assert access.broadcast

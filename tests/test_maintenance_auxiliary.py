@@ -1,0 +1,151 @@
+"""Tests for the auxiliary-relation maintenance method (paper §2.1.2)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Op, Tag, recompute_view, two_way_view
+from repro.cluster.partitioning import stable_hash
+from tests.conftest import make_view
+
+
+def view_equals_recompute(cluster):
+    return Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_provisions_ars_for_both_sides(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    assert "AR_A_c" in ab_cluster.catalog.auxiliaries
+    assert "AR_B_d" in ab_cluster.catalog.auxiliaries
+    # ARs are clustered on the join attribute at every node.
+    for node in ab_cluster.nodes:
+        index = node.fragment("AR_B_d").index_on("d")
+        assert index is not None and index.clustered
+
+
+def test_insert_updates_view_and_ars(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert view_equals_recompute(ab_cluster)
+    assert ab_cluster.scan_relation("AR_A_c") == [(1, 2, "x")]
+
+
+def test_single_tuple_tw_is_three_ios(ab_cluster):
+    make_view(ab_cluster, "auxiliary", strategy="inl")
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    # INSERT(2) into AR_A + SEARCH(1) of AR_B; sends are free.
+    assert snapshot.maintenance_workload() == 3.0
+
+
+def test_work_done_at_single_node(ab_cluster):
+    make_view(ab_cluster, "auxiliary", strategy="inl")
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    join_node = stable_hash(2) % 4
+    # All maintenance I/O concentrates at the join key's home node.
+    maintain = {
+        node: ios
+        for node, ios in snapshot.per_node_ios(
+            tags=[Tag.MAINTAIN]
+        ).items()
+        if ios
+    }
+    assert set(maintain) == {join_node}
+
+
+def test_exactly_one_probe_regardless_of_l(uniform_cluster_factory):
+    cluster, workload = uniform_cluster_factory("auxiliary", num_nodes=16)
+    snapshot = cluster.insert("A", [workload.a_row(0)])
+    assert snapshot.op_count(Op.SEARCH) == 1
+
+
+def test_delete_updates_view_and_ars(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.delete("A", [(1, 2, "x")])
+    assert ab_cluster.view_rows("JV") == []
+    assert ab_cluster.scan_relation("AR_A_c") == []
+
+
+def test_b_side_insert_uses_ar_a(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.insert("B", [(50, 2, "new")])
+    assert view_equals_recompute(ab_cluster)
+    assert Counter(ab_cluster.scan_relation("AR_B_d")) == Counter(
+        ab_cluster.scan_relation("B")
+    )
+
+
+def test_partitioned_base_needs_no_ar():
+    """If A is partitioned on the join attribute, no AR_A is kept."""
+    from repro import Cluster, HashPartitioning, Schema
+
+    cluster = Cluster(4)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="c")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 5, f"f{i}") for i in range(20)])
+    cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d",
+                     partitioning=HashPartitioning("e")),
+        method="auxiliary",
+    )
+    assert "AR_A_c" not in cluster.catalog.auxiliaries
+    assert "AR_B_d" in cluster.catalog.auxiliaries
+    cluster.insert("A", [(1, 2, "x")])
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_trimmed_ar_still_maintains(ab_cluster):
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d", select=[("A", "e"), ("B", "f")]),
+        method="auxiliary",
+        trim_auxiliaries=True,
+    )
+    aux = ab_cluster.catalog.auxiliary("AR_B_d")
+    assert set(aux.schema.column_names) == {"d", "f"}
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_shared_ar_across_views(ab_cluster):
+    make_view(ab_cluster, "auxiliary")
+    ab_cluster.create_join_view(
+        two_way_view("JV2", "A", "c", "B", "d", select=[("A", "a")]),
+        method="auxiliary",
+    )
+    aux = ab_cluster.catalog.auxiliary("AR_B_d")
+    assert aux.serves_views == ["JV", "JV2"]
+    # One insert maintains both views off the same AR.
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert view_equals_recompute(ab_cluster)
+    assert len(ab_cluster.view_rows("JV2")) == 4
+
+
+def test_undertrimmed_shared_ar_rejected(ab_cluster):
+    from repro.core.auxiliary import AuxiliaryProvisioningError
+
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d", select=[("A", "e"), ("B", "f")]),
+        method="auxiliary",
+        trim_auxiliaries=True,
+    )
+    with pytest.raises(AuxiliaryProvisioningError, match="lacks"):
+        ab_cluster.create_join_view(
+            two_way_view("JV2", "A", "c", "B", "d"),  # needs all of B
+            method="auxiliary",
+        )
+
+
+def test_sort_merge_strategy_same_contents(ab_cluster):
+    make_view(ab_cluster, "auxiliary", strategy="sort_merge")
+    ab_cluster.insert("A", [(1, 2, "x"), (2, 3, "y")])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_ar_cost_includes_co_update_per_ar(ab_cluster):
+    """Two ARs on the same base double the co-update inserts (the paper's
+    'updating all the auxiliary relations ... will be costly')."""
+    make_view(ab_cluster, "auxiliary", strategy="inl")
+    ab_cluster.create_auxiliary_relation("A", "e")  # a second AR of A
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    assert snapshot.op_count(Op.INSERT, tags=[Tag.MAINTAIN]) == 2

@@ -1,0 +1,119 @@
+"""Tests for the global-index maintenance method (paper §2.1.3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Op, Tag, recompute_view, two_way_view
+from tests.conftest import make_view
+
+
+def view_equals_recompute(cluster):
+    return Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_provisions_gis_for_both_sides(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    assert "GI_A_c" in ab_cluster.catalog.global_indexes
+    assert "GI_B_d" in ab_cluster.catalog.global_indexes
+    assert ab_cluster.catalog.auxiliaries == {}
+
+
+def test_insert_updates_view(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_single_tuple_tw_nonclustered(ab_cluster):
+    make_view(ab_cluster, "global_index", strategy="inl")
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    # INSERT(2) into GI_A + SEARCH(1) of GI_B + N(4) FETCHes = 7 I/Os.
+    assert snapshot.maintenance_workload() == 7.0
+
+
+def test_single_tuple_tw_distributed_clustered(ab_cluster):
+    ab_cluster.create_index("B", "d", clustered=True)
+    make_view(ab_cluster, "global_index", strategy="inl")
+    gi = ab_cluster.catalog.global_index("GI_B_d")
+    assert gi.distributed_clustered
+    snapshot = ab_cluster.insert("A", [(1, 2, "x")])
+    # Matches of key 2 are B rows 2, 7, 12, 17 -> nodes 2,3,0,1: K = 4.
+    # INSERT(2) + SEARCH(1) + K(4) FETCHes = 7.
+    assert snapshot.maintenance_workload() == 7.0
+
+
+def test_visits_only_owning_nodes(uniform_cluster_factory):
+    """K <= min(N, L): with N=2 matches on an 8-node cluster, only the
+    GI home node plus <= 2 owners do maintenance work."""
+    cluster, workload = uniform_cluster_factory(
+        "global_index", num_nodes=8, fanout=2
+    )
+    snapshot = cluster.insert("A", [workload.a_row(0)])
+    busy = {
+        node
+        for node, ios in snapshot.per_node_ios(tags=[Tag.MAINTAIN]).items()
+        if ios > 0
+    }
+    assert len(busy) <= 3
+
+
+def test_fetch_count_grows_with_fanout(uniform_cluster_factory):
+    for fanout in (1, 3, 7):
+        cluster, workload = uniform_cluster_factory(
+            "global_index", num_nodes=4, fanout=fanout
+        )
+        snapshot = cluster.insert("A", [workload.a_row(0)])
+        assert snapshot.op_count(Op.FETCH, tags=[Tag.MAINTAIN]) == fanout
+
+
+def test_delete_updates_view_and_gi(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.delete("A", [(1, 2, "x")])
+    assert ab_cluster.view_rows("JV") == []
+    gi = ab_cluster.catalog.global_index("GI_A_c")
+    home = gi.home_node(2)
+    assert ab_cluster.nodes[home].gi_partition("GI_A_c").search(2) == []
+
+
+def test_gi_entries_track_base_rows(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    ab_cluster.insert("A", [(1, 2, "x"), (5, 2, "y")])
+    gi = ab_cluster.catalog.global_index("GI_A_c")
+    home = gi.home_node(2)
+    grids = ab_cluster.nodes[home].gi_partition("GI_A_c").search(2)
+    assert len(grids) == 2
+    for grid in grids:
+        row = ab_cluster.nodes[grid.node].fragment("A").table.fetch(grid.rowid)
+        assert row[1] == 2
+
+
+def test_b_side_insert_uses_gi_a(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.insert("B", [(50, 2, "new")])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_update_roundtrip(ab_cluster):
+    make_view(ab_cluster, "global_index")
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.update("A", [((1, 2, "x"), (1, 4, "z"))])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_sort_merge_strategy_same_contents(ab_cluster):
+    make_view(ab_cluster, "global_index", strategy="sort_merge")
+    ab_cluster.insert("A", [(1, 2, "x"), (2, 3, "y")])
+    assert view_equals_recompute(ab_cluster)
+
+
+def test_space_between_naive_and_ar(ab_cluster):
+    """GI stores an entry per tuple — more than naive (0), less than a
+    full AR copy (whole rows)."""
+    make_view(ab_cluster, "global_index")
+    gi_entries = sum(
+        len(node.gi_partition("GI_B_d")) for node in ab_cluster.nodes
+    )
+    assert gi_entries == 20  # one entry per B tuple

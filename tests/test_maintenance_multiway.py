@@ -1,0 +1,170 @@
+"""Tests for multi-relation view maintenance (paper §2.2)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Cluster, HashPartitioning, Schema, recompute_view
+from repro.cluster.partitioning import RoundRobinPartitioning
+from repro.core.view import JoinCondition, JoinViewDefinition
+
+A = Schema.of("A", "a", "c", "e")
+B = Schema.of("B", "b", "d", "f")
+C = Schema.of("C", "g", "h", "p")
+
+CHAIN = JoinViewDefinition(
+    name="JV3",
+    relations=("A", "B", "C"),
+    conditions=(
+        JoinCondition("A", "c", "B", "d"),
+        JoinCondition("B", "f", "C", "g"),
+    ),
+    select=(("A", "a"), ("B", "b"), ("C", "h")),
+    partitioning=HashPartitioning("a"),
+)
+
+
+def chain_cluster(method, strategy="auto"):
+    cluster = Cluster(4)
+    cluster.create_relation(A, partitioned_on="a")
+    cluster.create_relation(B, partitioned_on="b")
+    cluster.create_relation(C, partitioned_on="p")
+    cluster.insert("B", [(i, i % 3, i % 4) for i in range(12)])
+    cluster.insert("C", [(i % 4, f"h{i}", i) for i in range(8)])
+    cluster.create_join_view(CHAIN, method=method, strategy=strategy)
+    return cluster
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_chain_insert_each_relation(method):
+    cluster = chain_cluster(method)
+    cluster.insert("A", [(1, 0, "x"), (2, 1, "y")])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+    cluster.insert("B", [(100, 0, 2)])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+    cluster.insert("C", [(2, "hx", 99)])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_chain_delete_each_relation(method):
+    cluster = chain_cluster(method)
+    cluster.insert("A", [(1, 0, "x")])
+    cluster.delete("B", [(0, 0, 0)])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+    cluster.delete("A", [(1, 0, "x")])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+    cluster.delete("C", [(0, "h0", 0)])
+    assert Counter(cluster.view_rows("JV3")) == recompute_view(cluster, "JV3")
+
+
+def test_auxiliary_provisions_per_edge():
+    """§2.2's example: B participates in two join edges, so it gets two
+    ARs (AR_B1 on d and AR_B2 on f); A and C get one each."""
+    cluster = chain_cluster("auxiliary")
+    names = set(cluster.catalog.auxiliaries)
+    assert names == {"AR_A_c", "AR_B_d", "AR_B_f", "AR_C_g"}
+
+
+def test_updating_b_co_updates_both_its_ars():
+    cluster = chain_cluster("auxiliary")
+    cluster.insert("B", [(50, 1, 2)])
+    assert (50, 1, 2) in cluster.scan_relation("AR_B_d")
+    assert (50, 1, 2) in cluster.scan_relation("AR_B_f")
+
+
+def test_global_index_provisions_per_edge():
+    cluster = chain_cluster("global_index")
+    names = set(cluster.catalog.global_indexes)
+    assert names == {"GI_A_c", "GI_B_d", "GI_B_f", "GI_C_g"}
+
+
+def triangle_cluster(method):
+    """The paper's cyclic A ⋈ B ⋈ C ⋈ A example."""
+    a = Schema.of("A", "x", "y")
+    b = Schema.of("B", "y2", "z")
+    c = Schema.of("C", "z2", "x2")
+    definition = JoinViewDefinition(
+        name="TRI",
+        relations=("A", "B", "C"),
+        conditions=(
+            JoinCondition("A", "y", "B", "y2"),
+            JoinCondition("B", "z", "C", "z2"),
+            JoinCondition("C", "x2", "A", "x"),
+        ),
+        select=(("A", "x"), ("B", "z"), ("C", "x2")),
+        partitioning=RoundRobinPartitioning(),
+    )
+    cluster = Cluster(3)
+    # Partition every relation off its join attributes (worst case).
+    cluster.create_relation(a, partitioned_on="x")
+    cluster.create_relation(b, partitioned_on="z")
+    cluster.create_relation(c, partitioned_on="x2")
+    cluster.insert("B", [(10, 99), (10, 77), (20, 99)])
+    cluster.insert("C", [(99, 1), (99, 2), (77, 1)])
+    cluster.create_join_view(definition, method=method)
+    return cluster
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_triangle_closing_edge_filters(method):
+    cluster = triangle_cluster(method)
+    cluster.insert("A", [(1, 10), (2, 10), (3, 20)])
+    assert Counter(cluster.view_rows("TRI")) == recompute_view(cluster, "TRI")
+    # A.x=1 joins B(10,99)->C(99,1) and B(10,77)->C(77,1): two results.
+    # A.x=2 joins B(10,99)->C(99,2): one result (C(77,2) does not exist).
+    # A.x=3 joins B(20,99) but C(99,3) does not exist: zero.
+    assert len(cluster.view_rows("TRI")) == 3
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_triangle_updates_on_every_relation(method):
+    cluster = triangle_cluster(method)
+    cluster.insert("A", [(1, 10)])
+    cluster.insert("B", [(30, 88)])
+    cluster.insert("C", [(88, 1)])
+    assert Counter(cluster.view_rows("TRI")) == recompute_view(cluster, "TRI")
+    cluster.delete("C", [(88, 1)])
+    assert Counter(cluster.view_rows("TRI")) == recompute_view(cluster, "TRI")
+
+
+@pytest.mark.parametrize("method", ["naive", "auxiliary", "global_index"])
+def test_four_way_chain(method):
+    """The §2.2 algorithm scales past three relations: a 4-relation chain
+    maintained from a delta at either end and from the middle."""
+    d_schema = Schema.of("D", "q", "r")
+    definition = JoinViewDefinition(
+        name="JV4",
+        relations=("A", "B", "C", "D"),
+        conditions=(
+            JoinCondition("A", "c", "B", "d"),
+            JoinCondition("B", "f", "C", "g"),
+            JoinCondition("C", "h", "D", "q"),
+        ),
+        select=(("A", "a"), ("D", "r")),
+        partitioning=HashPartitioning("a"),
+    )
+    cluster = Cluster(3)
+    cluster.create_relation(A, partitioned_on="a")
+    cluster.create_relation(B, partitioned_on="b")
+    cluster.create_relation(C, partitioned_on="p")
+    cluster.create_relation(d_schema, partitioned_on="r")
+    cluster.insert("B", [(i, i % 2, i % 3) for i in range(6)])
+    cluster.insert("C", [(i % 3, f"h{i % 2}", i) for i in range(6)])
+    cluster.insert("D", [(f"h{i % 2}", i) for i in range(4)])
+    cluster.create_join_view(definition, method=method)
+    cluster.insert("A", [(1, 0, "x")])
+    assert Counter(cluster.view_rows("JV4")) == recompute_view(cluster, "JV4")
+    cluster.insert("C", [(0, "h1", 99)])
+    assert Counter(cluster.view_rows("JV4")) == recompute_view(cluster, "JV4")
+    cluster.delete("D", [("h0", 0)])
+    assert Counter(cluster.view_rows("JV4")) == recompute_view(cluster, "JV4")
+
+
+def test_plan_describe_lists_hops():
+    cluster = chain_cluster("auxiliary")
+    view = cluster.catalog.view("JV3")
+    plan = view.maintainer.planner.plan_for("A")
+    described = plan.describe()
+    assert "B" in described and "C" in described
+    assert plan.join_order == ("A", "B", "C")

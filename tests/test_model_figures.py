@@ -1,0 +1,136 @@
+"""Tests for the figure series generators and the multiway model."""
+
+import pytest
+
+from repro.model import (
+    HopModel,
+    JV1_HOPS,
+    JV2_HOPS,
+    MethodVariant,
+    ModelParameters,
+    auxiliary_response_ios,
+    figure13_prediction,
+    global_index_response_ios,
+    naive_response_ios,
+    predicted_time_units,
+)
+from repro.model.figures import (
+    crossover_summary,
+    figure7_rows,
+    figure8_rows,
+    figure9_rows,
+    figure10_rows,
+    figure11_rows,
+    figure12_rows,
+    figure13_rows,
+)
+
+AR = MethodVariant.AUXILIARY.value
+NAIVE_CL = MethodVariant.NAIVE_CLUSTERED.value
+NAIVE_NCL = MethodVariant.NAIVE_NONCLUSTERED.value
+GI_NCL = MethodVariant.GI_NONCLUSTERED.value
+
+
+def test_figure7_constants():
+    rows = figure7_rows()
+    assert all(row[AR] == 3.0 for row in rows)
+    last = rows[-1]
+    assert last["nodes"] == 128
+    assert last[GI_NCL] == 13.0
+    assert last[NAIVE_CL] == 128.0
+
+
+def test_figure8_interpolation():
+    rows = figure8_rows()
+    for row in rows:
+        assert row[AR] <= row[GI_NCL] <= row[NAIVE_NCL]
+
+
+def test_figure9_ar_decreases():
+    rows = figure9_rows()
+    ar_series = [row[AR] for row in rows]
+    assert ar_series == sorted(ar_series, reverse=True)
+    assert all(row[NAIVE_CL] == 400.0 for row in rows)
+
+
+def test_figure10_naive_clustered_wins():
+    for row in figure10_rows():
+        assert row[NAIVE_CL] <= row[AR]
+        assert row[NAIVE_CL] <= row[GI_NCL]
+
+
+def test_figure11_flattens():
+    rows = figure11_rows()
+    naive_series = [row[NAIVE_CL] for row in rows]
+    # Flat once sort-merge takes over: the last several values equal.
+    assert naive_series[-1] == naive_series[-3]
+    ar_series = [row[AR] for row in rows]
+    assert ar_series[-1] > naive_series[-1]
+
+
+def test_figure12_stepwise():
+    rows = figure12_rows(insert_counts=(1, 128, 129, 256, 257), num_nodes=128)
+    ar = [row[AR] for row in rows]
+    assert ar == [3.0, 3.0, 6.0, 6.0, 9.0]
+
+
+def test_figure13_rows_shape():
+    rows = figure13_rows()
+    assert [row["nodes"] for row in rows] == [2, 4, 8]
+    for row in rows:
+        assert row["AR method for JV1"] < row["naive method for JV1"]
+        assert row["AR method for JV2"] < row["naive method for JV2"]
+    # AR speedup over naive grows with L (the paper's takeaway).
+    speedups = [
+        row["naive method for JV1"] / row["AR method for JV1"] for row in rows
+    ]
+    assert speedups == sorted(speedups)
+
+
+def test_figure13_prediction_values():
+    prediction = figure13_prediction(num_nodes=4, delta=128)
+    assert prediction["AR method for JV1"] == pytest.approx(0.25)
+    assert prediction["AR method for JV2"] == pytest.approx(0.5)
+    assert prediction["naive method for JV1"] == pytest.approx(1.25)
+    assert prediction["naive method for JV2"] == pytest.approx(3.25)
+
+
+def test_crossover_summary_ordering():
+    summary = crossover_summary()
+    assert summary[NAIVE_CL] < summary[AR]
+
+
+def test_multiway_model_single_hop_reduces_to_two_way():
+    params = ModelParameters(num_nodes=8)
+    hops = (HopModel(fanout=1.0),)
+    assert auxiliary_response_ios(128, hops, params) == 16.0  # ceil(128/8)
+    assert naive_response_ios(128, hops, params) == 128 * (1 + 1 / 8)
+
+
+def test_multiway_model_jv2_about_double_jv1():
+    params = ModelParameters(num_nodes=4)
+    jv1 = auxiliary_response_ios(128, JV1_HOPS, params)
+    jv2 = auxiliary_response_ios(128, JV2_HOPS, params)
+    assert jv2 == pytest.approx(2 * jv1)
+
+
+def test_multiway_model_co_updates_add_inserts():
+    params = ModelParameters(num_nodes=4)
+    base = auxiliary_response_ios(128, JV1_HOPS, params)
+    with_ar = auxiliary_response_ios(128, JV1_HOPS, params, co_update_ars=1)
+    assert with_ar == base + 32 * 2  # ceil(128/4) inserts at 2 I/Os
+
+
+def test_multiway_gi_fetch_costs():
+    params = ModelParameters(num_nodes=4)
+    hops_ncl = (HopModel(fanout=8.0, clustered=False),)
+    hops_cl = (HopModel(fanout=8.0, clustered=True),)
+    ncl = global_index_response_ios(128, hops_ncl, params)
+    cl = global_index_response_ios(128, hops_cl, params)
+    assert ncl > cl  # K=min(8,4)=4 page fetches < 8 row fetches
+
+
+def test_predicted_time_units():
+    assert predicted_time_units(256.0, 128) == 2.0
+    with pytest.raises(ValueError):
+        predicted_time_units(1.0, 0)

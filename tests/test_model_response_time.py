@@ -1,0 +1,150 @@
+"""Tests for the closed-form response-time model (§3.1.2, Figures 9-12)."""
+
+import pytest
+
+from repro.model import (
+    JoinRegime,
+    MethodVariant,
+    ModelParameters,
+    index_response_ios,
+    paper_scenario,
+    predict_response,
+    response_time_ios,
+    sort_merge_crossover,
+    sort_merge_response_ios,
+)
+
+
+def test_figure9_shapes():
+    """400-tuple transaction, index regime."""
+    for num_nodes, expected_ar in ((2, 600.0), (8, 150.0), (128, 12.0)):
+        params = paper_scenario(num_nodes)
+        assert index_response_ios(
+            MethodVariant.AUXILIARY, 400, params
+        ) == expected_ar
+        # Naive with clustered index is flat at A.
+        assert index_response_ios(
+            MethodVariant.NAIVE_CLUSTERED, 400, params
+        ) == 400.0
+
+
+def test_naive_nonclustered_approaches_a_from_above():
+    values = [
+        index_response_ios(
+            MethodVariant.NAIVE_NONCLUSTERED, 400, paper_scenario(num_nodes)
+        )
+        for num_nodes in (2, 8, 32, 128)
+    ]
+    assert values == sorted(values, reverse=True)
+    assert all(value > 400.0 for value in values)
+
+
+def test_stepwise_ceiling_behaviour():
+    """Figure 12: AR response steps at multiples of L."""
+    params = paper_scenario(128)
+    ar = MethodVariant.AUXILIARY
+    assert index_response_ios(ar, 1, params) == 3.0
+    assert index_response_ios(ar, 128, params) == 3.0
+    assert index_response_ios(ar, 129, params) == 6.0
+    assert index_response_ios(ar, 256, params) == 6.0
+    assert index_response_ios(ar, 257, params) == 9.0
+
+
+def test_figure10_naive_clustered_wins_sort_merge_regime():
+    """The paper's inversion: at A ~ |B| pages, naive-clustered beats all."""
+    for num_nodes in (2, 8, 32, 128):
+        params = paper_scenario(num_nodes)
+        naive = sort_merge_response_ios(
+            MethodVariant.NAIVE_CLUSTERED, 6_500, params
+        )
+        for other in (
+            MethodVariant.AUXILIARY,
+            MethodVariant.GI_NONCLUSTERED,
+            MethodVariant.GI_CLUSTERED,
+        ):
+            assert naive < sort_merge_response_ios(other, 6_500, params)
+
+
+def test_sort_merge_costs_fragment_dominated():
+    params = paper_scenario(8)  # B_i = 800 pages
+    assert sort_merge_response_ios(
+        MethodVariant.NAIVE_CLUSTERED, 1_000, params
+    ) == 800.0
+    # Non-clustered pays the external sort.
+    assert sort_merge_response_ios(
+        MethodVariant.NAIVE_NONCLUSTERED, 1_000, params
+    ) > 800.0
+    # AR adds its structure updates on top of the scan.
+    assert sort_merge_response_ios(
+        MethodVariant.AUXILIARY, 1_000, params
+    ) == 800.0 + 2 * 125
+
+
+def test_auto_regime_picks_minimum():
+    params = paper_scenario(128)
+    for variant in MethodVariant:
+        for inserted in (1, 500, 70_000):
+            prediction = predict_response(variant, inserted, params)
+            assert prediction.ios == min(
+                prediction.index_ios, prediction.sort_merge_ios
+            )
+            assert response_time_ios(
+                variant, inserted, params, JoinRegime.AUTO
+            ) == prediction.ios
+
+
+def test_forced_regimes():
+    params = paper_scenario(8)
+    assert response_time_ios(
+        MethodVariant.AUXILIARY, 100, params, JoinRegime.INDEX_NESTED_LOOPS
+    ) == index_response_ios(MethodVariant.AUXILIARY, 100, params)
+    assert response_time_ios(
+        MethodVariant.AUXILIARY, 100, params, JoinRegime.SORT_MERGE
+    ) == sort_merge_response_ios(MethodVariant.AUXILIARY, 100, params)
+
+
+def test_crossover_ordering_matches_figure11():
+    """Naive flattens first, GI later, AR last (§3.2's discussion)."""
+    params = paper_scenario(128)
+    naive = sort_merge_crossover(MethodVariant.NAIVE_CLUSTERED, params)
+    gi = sort_merge_crossover(MethodVariant.GI_CLUSTERED, params)
+    ar = sort_merge_crossover(MethodVariant.AUXILIARY, params)
+    assert naive < gi < ar
+
+
+def test_crossover_is_exact_boundary():
+    params = paper_scenario(128)
+    variant = MethodVariant.NAIVE_CLUSTERED
+    crossover = sort_merge_crossover(variant, params)
+    assert sort_merge_response_ios(variant, crossover, params) < index_response_ios(
+        variant, crossover, params
+    )
+    assert sort_merge_response_ios(
+        variant, crossover - 1, params
+    ) >= index_response_ios(variant, crossover - 1, params)
+
+
+def test_ar_crossover_near_b_pages():
+    """'As the number of inserted tuples approaches the number of pages of
+    B, the auxiliary relation method is indeed worse than the naive.'"""
+    params = paper_scenario(128)
+    crossover = sort_merge_crossover(MethodVariant.AUXILIARY, params)
+    assert 0.5 * params.partner_pages < crossover < 3 * params.partner_pages
+
+
+def test_negative_inserts_rejected():
+    params = paper_scenario(4)
+    with pytest.raises(ValueError):
+        index_response_ios(MethodVariant.AUXILIARY, -1, params)
+    with pytest.raises(ValueError):
+        sort_merge_response_ios(MethodVariant.AUXILIARY, -1, params)
+
+
+def test_response_monotone_in_inserted_tuples():
+    params = paper_scenario(16)
+    for variant in MethodVariant:
+        previous = 0.0
+        for inserted in (1, 10, 100, 1_000, 10_000):
+            current = response_time_ios(variant, inserted, params)
+            assert current >= previous
+            previous = current

@@ -1,0 +1,110 @@
+"""Tests for the closed-form TW model (paper §3.1.1, Figures 7-8)."""
+
+import pytest
+
+from repro.costs import CostParameters, Op
+from repro.model import (
+    ALL_VARIANTS,
+    MethodVariant,
+    ModelParameters,
+    paper_scenario,
+    savings_vs_naive,
+    total_workload_ios,
+    total_workload_ops,
+)
+
+
+def test_auxiliary_is_the_constant_three():
+    for num_nodes in (1, 4, 32, 128):
+        params = paper_scenario(num_nodes)
+        assert total_workload_ios(MethodVariant.AUXILIARY, params) == 3.0
+
+
+def test_gi_plateau_at_three_plus_n():
+    """Figure 7's quoted constant 13 once L > N (N = 10)."""
+    params = paper_scenario(128)
+    assert total_workload_ios(MethodVariant.GI_NONCLUSTERED, params) == 13.0
+    assert total_workload_ios(MethodVariant.GI_CLUSTERED, params) == 13.0
+
+
+def test_gi_clustered_below_plateau_while_l_small():
+    params = paper_scenario(4)  # K = min(10, 4) = 4
+    assert total_workload_ios(MethodVariant.GI_CLUSTERED, params) == 7.0
+
+
+def test_naive_grows_linearly_with_l():
+    p32, p64 = paper_scenario(32), paper_scenario(64)
+    assert (
+        total_workload_ios(MethodVariant.NAIVE_CLUSTERED, p64)
+        - total_workload_ios(MethodVariant.NAIVE_CLUSTERED, p32)
+        == 32.0
+    )
+    assert total_workload_ios(MethodVariant.NAIVE_NONCLUSTERED, p32) == 42.0
+
+
+def test_op_counts_match_paper_formulas():
+    params = ModelParameters(num_nodes=8, fanout=5)
+    ops = total_workload_ops(MethodVariant.NAIVE_NONCLUSTERED, params)
+    assert ops == {Op.SEND: 8 + 5, Op.SEARCH: 8, Op.FETCH: 5}
+    ops = total_workload_ops(MethodVariant.AUXILIARY, params)
+    assert ops == {Op.INSERT: 1, Op.SEND: 2, Op.SEARCH: 1}
+    ops = total_workload_ops(MethodVariant.GI_CLUSTERED, params)
+    assert ops == {Op.INSERT: 1, Op.SEND: 1 + 2 * 5, Op.SEARCH: 1, Op.FETCH: 5}
+
+
+def test_send_weight_sensitivity():
+    """With billed sends, the naive method gets even worse relative to AR."""
+    costs = CostParameters(send_ios=0.5)
+    params = ModelParameters(num_nodes=16, fanout=10, costs=costs)
+    naive = total_workload_ios(MethodVariant.NAIVE_CLUSTERED, params)
+    ar = total_workload_ios(MethodVariant.AUXILIARY, params)
+    assert naive == 16 + 0.5 * (16 + 10)
+    assert ar == 3 + 0.5 * 2
+
+
+def test_savings_grow_with_l():
+    small = savings_vs_naive(MethodVariant.AUXILIARY, paper_scenario(4))
+    large = savings_vs_naive(MethodVariant.AUXILIARY, paper_scenario(64))
+    assert large > small > 0
+
+
+def test_gi_between_naive_and_ar_in_fanout():
+    """Figure 8: GI ~ AR for N = 1, GI ~ naive for N = 100 (L = 32)."""
+    low = paper_scenario(32).with_fanout(1.0)
+    high = paper_scenario(32).with_fanout(100.0)
+    gi_low = total_workload_ios(MethodVariant.GI_NONCLUSTERED, low)
+    ar_low = total_workload_ios(MethodVariant.AUXILIARY, low)
+    naive_low = total_workload_ios(MethodVariant.NAIVE_NONCLUSTERED, low)
+    assert abs(gi_low - ar_low) < abs(gi_low - naive_low)
+    gi_high = total_workload_ios(MethodVariant.GI_NONCLUSTERED, high)
+    ar_high = total_workload_ios(MethodVariant.AUXILIARY, high)
+    naive_high = total_workload_ios(MethodVariant.NAIVE_NONCLUSTERED, high)
+    assert abs(gi_high - naive_high) < abs(gi_high - ar_high)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ModelParameters(num_nodes=0)
+    with pytest.raises(ValueError):
+        ModelParameters(num_nodes=1, fanout=-1)
+    with pytest.raises(ValueError):
+        ModelParameters(num_nodes=1, partner_pages=-1)
+    with pytest.raises(ValueError):
+        ModelParameters(num_nodes=1, memory_pages=1)
+
+
+def test_spread_is_min_n_l():
+    assert ModelParameters(num_nodes=4, fanout=10).spread == 4.0
+    assert ModelParameters(num_nodes=64, fanout=10).spread == 10.0
+
+
+def test_with_nodes_and_with_fanout_copy():
+    params = paper_scenario(4)
+    assert params.with_nodes(8).num_nodes == 8
+    assert params.with_nodes(8).fanout == params.fanout
+    assert params.with_fanout(3.0).fanout == 3.0
+    assert params.with_fanout(3.0).num_nodes == 4
+
+
+def test_all_variants_cover_enum():
+    assert set(ALL_VARIANTS) == set(MethodVariant)

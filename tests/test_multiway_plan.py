@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.multiway (orders, hops, output mapping)."""
+
+import pytest
+
+from repro.core.multiway import (
+    AuxiliaryAccess,
+    BaseAccess,
+    GlobalIndexAccess,
+    Hop,
+    MaintenancePlan,
+    OutputMapper,
+    enumerate_orders,
+)
+from repro.core.view import (
+    BoundView,
+    JoinCondition,
+    JoinViewDefinition,
+    ViewDefinitionError,
+    two_way_view,
+)
+from repro.storage.schema import Schema
+
+A = Schema.of("A", "a", "c", "e")
+B = Schema.of("B", "b", "d", "f")
+C = Schema.of("C", "g", "h")
+
+
+def test_two_way_single_order():
+    bound = BoundView(two_way_view("JV", "A", "c", "B", "d"), {"A": A, "B": B})
+    orders = enumerate_orders(bound, "A")
+    assert len(orders) == 1
+    (hop,) = orders[0]
+    assert hop.partner == "B"
+    assert hop.probe.column_of("B") == "d"
+    assert hop.extra_filters == ()
+
+
+def test_unknown_updated_relation():
+    bound = BoundView(two_way_view("JV", "A", "c", "B", "d"), {"A": A, "B": B})
+    with pytest.raises(ViewDefinitionError):
+        enumerate_orders(bound, "C")
+
+
+def test_chain_three_way_single_order_per_update():
+    definition = JoinViewDefinition(
+        "JV",
+        ("A", "B", "C"),
+        (JoinCondition("A", "c", "B", "d"), JoinCondition("B", "f", "C", "g")),
+    )
+    bound = BoundView(definition, {"A": A, "B": B, "C": C})
+    # Delta on A must go A -> B -> C.
+    orders = enumerate_orders(bound, "A")
+    assert len(orders) == 1
+    assert [hop.partner for hop in orders[0]] == ["B", "C"]
+    # Delta on B can branch either way first.
+    orders_b = enumerate_orders(bound, "B")
+    partners = sorted(tuple(h.partner for h in order) for order in orders_b)
+    assert partners == [("A", "C"), ("C", "A")]
+
+
+def test_triangle_has_exactly_four_ways():
+    """Paper §2.2: 'there are four possible ways to compute the changes'."""
+    a = Schema.of("A", "x", "y")
+    b = Schema.of("B", "y2", "z")
+    c = Schema.of("C", "z2", "x2")
+    definition = JoinViewDefinition(
+        "T",
+        ("A", "B", "C"),
+        (
+            JoinCondition("A", "y", "B", "y2"),
+            JoinCondition("B", "z", "C", "z2"),
+            JoinCondition("C", "x2", "A", "x"),
+        ),
+    )
+    bound = BoundView(definition, {"A": a, "B": b, "C": c})
+    orders = enumerate_orders(bound, "A")
+    assert len(orders) == 4
+    # Two orders start at B, two at C; the closing hop carries one filter.
+    first_partners = sorted(order[0].partner for order in orders)
+    assert first_partners == ["B", "B", "C", "C"]
+    for order in orders:
+        assert len(order[1].extra_filters) == 1
+
+
+def _plan_for(bound, updated, contributed_schemas):
+    """Hand-build a plan (bypassing the planner) for mapper tests."""
+    hops = []
+    for choice, schema in zip(enumerate_orders(bound, updated)[0], contributed_schemas):
+        column = choice.probe.column_of(choice.partner)
+        left_relation, left_column = choice.probe.other(choice.partner)
+        hops.append(
+            Hop(
+                partner=choice.partner,
+                left_relation=left_relation,
+                left_column=left_column,
+                right_column=column,
+                access=BaseAccess(choice.partner, column, broadcast=True, clustered=False),
+                contributed=schema,
+                extra_filters=choice.extra_filters,
+            )
+        )
+    return MaintenancePlan(
+        view=bound.definition.name,
+        updated=updated,
+        updated_schema=bound.schemas[updated],
+        hops=tuple(hops),
+    )
+
+
+def test_output_mapper_positions_and_projection():
+    bound = BoundView(
+        two_way_view("JV", "A", "c", "B", "d", select=[("B", "f"), ("A", "a")]),
+        {"A": A, "B": B},
+    )
+    plan = _plan_for(bound, "A", [B])
+    mapper = OutputMapper(bound, plan)
+    assert mapper.total_arity == 6
+    assert mapper.position("A", "c") == 1
+    assert mapper.position("B", "d") == 4
+    concatenated = (1, 2, 3, 10, 2, 30)  # A row + B row
+    assert mapper.to_view_row(concatenated) == (30, 1)
+
+
+def test_output_mapper_with_trimmed_contribution():
+    bound = BoundView(
+        two_way_view("JV", "A", "c", "B", "d", select=[("A", "a"), ("B", "f")]),
+        {"A": A, "B": B},
+    )
+    trimmed = B.project(["d", "f"], name="AR_B_d")
+    plan = _plan_for(bound, "A", [trimmed])
+    mapper = OutputMapper(bound, plan)
+    assert mapper.total_arity == 5
+    assert mapper.position("B", "f") == 4
+    assert mapper.to_view_row((1, 2, 3, 2, "f0")) == (1, "f0")
+
+
+def test_output_mapper_unknown_relation():
+    bound = BoundView(two_way_view("JV", "A", "c", "B", "d"), {"A": A, "B": B})
+    plan = _plan_for(bound, "A", [B])
+    mapper = OutputMapper(bound, plan)
+    with pytest.raises(ViewDefinitionError):
+        mapper.position("C", "g")
+
+
+def test_prefix_arity():
+    bound = BoundView(two_way_view("JV", "A", "c", "B", "d"), {"A": A, "B": B})
+    plan = _plan_for(bound, "A", [B])
+    mapper = OutputMapper(bound, plan)
+    assert mapper.prefix_arity(0) == 3
+    assert mapper.prefix_arity(1) == 6
+
+
+def test_plan_join_order_and_describe():
+    bound = BoundView(two_way_view("JV", "A", "c", "B", "d"), {"A": A, "B": B})
+    plan = _plan_for(bound, "A", [B])
+    assert plan.join_order == ("A", "B")
+    assert "Δ" in plan.describe() or "A" in plan.describe()
+
+
+def test_access_path_describe():
+    assert "broadcast" in BaseAccess("B", "d", True, False).describe()
+    assert "co-located" in BaseAccess("B", "d", False, True).describe()
+    assert "aux[" in AuxiliaryAccess("AR_B_d", "B", "d").describe()
+    assert "distributed clustered" in GlobalIndexAccess("GI", "B", "d", True).describe()
+    assert AuxiliaryAccess("AR_B_d", "B", "d").fragment_name == "AR_B_d"
+    assert GlobalIndexAccess("GI", "B", "d", False).fragment_name == "B"

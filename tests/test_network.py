@@ -1,0 +1,53 @@
+"""Unit tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.costs import CostLedger, CostParameters, Op, Tag
+
+
+@pytest.fixture
+def network():
+    return Network(4, CostLedger(CostParameters(send_ios=1.0)))
+
+
+def test_send_charges_sender(network):
+    network.send(0, 2)
+    snapshot = network.ledger.snapshot()
+    assert snapshot.per_node_ios() == {0: 1.0}
+    assert network.stats.messages == 1
+    assert network.stats.by_link[(0, 2)] == 1
+
+
+def test_self_send_is_free(network):
+    network.send(1, 1)
+    assert network.ledger.snapshot().total_workload() == 0.0
+    assert network.stats.messages == 0
+    assert network.stats.local_deliveries == 1
+
+
+def test_broadcast_charges_all_destinations(network):
+    destinations = list(network.broadcast(0))
+    assert destinations == [0, 1, 2, 3]
+    # Paper: a broadcast costs L sends, self-delivery included.
+    assert network.ledger.snapshot().op_count(Op.SEND) == 4
+
+
+def test_send_validates_nodes(network):
+    with pytest.raises(ValueError):
+        network.send(0, 9)
+    with pytest.raises(ValueError):
+        network.send(-1, 0)
+
+
+def test_tag_passthrough(network):
+    network.send(0, 1, Tag.VIEW)
+    assert network.ledger.snapshot().total_workload([Tag.VIEW]) == 1.0
+    assert network.ledger.snapshot().maintenance_workload() == 0.0
+
+
+def test_reset_stats(network):
+    network.send(0, 1)
+    network.reset_stats()
+    assert network.stats.messages == 0
+    assert network.stats.by_link == {}

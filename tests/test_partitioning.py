@@ -1,0 +1,89 @@
+"""Unit tests for repro.cluster.partitioning."""
+
+import pytest
+
+from repro.cluster.partitioning import (
+    HashPartitioning,
+    RoundRobinPartitioning,
+    spread_evenly,
+    stable_hash,
+)
+from repro.storage.schema import Schema
+
+
+def test_stable_hash_small_ints_identity():
+    assert stable_hash(0) == 0
+    assert stable_hash(41) == 41
+
+
+def test_stable_hash_bool_not_int_collision():
+    # bools map to 0/1 deterministically, not through int identity paths
+    assert stable_hash(True) == 1
+    assert stable_hash(False) == 0
+
+
+def test_stable_hash_strings_deterministic():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc") >= 0
+
+
+def test_stable_hash_negative_int():
+    assert stable_hash(-5) >= 0
+
+
+def test_hash_partitioner_routes_by_column():
+    schema = Schema.of("A", "a", "c")
+    bound = HashPartitioning("c").bind(schema, 4)
+    assert bound.node_of_row((99, 6)) == 6 % 4
+    assert bound.node_of_key(6) == 2
+    assert bound.key_of_row((99, 6)) == 6
+    assert bound.column == "c"
+    assert bound.is_hash
+
+
+def test_hash_partitioner_split():
+    schema = Schema.of("A", "a")
+    bound = HashPartitioning("a").bind(schema, 2)
+    split = bound.split([(0,), (1,), (2,), (3,)])
+    assert split[0] == [(0,), (2,)]
+    assert split[1] == [(1,), (3,)]
+
+
+def test_hash_partitioning_requires_known_column():
+    schema = Schema.of("A", "a")
+    with pytest.raises(Exception):
+        HashPartitioning("zzz").bind(schema, 2)
+
+
+def test_round_robin_cycles():
+    schema = Schema.of("A", "a")
+    bound = RoundRobinPartitioning().bind(schema, 3)
+    nodes = [bound.node_of_row((i,)) for i in range(6)]
+    assert nodes == [0, 1, 2, 0, 1, 2]
+    assert not bound.is_hash
+    assert bound.column is None
+
+
+def test_round_robin_split_balances():
+    schema = Schema.of("A", "a")
+    bound = RoundRobinPartitioning().bind(schema, 2)
+    split = bound.split([(i,) for i in range(10)])
+    assert len(split[0]) == len(split[1]) == 5
+
+
+def test_zero_nodes_rejected():
+    schema = Schema.of("A", "a")
+    with pytest.raises(ValueError):
+        HashPartitioning("a").bind(schema, 0)
+    with pytest.raises(ValueError):
+        RoundRobinPartitioning().bind(schema, 0)
+
+
+def test_spread_evenly_uniform_sequential_keys():
+    histogram = spread_evenly(list(range(100)), 4)
+    assert histogram == {0: 25, 1: 25, 2: 25, 3: 25}
+
+
+def test_describe():
+    assert HashPartitioning("c").describe() == "hash(c)"
+    assert RoundRobinPartitioning().describe() == "round-robin"

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+DESIGN.md §5: view/recompute equivalence under arbitrary update sequences
+for every method, method agreement, partitioning placement, global-index
+consistency, and exact TW model match for randomized scenarios.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Cluster,
+    HashPartitioning,
+    Schema,
+    recompute_view,
+    two_way_view,
+)
+from repro.cluster.partitioning import stable_hash
+from repro.model import MethodVariant, ModelParameters, total_workload_ios
+from repro.workloads.uniform import UniformJoinWorkload, build_cluster
+
+METHODS = ("naive", "auxiliary", "global_index")
+
+# An update script: each step inserts into A/B or deletes a previously
+# inserted row (by index into the still-live list).
+_step = st.one_of(
+    st.tuples(st.just("insert_a"), st.integers(0, 6), st.integers(0, 4)),
+    st.tuples(st.just("insert_b"), st.integers(0, 6), st.integers(0, 4)),
+    st.tuples(st.just("delete_a"), st.integers(0, 30), st.integers(0, 4)),
+    st.tuples(st.just("delete_b"), st.integers(0, 30), st.integers(0, 4)),
+)
+
+
+def _fresh_cluster(method, num_nodes=3):
+    cluster = Cluster(num_nodes=num_nodes)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d",
+                     partitioning=HashPartitioning("e")),
+        method=method,
+    )
+    return cluster
+
+
+def _apply_script(cluster, script):
+    """Run the update script; returns how many steps actually applied."""
+    serial = 0
+    live_a, live_b = [], []
+    applied = 0
+    for kind, index, key in script:
+        if kind == "insert_a":
+            row = (serial, key, serial)
+            serial += 1
+            live_a.append(row)
+            cluster.insert("A", [row])
+            applied += 1
+        elif kind == "insert_b":
+            row = (serial, key, serial)
+            serial += 1
+            live_b.append(row)
+            cluster.insert("B", [row])
+            applied += 1
+        elif kind == "delete_a" and live_a:
+            row = live_a.pop(index % len(live_a))
+            cluster.delete("A", [row])
+            applied += 1
+        elif kind == "delete_b" and live_b:
+            row = live_b.pop(index % len(live_b))
+            cluster.delete("B", [row])
+            applied += 1
+    return applied
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(_step, max_size=25))
+@pytest.mark.parametrize("method", METHODS)
+def test_view_equals_recompute_under_any_script(method, script):
+    """Invariant 1: incremental view == from-scratch join, always."""
+    cluster = _fresh_cluster(method)
+    _apply_script(cluster, script)
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(_step, max_size=20))
+def test_all_methods_agree(script):
+    """Invariant 2: all methods (incl. hybrid) produce identical contents."""
+    contents = []
+    for method in METHODS + ("hybrid",):
+        cluster = _fresh_cluster(method)
+        _apply_script(cluster, script)
+        contents.append(Counter(cluster.view_rows("JV")))
+    assert all(c == contents[0] for c in contents[1:])
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(_step, max_size=25),
+       num_nodes=st.integers(min_value=1, max_value=6))
+def test_placement_invariants(script, num_nodes):
+    """Invariant 3: every stored tuple is on the node its key hashes to,
+    for base relations, ARs, and the hash-partitioned view."""
+    cluster = _fresh_cluster("auxiliary", num_nodes=num_nodes)
+    _apply_script(cluster, script)
+    for name in ("A", "B", "AR_A_c", "AR_B_d", "JV"):
+        if name in cluster.catalog.relations:
+            schema = cluster.catalog.relation(name).schema
+            column = cluster.catalog.relation(name).partition_column
+        elif name in cluster.catalog.auxiliaries:
+            info = cluster.catalog.auxiliary(name)
+            schema, column = info.schema, info.column
+        else:
+            info = cluster.catalog.view(name)
+            schema, column = info.schema, "e"
+        position = schema.index_of(column)
+        for node in cluster.nodes:
+            for row in node.scan(name):
+                assert stable_hash(row[position]) % num_nodes == node.node_id
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(_step, max_size=25))
+def test_global_index_consistency(script):
+    """Invariant 4: GI entries exactly mirror the base fragments."""
+    cluster = _fresh_cluster("global_index")
+    _apply_script(cluster, script)
+    for gi_name, base in (("GI_A_c", "A"), ("GI_B_d", "B")):
+        gi = cluster.catalog.global_index(gi_name)
+        position = gi.key_position
+        # Every GI entry points at a live base row with the right key.
+        entries = set()
+        for node in cluster.nodes:
+            for key, grids in node.gi_partition(gi_name).items():
+                assert gi.home_node(key) == node.node_id
+                for grid in grids:
+                    row = cluster.nodes[grid.node].fragment(base).table.fetch(
+                        grid.rowid
+                    )
+                    assert row[position] == key
+                    entries.add((grid.node, grid.rowid))
+        # And every live base row has exactly one GI entry.
+        base_rows = set()
+        for node in cluster.nodes:
+            for rowid, _ in node.fragment(base).table.scan():
+                base_rows.add((node.node_id, rowid))
+        assert entries == base_rows
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    num_nodes=st.integers(min_value=1, max_value=24),
+    fanout=st.integers(min_value=1, max_value=12),
+    variant=st.sampled_from(list(MethodVariant)),
+)
+def test_single_tuple_tw_matches_model_exactly(num_nodes, fanout, variant):
+    """Invariant 5: measured TW == closed-form TW for any (L, N, variant)."""
+    method, clustered = {
+        MethodVariant.NAIVE_NONCLUSTERED: ("naive", False),
+        MethodVariant.NAIVE_CLUSTERED: ("naive", True),
+        MethodVariant.AUXILIARY: ("auxiliary", False),
+        MethodVariant.GI_NONCLUSTERED: ("global_index", False),
+        MethodVariant.GI_CLUSTERED: ("global_index", True),
+    }[variant]
+    workload = UniformJoinWorkload(num_keys=30, fanout=fanout, clustered=clustered)
+    cluster = build_cluster(
+        workload, num_nodes=num_nodes, method=method, strategy="inl"
+    )
+    snapshot = cluster.insert("A", [workload.a_row(0)])
+    params = ModelParameters(num_nodes=num_nodes, fanout=float(fanout))
+    assert snapshot.maintenance_workload() == pytest.approx(
+        total_workload_ios(variant, params)
+    )
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(_step, max_size=15))
+def test_strategies_agree(script):
+    """INL and sort-merge produce identical view contents."""
+    reference = None
+    for strategy in ("inl", "sort_merge"):
+        cluster = Cluster(num_nodes=3)
+        cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+        cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+        cluster.create_join_view(
+            two_way_view("JV", "A", "c", "B", "d",
+                         partitioning=HashPartitioning("e")),
+            method="auxiliary",
+            strategy=strategy,
+        )
+        _apply_script(cluster, script)
+        contents = Counter(cluster.view_rows("JV"))
+        if reference is None:
+            reference = contents
+        else:
+            assert contents == reference

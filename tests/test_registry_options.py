@@ -1,0 +1,142 @@
+"""Tests for define_join_view options and less-travelled registry paths."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Cluster,
+    HashPartitioning,
+    JoinStrategy,
+    MaintenanceMethod,
+    Schema,
+    recompute_view,
+    two_way_view,
+)
+from repro.core import StatisticsCache, defer_view
+from repro.core.view import JoinCondition, JoinViewDefinition
+
+
+def test_method_coercion():
+    assert MaintenanceMethod.coerce("naive") is MaintenanceMethod.NAIVE
+    assert MaintenanceMethod.coerce(MaintenanceMethod.HYBRID) is MaintenanceMethod.HYBRID
+    with pytest.raises(ValueError, match="unknown maintenance method"):
+        MaintenanceMethod.coerce("bogus")
+
+
+def test_strategy_string_coercion(ab_cluster):
+    view = ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d"), method="naive", strategy="inl"
+    )
+    assert view.maintainer.strategy is JoinStrategy.INDEX_NESTED_LOOPS
+
+
+def test_initial_load_false_starts_empty(ab_cluster):
+    ab_cluster.insert("A", [(1, 2, "x")])  # pre-existing matching data
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d"),
+        method="naive",
+        initial_load=False,
+    )
+    assert ab_cluster.view_rows("JV") == []
+    # Later deltas still maintain incrementally (view stays "behind" by
+    # exactly the skipped initial contents).
+    ab_cluster.insert("A", [(2, 3, "y")])
+    assert len(ab_cluster.view_rows("JV")) == 4
+
+
+def test_initial_load_true_materializes_existing(ab_cluster):
+    ab_cluster.insert("A", [(1, 2, "x")])
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d"), method="naive"
+    )
+    assert Counter(ab_cluster.view_rows("JV")) == recompute_view(ab_cluster, "JV")
+    assert len(ab_cluster.view_rows("JV")) == 4
+
+
+def test_shared_statistics_cache(ab_cluster):
+    statistics = StatisticsCache(ab_cluster)
+    view = ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d"),
+        method="naive",
+        statistics=statistics,
+    )
+    assert view.maintainer.planner.statistics is statistics
+
+
+def test_view_on_unknown_relation_rejected():
+    cluster = Cluster(2)
+    cluster.create_relation(Schema.of("A", "a", "c"), partitioned_on="a")
+    with pytest.raises(KeyError):
+        cluster.create_join_view(
+            two_way_view("JV", "A", "c", "NOPE", "d"), method="naive"
+        )
+
+
+def test_duplicate_view_name_rejected(ab_cluster):
+    ab_cluster.create_join_view(
+        two_way_view("JV", "A", "c", "B", "d"), method="naive"
+    )
+    with pytest.raises(ValueError, match="already in use"):
+        ab_cluster.create_join_view(
+            two_way_view("JV", "A", "c", "B", "d"), method="naive"
+        )
+
+
+def test_triangle_with_forced_sort_merge():
+    """Cyclic extra filters must also hold on the batch (sort-merge) path."""
+    a = Schema.of("A", "x", "y", "pa")
+    b = Schema.of("B", "y2", "z", "pb")
+    c = Schema.of("C", "z2", "x2", "pc")
+    definition = JoinViewDefinition(
+        name="TRI",
+        relations=("A", "B", "C"),
+        conditions=(
+            JoinCondition("A", "y", "B", "y2"),
+            JoinCondition("B", "z", "C", "z2"),
+            JoinCondition("C", "x2", "A", "x"),
+        ),
+        select=(("A", "x"), ("B", "z")),
+    )
+    cluster = Cluster(3)
+    cluster.create_relation(a, partitioned_on="pa")
+    cluster.create_relation(b, partitioned_on="pb")
+    cluster.create_relation(c, partitioned_on="pc")
+    cluster.insert("B", [(10, 99, 0), (10, 77, 1), (20, 99, 2)])
+    cluster.insert("C", [(99, 1, 0), (99, 2, 1), (77, 1, 2)])
+    cluster.create_join_view(definition, method="auxiliary", strategy="sort_merge")
+    cluster.insert("A", [(1, 10, 0), (2, 10, 1), (3, 20, 2)])
+    assert Counter(cluster.view_rows("TRI")) == recompute_view(cluster, "TRI")
+
+
+def test_deferred_aggregate_view():
+    """Deferred maintenance composes with aggregate views."""
+    from repro.core import (
+        Aggregate,
+        AggregateFunction,
+        AggregateSpec,
+        aggregate_rows,
+        define_aggregate_join_view,
+        recompute_aggregate,
+    )
+
+    cluster = Cluster(3)
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 2, float(i)) for i in range(6)])
+    define_aggregate_join_view(
+        cluster,
+        two_way_view("AGG", "A", "c", "B", "d"),
+        AggregateSpec(
+            group_by=(("B", "d"),),
+            aggregates=(Aggregate(AggregateFunction.COUNT, "n"),),
+        ),
+    )
+    wrapper = defer_view(cluster, "AGG")
+    cluster.insert("A", [(1, 0, "x")])
+    cluster.insert("A", [(2, 1, "y")])
+    assert aggregate_rows(cluster, "AGG") == []  # stale
+    wrapper.refresh()
+    assert sorted(aggregate_rows(cluster, "AGG")) == sorted(
+        recompute_aggregate(cluster, "AGG")
+    )

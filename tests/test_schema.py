@@ -1,0 +1,107 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.storage.schema import Column, Schema, SchemaError, concat_schemas
+
+
+def test_schema_of_builds_columns():
+    schema = Schema.of("A", "x", "y", "z")
+    assert schema.name == "A"
+    assert schema.column_names == ("x", "y", "z")
+    assert schema.arity == 3
+
+
+def test_schema_of_with_kinds():
+    schema = Schema.of("A", "x", "y", kinds=(int, str))
+    assert schema.columns[0].kind is int
+    assert schema.columns[1].kind is str
+
+
+def test_schema_of_kinds_length_mismatch():
+    with pytest.raises(SchemaError):
+        Schema.of("A", "x", "y", kinds=(int,))
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(SchemaError, match="duplicate column"):
+        Schema("A", (Column("x"), Column("x")))
+
+
+def test_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        Schema("", (Column("x"),))
+
+
+def test_invalid_column_name_rejected():
+    with pytest.raises(SchemaError):
+        Column("not an identifier")
+
+
+def test_index_of_and_value():
+    schema = Schema.of("A", "x", "y")
+    assert schema.index_of("y") == 1
+    assert schema.value((10, 20), "y") == 20
+
+
+def test_index_of_unknown_column():
+    schema = Schema.of("A", "x")
+    with pytest.raises(SchemaError, match="no column 'q'"):
+        schema.index_of("q")
+
+
+def test_contains():
+    schema = Schema.of("A", "x")
+    assert "x" in schema
+    assert "y" not in schema
+
+
+def test_check_row_arity():
+    schema = Schema.of("A", "x", "y")
+    schema.check_row((1, 2))
+    with pytest.raises(SchemaError, match="arity"):
+        schema.check_row((1, 2, 3))
+
+
+def test_project_preserves_order_given():
+    schema = Schema.of("A", "x", "y", "z")
+    projected = schema.project(["z", "x"])
+    assert projected.column_names == ("z", "x")
+    assert projected.name == "A"
+
+
+def test_project_with_rename():
+    schema = Schema.of("A", "x", "y")
+    assert schema.project(["x"], name="AR_A").name == "AR_A"
+
+
+def test_projector():
+    schema = Schema.of("A", "x", "y", "z")
+    project = schema.projector(["z", "x"])
+    assert project((1, 2, 3)) == (3, 1)
+
+
+def test_rename():
+    schema = Schema.of("A", "x")
+    assert schema.rename("B").name == "B"
+    assert schema.rename("B").column_names == ("x",)
+
+
+def test_prefixed():
+    schema = Schema.of("A", "x", "y")
+    prefixed = schema.prefixed("A")
+    assert prefixed.column_names == ("A_x", "A_y")
+
+
+def test_concat_schemas_no_collision():
+    left = Schema.of("A", "x", "y")
+    right = Schema.of("B", "z")
+    joined = concat_schemas("J", left, right)
+    assert joined.column_names == ("x", "y", "z")
+
+
+def test_concat_schemas_with_collision():
+    left = Schema.of("A", "k", "x")
+    right = Schema.of("B", "k", "y")
+    joined = concat_schemas("J", left, right)
+    assert joined.column_names == ("A_k", "x", "B_k", "y")

@@ -1,0 +1,70 @@
+"""Tests for the skewed-workload module."""
+
+from collections import Counter
+
+import pytest
+
+from repro import recompute_view
+from repro.workloads import SkewedJoinWorkload, build_skewed_cluster, zipf_weights
+
+
+def test_zipf_weights_normalized():
+    weights = zipf_weights(100, 1.2)
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_zipf_zero_skew_is_uniform():
+    weights = zipf_weights(10, 0.0)
+    assert all(w == pytest.approx(0.1) for w in weights)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(10, -0.1)
+    with pytest.raises(ValueError):
+        SkewedJoinWorkload(num_keys=0)
+
+
+def test_b_side_matches_uniform_twin():
+    workload = SkewedJoinWorkload(num_keys=8, fanout=3, skew=1.5)
+    assert workload.b_rows() == workload.uniform_twin.b_rows()
+
+
+def test_a_rows_deterministic_and_in_key_space():
+    workload = SkewedJoinWorkload(num_keys=16, skew=1.0, seed=9)
+    first = workload.a_rows(50)
+    second = workload.a_rows(50)
+    assert first == second
+    assert all(0 <= row[1] < 16 for row in first)
+    # Serials are unique (they double as the partitioning attribute).
+    assert len({row[0] for row in first}) == 50
+
+
+def test_hot_key_share_grows_with_skew():
+    shares = [
+        SkewedJoinWorkload(num_keys=64, skew=skew).hot_key_share(2_000)
+        for skew in (0.0, 1.0, 2.0)
+    ]
+    assert shares == sorted(shares)
+    assert shares[-1] > 0.3
+
+
+def test_skewed_maintenance_stays_correct():
+    workload = SkewedJoinWorkload(num_keys=16, fanout=2, skew=1.5)
+    cluster = build_skewed_cluster(workload, num_nodes=4, method="auxiliary")
+    cluster.insert("A", workload.a_rows(30))
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
+def test_skew_inflates_ar_response():
+    flat = SkewedJoinWorkload(num_keys=64, fanout=2, skew=0.0)
+    hot = SkewedJoinWorkload(num_keys=64, fanout=2, skew=2.0)
+    responses = {}
+    for name, workload in (("flat", flat), ("hot", hot)):
+        cluster = build_skewed_cluster(workload, num_nodes=16, method="auxiliary")
+        snapshot = cluster.insert("A", workload.a_rows(256))
+        responses[name] = snapshot.maintenance_response_time()
+    assert responses["hot"] > 2 * responses["flat"]

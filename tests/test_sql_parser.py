@@ -1,0 +1,147 @@
+"""Tests for the paper's CREATE VIEW dialect parser."""
+
+from collections import Counter
+
+import pytest
+
+from repro import recompute_view
+from repro.cluster.partitioning import HashPartitioning, RoundRobinPartitioning
+from repro.sql import SqlSyntaxError, parse_join_view
+from repro.storage.schema import Schema
+
+SCHEMAS = {
+    "A": Schema.of("A", "a", "c", "e"),
+    "B": Schema.of("B", "b", "d", "f"),
+    "customer": Schema.of("customer", "custkey", "acctbal"),
+    "orders": Schema.of("orders", "orderkey", "custkey", "totalprice"),
+    "lineitem": Schema.of("lineitem", "linekey", "orderkey", "discount"),
+}
+
+
+def test_paper_jv_statement():
+    definition = parse_join_view(
+        "create view JV as select * from A, B where A.c=B.d "
+        "partitioned on A.e;",
+        SCHEMAS,
+    )
+    assert definition.name == "JV"
+    assert definition.relations == ("A", "B")
+    assert definition.select is None
+    condition = definition.conditions[0]
+    assert (condition.left, condition.left_column) == ("A", "c")
+    assert (condition.right, condition.right_column) == ("B", "d")
+    assert definition.partitioning == HashPartitioning("e")
+
+
+def test_paper_jv2_statement_with_aliases():
+    definition = parse_join_view(
+        """create view JV2 as
+           select c.custkey, c.acctbal, o.orderkey, o.totalprice,
+                  l.discount
+           from orders o, customer c, lineitem l
+           where c.custkey=o.custkey and o.orderkey=l.orderkey;""",
+        SCHEMAS,
+    )
+    assert definition.relations == ("orders", "customer", "lineitem")
+    assert ("customer", "custkey") in definition.select
+    assert len(definition.conditions) == 2
+    assert isinstance(definition.partitioning, RoundRobinPartitioning)
+
+
+def test_collision_qualified_partition_column():
+    definition = parse_join_view(
+        "create view V as select c.custkey, o.totalprice "
+        "from customer c, orders o where c.custkey = o.custkey "
+        "partitioned on c.custkey",
+        SCHEMAS,
+    )
+    # customer.custkey collides with orders.custkey -> qualified output name.
+    assert definition.partitioning == HashPartitioning("customer_custkey")
+
+
+def test_bare_partition_column_when_unambiguous():
+    definition = parse_join_view(
+        "create view V as select * from A, B where A.c = B.d "
+        "partitioned on e",
+        SCHEMAS,
+    )
+    assert definition.partitioning == HashPartitioning("e")
+
+
+def test_bare_partition_column_ambiguous():
+    with pytest.raises(SqlSyntaxError, match="ambiguous"):
+        parse_join_view(
+            "create view V as select * from customer, orders "
+            "where customer.custkey = orders.custkey partitioned on custkey",
+            SCHEMAS,
+        )
+
+
+def test_partition_column_must_be_selected():
+    with pytest.raises(SqlSyntaxError, match="select list"):
+        parse_join_view(
+            "create view V as select A.a from A, B where A.c = B.d "
+            "partitioned on B.f",
+            SCHEMAS,
+        )
+
+
+def test_as_alias_form():
+    definition = parse_join_view(
+        "create view V as select x.a from A as x, B as y where x.c = y.d",
+        SCHEMAS,
+    )
+    assert definition.relations == ("A", "B")
+
+
+def test_rejects_unknown_relation():
+    with pytest.raises(SqlSyntaxError, match="unknown relation"):
+        parse_join_view(
+            "create view V as select * from A, ZZ where A.c = ZZ.d", SCHEMAS
+        )
+
+
+def test_rejects_unknown_alias():
+    with pytest.raises(SqlSyntaxError, match="unknown alias"):
+        parse_join_view(
+            "create view V as select q.a from A, B where A.c = B.d", SCHEMAS
+        )
+
+
+def test_rejects_duplicate_aliases():
+    with pytest.raises(SqlSyntaxError, match="duplicate aliases"):
+        parse_join_view(
+            "create view V as select * from A x, B x where x.c = x.d", SCHEMAS
+        )
+
+
+def test_rejects_non_equijoin():
+    with pytest.raises(SqlSyntaxError, match="equi-join"):
+        parse_join_view(
+            "create view V as select * from A, B where A.c < B.d", SCHEMAS
+        )
+
+
+def test_rejects_unqualified_column():
+    with pytest.raises(SqlSyntaxError, match="qualified"):
+        parse_join_view(
+            "create view V as select a from A, B where A.c = B.d", SCHEMAS
+        )
+
+
+def test_rejects_garbage():
+    with pytest.raises(SqlSyntaxError, match="expected"):
+        parse_join_view("drop table A;", SCHEMAS)
+    with pytest.raises(SqlSyntaxError):
+        parse_join_view("create view V as select * from A, B", SCHEMAS)
+
+
+def test_end_to_end_on_cluster(ab_cluster):
+    view = ab_cluster.create_view_from_sql(
+        "create view JV as select A.a, B.f from A, B where A.c = B.d "
+        "partitioned on A.a;",
+        method="global_index",
+    )
+    assert view.method == "global_index"
+    ab_cluster.insert("A", [(1, 2, "x")])
+    assert Counter(ab_cluster.view_rows("JV")) == recompute_view(ab_cluster, "JV")

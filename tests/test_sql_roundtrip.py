@@ -1,0 +1,99 @@
+"""Property tests: render ∘ parse is the identity on the view dialect."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partitioning import HashPartitioning, RoundRobinPartitioning
+from repro.core.view import JoinCondition, JoinViewDefinition
+from repro.sql import parse_join_view, render_view_sql
+from repro.storage.schema import Schema
+
+# A fixed universe of relations/columns keeps generated definitions valid.
+SCHEMAS = {
+    "r0": Schema.of("r0", "k0", "v0", "w0"),
+    "r1": Schema.of("r1", "k1", "v1", "w1"),
+    "r2": Schema.of("r2", "k2", "v2", "w2"),
+}
+RELATIONS = tuple(SCHEMAS)
+
+
+@st.composite
+def definitions(draw):
+    count = draw(st.integers(2, 3))
+    relations = RELATIONS[:count]
+    # Chain conditions keep the graph connected; optionally close a cycle.
+    conditions = [
+        JoinCondition(relations[i], f"k{i}", relations[i + 1], f"v{i + 1}")
+        for i in range(count - 1)
+    ]
+    if count == 3 and draw(st.booleans()):
+        conditions.append(JoinCondition(relations[2], "w2", relations[0], "w0"))
+    select_all = draw(st.booleans())
+    if select_all:
+        select = None
+    else:
+        items = []
+        for relation in relations:
+            for column in SCHEMAS[relation].column_names:
+                if draw(st.booleans()):
+                    items.append((relation, column))
+        if not items:
+            items = [(relations[0], "k0")]
+        select = tuple(items)
+    partition_choice = draw(st.integers(0, 2))
+    if partition_choice == 0:
+        partitioning = RoundRobinPartitioning()
+    else:
+        # Pick a column present in the (possibly implicit) select list.
+        pool = select if select is not None else tuple(
+            (relation, column)
+            for relation in relations
+            for column in SCHEMAS[relation].column_names
+        )
+        relation, column = draw(st.sampled_from(list(pool)))
+        # The output name: collision-free by construction (unique suffixes).
+        partitioning = HashPartitioning(column)
+    return JoinViewDefinition(
+        name="fuzzed",
+        relations=relations,
+        conditions=tuple(conditions),
+        select=select,
+        partitioning=partitioning,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(definition=definitions())
+def test_render_parse_roundtrip(definition):
+    sql = render_view_sql(definition, SCHEMAS)
+    parsed = parse_join_view(sql, SCHEMAS)
+    assert parsed.relations == definition.relations
+    assert parsed.conditions == definition.conditions
+    assert parsed.select == definition.select
+    assert parsed.partitioning == definition.partitioning
+
+
+def test_render_select_star():
+    definition = JoinViewDefinition(
+        "v", ("r0", "r1"),
+        (JoinCondition("r0", "k0", "r1", "v1"),),
+    )
+    sql = render_view_sql(definition, SCHEMAS)
+    assert "select *" in sql
+    assert parse_join_view(sql, SCHEMAS).select is None
+
+
+def test_render_qualified_partition_on_collision():
+    left = Schema.of("x", "k", "p")
+    right = Schema.of("y", "k", "q")
+    schemas = {"x": left, "y": right}
+    definition = JoinViewDefinition(
+        "v", ("x", "y"),
+        (JoinCondition("x", "k", "y", "k"),),
+        select=(("x", "k"), ("y", "q")),
+        partitioning=HashPartitioning("x_k"),  # qualified output name
+    )
+    sql = render_view_sql(definition, schemas)
+    assert "partitioned on x.k" in sql
+    assert parse_join_view(sql, schemas).partitioning == HashPartitioning("x_k")

@@ -1,0 +1,45 @@
+"""Tests for repro.core.statistics."""
+
+import pytest
+
+from repro.core.statistics import RelationStatistics, StatisticsCache
+
+
+def test_fanout_rows_over_distinct():
+    stats = RelationStatistics("B", rows=20, distinct={"d": 5})
+    assert stats.fanout("d") == 4.0
+
+
+def test_fanout_empty_relation():
+    stats = RelationStatistics("B", rows=0, distinct={})
+    assert stats.fanout("d") == 0.0
+
+
+def test_fanout_unknown_column_is_pessimistic():
+    stats = RelationStatistics("B", rows=20, distinct={})
+    assert stats.fanout("zzz") == 20.0
+
+
+def test_cache_computes_distincts(ab_cluster):
+    cache = StatisticsCache(ab_cluster)
+    stats = cache.for_relation("B")
+    assert stats.rows == 20
+    assert stats.distinct["d"] == 5
+    assert stats.distinct["b"] == 20
+    assert cache.fanout("B", "d") == 4.0
+
+
+def test_cache_hit_and_invalidation(ab_cluster):
+    cache = StatisticsCache(ab_cluster)
+    first = cache.for_relation("B")
+    assert cache.for_relation("B") is first
+    ab_cluster.insert("B", [(100, 9, "z")])
+    second = cache.for_relation("B")
+    assert second is not first
+    assert second.rows == 21
+
+
+def test_spread_capped_by_nodes(ab_cluster):
+    cache = StatisticsCache(ab_cluster)
+    assert cache.spread("B", "d", num_nodes=2) == 2.0
+    assert cache.spread("B", "d", num_nodes=16) == 4.0

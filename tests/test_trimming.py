@@ -1,0 +1,77 @@
+"""Tests for repro.core.trimming (§2.1.2 storage minimization)."""
+
+import pytest
+
+from repro.core.trimming import (
+    AuxiliaryRequirement,
+    merge_requirements,
+    requirement_for,
+    trimming_savings,
+)
+from repro.core.view import BoundView, JoinCondition, JoinViewDefinition, two_way_view
+from repro.storage.schema import Schema
+
+A = Schema.of("A", "c", "e", "f", "g")
+B = Schema.of("B", "d", "h")
+C = Schema.of("C", "q", "p")
+
+
+def test_requirement_follows_paper_jv1_example():
+    """Paper: JV1 selects A.e, A.f, B.h on A.c=B.d -> AR_A1 keeps c, e, f."""
+    definition = two_way_view(
+        "JV1", "A", "c", "B", "d",
+        select=[("A", "e"), ("A", "f"), ("B", "h")],
+    )
+    bound = BoundView(definition, {"A": A, "B": B})
+    requirement = requirement_for(bound, "A", "c")
+    assert set(requirement.needed_columns) == {"c", "e", "f"}
+    assert requirement.view == "JV1"
+
+
+def test_requirement_follows_paper_jv2_example():
+    """Paper: JV2 selects A.e, A.g, C.p on A.c=C.q -> AR_A2 keeps c, e, g."""
+    definition = JoinViewDefinition(
+        "JV2", ("A", "C"), (JoinCondition("A", "c", "C", "q"),),
+        select=(("A", "e"), ("A", "g"), ("C", "p")),
+    )
+    bound = BoundView(definition, {"A": A, "C": C})
+    requirement = requirement_for(bound, "A", "c")
+    assert set(requirement.needed_columns) == {"c", "e", "g"}
+
+
+def test_merge_requirements_unions_columns():
+    """The shared AR_A of the paper's two views keeps c, e, f, g."""
+    r1 = AuxiliaryRequirement("A", "c", ("c", "e", "f"), "JV1")
+    r2 = AuxiliaryRequirement("A", "c", ("c", "e", "g"), "JV2")
+    assert merge_requirements([r1, r2]) == ("c", "e", "f", "g")
+
+
+def test_merge_requirements_rejects_mixed_targets():
+    r1 = AuxiliaryRequirement("A", "c", ("c",), "JV1")
+    r2 = AuxiliaryRequirement("B", "d", ("d",), "JV2")
+    with pytest.raises(ValueError, match="different auxiliary"):
+        merge_requirements([r1, r2])
+
+
+def test_merge_requirements_empty():
+    with pytest.raises(ValueError, match="no requirements"):
+        merge_requirements([])
+
+
+def test_trimming_savings():
+    assert trimming_savings(4, 100, ("c", "e")) == pytest.approx(0.5)
+    assert trimming_savings(4, 100, ("c", "e", "f", "g")) == 0.0
+
+
+def test_trimming_savings_validation():
+    with pytest.raises(ValueError):
+        trimming_savings(0, 10, ())
+    with pytest.raises(ValueError):
+        trimming_savings(2, 10, ("a", "b", "c"))
+
+
+def test_join_column_always_kept():
+    definition = two_way_view("JV", "A", "c", "B", "d", select=[("B", "h")])
+    bound = BoundView(definition, {"A": A, "B": B})
+    requirement = requirement_for(bound, "A", "c")
+    assert requirement.needed_columns == ("c",)

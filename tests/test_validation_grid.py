@@ -1,0 +1,28 @@
+"""Unit tests for the model-vs-simulator validation grid."""
+
+import pytest
+
+from repro.bench.validation import _ratio, validation_grid
+from repro.model import ALL_VARIANTS
+
+
+def test_ratio_helper():
+    assert _ratio(2.0, 2.0) == 1.0
+    assert _ratio(2.0, 4.0) == 2.0
+    assert _ratio(4.0, 2.0) == 2.0
+    assert _ratio(0.0, 1.0) == float("inf")
+    assert _ratio(0.0, 0.0) == 1.0
+
+
+def test_small_grid_is_exact():
+    result = validation_grid(node_counts=(1, 3, 6), fanouts=(1, 5), batch=24)
+    assert len(result.rows) == len(ALL_VARIANTS)
+    for row in result.rows:
+        assert row[1] == pytest.approx(1.0)
+        assert row[2] == pytest.approx(1.0)
+    assert "30 runs" in result.title  # 3 node counts x 2 fanouts x 5 variants
+
+
+def test_grid_reports_every_variant():
+    result = validation_grid(node_counts=(2,), fanouts=(2,), batch=8)
+    assert {row[0] for row in result.rows} == {v.value for v in ALL_VARIANTS}

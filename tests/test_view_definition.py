@@ -1,0 +1,201 @@
+"""Unit tests for repro.core.view (definitions, binding, evaluation)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.partitioning import HashPartitioning, RoundRobinPartitioning
+from repro.core.view import (
+    BoundView,
+    JoinCondition,
+    JoinViewDefinition,
+    ViewDefinitionError,
+    two_way_view,
+)
+from repro.storage.schema import Schema
+
+A = Schema.of("A", "a", "c", "e")
+B = Schema.of("B", "b", "d", "f")
+C = Schema.of("C", "g", "h")
+
+
+def bind(definition, schemas=None):
+    return BoundView(definition, schemas or {"A": A, "B": B, "C": C})
+
+
+def test_two_way_view_shape():
+    definition = two_way_view("JV", "A", "c", "B", "d")
+    assert definition.relations == ("A", "B")
+    assert definition.conditions[0].column_of("A") == "c"
+    assert definition.conditions[0].other("A") == ("B", "d")
+
+
+def test_self_join_rejected():
+    with pytest.raises(ViewDefinitionError, match="self-join"):
+        JoinCondition("A", "c", "A", "d")
+
+
+def test_needs_two_relations():
+    with pytest.raises(ViewDefinitionError):
+        JoinViewDefinition("JV", ("A",), (JoinCondition("A", "c", "B", "d"),))
+
+
+def test_duplicate_relations_rejected():
+    with pytest.raises(ViewDefinitionError, match="distinct"):
+        JoinViewDefinition(
+            "JV", ("A", "A"), (JoinCondition("A", "c", "B", "d"),)
+        )
+
+
+def test_needs_conditions():
+    with pytest.raises(ViewDefinitionError, match="condition"):
+        JoinViewDefinition("JV", ("A", "B"), ())
+
+
+def test_condition_on_foreign_relation_rejected():
+    with pytest.raises(ViewDefinitionError, match="outside"):
+        JoinViewDefinition(
+            "JV", ("A", "B"), (JoinCondition("A", "c", "C", "g"),)
+        )
+
+
+def test_disconnected_graph_rejected():
+    with pytest.raises(ViewDefinitionError, match="not connected"):
+        JoinViewDefinition(
+            "JV",
+            ("A", "B", "C"),
+            (JoinCondition("A", "c", "B", "d"),),
+        )
+
+
+def test_join_columns_of_deduplicates():
+    definition = JoinViewDefinition(
+        "JV",
+        ("A", "B", "C"),
+        (
+            JoinCondition("A", "c", "B", "d"),
+            JoinCondition("A", "c", "C", "g"),
+        ),
+    )
+    assert definition.join_columns_of("A") == ["c"]
+
+
+def test_bound_view_rejects_unknown_join_column():
+    definition = two_way_view("JV", "A", "zzz", "B", "d")
+    with pytest.raises(ViewDefinitionError, match="no column 'zzz'"):
+        bind(definition)
+
+
+def test_bound_view_rejects_unknown_select():
+    definition = JoinViewDefinition(
+        "JV", ("A", "B"), (JoinCondition("A", "c", "B", "d"),),
+        select=(("A", "nope"),),
+    )
+    with pytest.raises(ViewDefinitionError):
+        bind(definition)
+
+
+def test_select_star_by_default():
+    bound = bind(two_way_view("JV", "A", "c", "B", "d"))
+    assert bound.schema.column_names == ("a", "c", "e", "b", "d", "f")
+
+
+def test_collision_qualification():
+    left = Schema.of("A", "k", "x")
+    right = Schema.of("B", "k", "y")
+    definition = two_way_view("JV", "A", "k", "B", "k")
+    bound = BoundView(definition, {"A": left, "B": right})
+    assert bound.schema.column_names == ("A_k", "x", "B_k", "y")
+    assert bound.output_name("A", "k") == "A_k"
+    assert bound.output_name("A", "x") == "x"
+    assert bound.source_of_output("A_k") == ("A", "k")
+
+
+def test_source_of_unknown_output():
+    bound = bind(two_way_view("JV", "A", "c", "B", "d"))
+    with pytest.raises(ViewDefinitionError):
+        bound.source_of_output("nope")
+
+
+def test_partitioning_column_must_be_in_select():
+    definition = two_way_view(
+        "JV", "A", "c", "B", "d",
+        select=[("A", "e")],
+        partitioning=HashPartitioning("d"),
+    )
+    with pytest.raises(ViewDefinitionError, match="partitioned on"):
+        bind(definition)
+
+
+def test_columns_needed_from_is_select_plus_join():
+    definition = two_way_view(
+        "JV", "A", "c", "B", "d", select=[("A", "e"), ("B", "f")]
+    )
+    bound = bind(definition)
+    assert bound.columns_needed_from("A") == ["e", "c"]
+    assert bound.columns_needed_from("B") == ["f", "d"]
+
+
+def test_evaluate_two_way():
+    bound = bind(
+        two_way_view("JV", "A", "c", "B", "d", select=[("A", "a"), ("B", "b")])
+    )
+    contents = {
+        "A": [(1, 10, "x"), (2, 20, "y")],
+        "B": [(5, 10, "p"), (6, 10, "q"), (7, 30, "r")],
+    }
+    assert bound.evaluate(contents) == Counter({(1, 5): 1, (1, 6): 1})
+
+
+def test_evaluate_respects_duplicates():
+    bound = bind(two_way_view("JV", "A", "c", "B", "d", select=[("A", "a")]))
+    contents = {"A": [(1, 10, "x"), (1, 10, "x")], "B": [(5, 10, "p")]}
+    assert bound.evaluate(contents) == Counter({(1,): 2})
+
+
+def test_evaluate_three_way_chain():
+    definition = JoinViewDefinition(
+        "JV",
+        ("A", "B", "C"),
+        (
+            JoinCondition("A", "c", "B", "d"),
+            JoinCondition("B", "f", "C", "g"),
+        ),
+        select=(("A", "a"), ("C", "h")),
+    )
+    bound = bind(definition)
+    contents = {
+        "A": [(1, 10, "x")],
+        "B": [(5, 10, 100)],
+        "C": [(100, "match"), (200, "no")],
+    }
+    assert bound.evaluate(contents) == Counter({(1, "match"): 1})
+
+
+def test_evaluate_cyclic_triangle():
+    """The paper's A-B-C triangle: the closing edge acts as a filter."""
+    a = Schema.of("A", "x", "y")
+    b = Schema.of("B", "y2", "z")
+    c = Schema.of("C", "z2", "x2")
+    definition = JoinViewDefinition(
+        "T",
+        ("A", "B", "C"),
+        (
+            JoinCondition("A", "y", "B", "y2"),
+            JoinCondition("B", "z", "C", "z2"),
+            JoinCondition("C", "x2", "A", "x"),
+        ),
+        select=(("A", "x"), ("B", "z")),
+    )
+    bound = BoundView(definition, {"A": a, "B": b, "C": c})
+    contents = {
+        "A": [(1, 10), (2, 10)],
+        "B": [(10, 99)],
+        "C": [(99, 1)],  # closes the cycle only for A.x == 1
+    }
+    assert bound.evaluate(contents) == Counter({(1, 99): 1})
+
+
+def test_round_robin_partitioning_is_default():
+    definition = two_way_view("JV", "A", "c", "B", "d")
+    assert isinstance(definition.partitioning, RoundRobinPartitioning)
