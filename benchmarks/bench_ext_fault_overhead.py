@@ -1,0 +1,39 @@
+"""Extension: the robustness premium of fault-tolerant maintenance.
+
+The paper's model assumes a fault-free cluster.  This benchmark prices the
+departure: the same insert stream replayed under message drops (retry with
+backoff), message duplication (receiver dedup), probe failures (retried
+probes), and a mid-stream node crash (rollback, queue, replay at
+recovery).  Every extra attempt is charged under the paper's I/O model, so
+"vs fault-free" is exactly what fault tolerance costs each method — and the
+consistency auditor certifies that none of it corrupted derived state.
+"""
+
+from repro.bench import experiments
+
+from _util import run_once
+
+
+def test_fault_overhead(benchmark, save_result):
+    result = run_once(benchmark, lambda: experiments.ext_fault_overhead())
+    save_result(result)
+    rows = result.as_dicts()
+    # Recovery must leave every derived structure equal to a from-scratch
+    # recomputation, in every (method, fault regime) cell.
+    assert all(row["consistent"] == "yes" for row in rows)
+    by_cell = {(row["method"], row["fault regime"]): row for row in rows}
+    for method in ("naive", "auxiliary", "global_index"):
+        # Fault-free is the baseline by construction.
+        assert by_cell[(method, "fault-free")]["vs fault-free"] == 1.0
+        # Faulty regimes never get cheaper than fault-free.
+        for regime in (
+            "message drops", "message duplication", "probe failures",
+            "crash + recovery",
+        ):
+            assert by_cell[(method, regime)]["vs fault-free"] >= 1.0
+    # Drops really retried, duplicates really duplicated, crashes really
+    # rolled statements back — for the chatty methods at least.
+    assert by_cell[("naive", "message drops")]["retries"] > 0
+    assert by_cell[("naive", "message duplication")]["duplicates"] > 0
+    assert by_cell[("naive", "crash + recovery")]["rollbacks"] > 0
+    assert by_cell[("global_index", "crash + recovery")]["rollbacks"] > 0

@@ -58,6 +58,14 @@ from .core import (
     recompute_view,
     two_way_view,
 )
+from .faults import (
+    ConsistencyAuditor,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+    attach_faults,
+    detach_faults,
+)
 from .model import MethodVariant, ModelParameters, paper_scenario
 
 __version__ = "1.0.0"
@@ -89,5 +97,11 @@ __all__ = [
     "MethodVariant",
     "ModelParameters",
     "paper_scenario",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryPolicy",
+    "ConsistencyAuditor",
+    "attach_faults",
+    "detach_faults",
     "__version__",
 ]

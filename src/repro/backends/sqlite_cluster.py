@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import sqlite3
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..cluster.partitioning import stable_hash
 from ..storage.schema import Row, Schema
@@ -58,13 +59,18 @@ class SQLiteNode:
         self.connection = sqlite3.connect(target)
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA journal_mode = MEMORY")
+        #: When True, per-statement commits are held back: the enclosing
+        #: :meth:`SQLiteCluster.atomic` scope commits (or rolls back) all
+        #: nodes together.
+        self.defer_commits = False
 
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         return self.connection.execute(sql, params)
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
         self.connection.executemany(sql, rows)
-        self.connection.commit()
+        if not self.defer_commits:
+            self.connection.commit()
 
     def query(self, sql: str, params: Sequence = ()) -> List[Tuple]:
         return self.connection.execute(sql, params).fetchall()
@@ -152,6 +158,38 @@ class SQLiteCluster:
         if table in self.tables and column not in self.tables[table].indexes:
             self.tables[table].indexes.append(column)
 
+    # -------------------------------------------------------- transactions
+
+    @contextmanager
+    def atomic(self) -> Iterator["SQLiteCluster"]:
+        """All-or-nothing across every node's database.
+
+        The SQLite analogue of the simulator's undo scopes: per-statement
+        commits are suppressed while the scope is open, so a base write,
+        its AR co-updates, and the view delta land on their (different)
+        nodes inside one open transaction each.  On success every node
+        commits; on any exception every node rolls back — no partition is
+        left with a half-applied statement.  (A coordinator-side one-phase
+        commit: adequate here because all "nodes" share one process and
+        cannot fail independently.)
+        """
+        if any(node.defer_commits for node in self.nodes):
+            raise RuntimeError("an atomic scope is already active")
+        for node in self.nodes:
+            node.defer_commits = True
+        try:
+            yield self
+        except BaseException:
+            for node in self.nodes:
+                node.connection.rollback()
+            raise
+        else:
+            for node in self.nodes:
+                node.connection.commit()
+        finally:
+            for node in self.nodes:
+                node.defer_commits = False
+
     # ----------------------------------------------------------------- DML
 
     def node_of_key(self, key: object) -> int:
@@ -198,7 +236,8 @@ class SQLiteCluster:
                 if not victim:
                     raise KeyError(f"{table!r} holds no row {row!r}")
                 node.execute(f"DELETE FROM {table} WHERE rowid = ?", (victim[0][0],))
-            node.connection.commit()
+            if not node.defer_commits:
+                node.connection.commit()
 
     def _insert_local(self, info: SQLiteTableInfo, node_id: int, rows: List[Row]) -> None:
         table = info.schema.name

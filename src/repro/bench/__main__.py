@@ -32,6 +32,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ext-view-placement": experiments.ext_view_placement,
     "ext-aggregates": experiments.ext_aggregate_views,
     "ext-cost-sensitivity": experiments.ext_cost_sensitivity,
+    "ext-fault-overhead": experiments.ext_fault_overhead,
     "validation": validation_grid,
 }
 

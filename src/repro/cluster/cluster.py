@@ -17,7 +17,16 @@ the paper models.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.delta import Delta, PlacedRow
 from ..costs import CostLedger, CostParameters, CostSnapshot, Op, PAPER_COSTS, Tag
@@ -39,6 +48,10 @@ from .partitioning import (
     RoundRobinPartitioning,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.recovery import FaultController
+    from ..faults.undo import UndoLog
+
 
 class Cluster:
     """A parallel RDBMS with ``num_nodes`` data-server nodes."""
@@ -59,6 +72,13 @@ class Cluster:
             Node(node_id, self.ledger, layout) for node_id in range(num_nodes)
         ]
         self.catalog = Catalog()
+        #: Fault injection + recovery; installed by
+        #: :func:`repro.faults.attach_faults`.  ``None`` on the fault-free
+        #: path, where every charge is bit-identical to the seed engine.
+        self.faults: Optional["FaultController"] = None
+        #: Stack of active undo scopes (innermost last).  Empty on the
+        #: fault-free path: :meth:`_record_undo` is then a no-op.
+        self._undo_logs: List["UndoLog"] = []
 
     # ================================================================= DDL
 
@@ -315,6 +335,37 @@ class Cluster:
         return measured.snapshot
 
     def _apply(self, relation: str, inserts: List[Row], deletes: List[Row]) -> None:
+        """Dispatch one maintained statement.
+
+        With a fault controller attached the statement runs inside an
+        atomic undo scope and faults route through the recovery policy
+        (rollback, queue, degrade); otherwise this is the seed engine's
+        direct path, charge-for-charge identical.
+        """
+        if self.faults is not None:
+            self.faults.run_statement(relation, inserts, deletes)
+        else:
+            self._execute_statement(relation, inserts, deletes)
+
+    def _execute_statement(
+        self, relation: str, inserts: List[Row], deletes: List[Row]
+    ) -> None:
+        """The paper's transaction sketch: base writes, co-updates, views."""
+        info, delta = self._execute_base_writes(relation, inserts, deletes)
+        self._co_update_auxiliaries(info, delta)
+        self._co_update_global_indexes(info, delta)
+        for view in self.catalog.views_on(relation):
+            view.maintainer.apply(delta)
+
+    def _execute_base_writes(
+        self, relation: str, inserts: List[Row], deletes: List[Row]
+    ) -> Tuple[RelationInfo, Delta]:
+        """Apply just the base-relation writes; returns the placed delta.
+
+        Also the degraded-mode entry point: when an AR/GI node is down and
+        the recovery policy trades freshness for availability, only this
+        part runs now (see :meth:`repro.faults.FaultController.recover`).
+        """
         info = self.catalog.relation(relation)
         self._validate_deletes(info, deletes)
         for row in inserts:
@@ -326,15 +377,48 @@ class Cluster:
             home = info.partitioner.node_of_row(row)
             rowid = self.nodes[home].delete_matching(relation, row, Tag.BASE)
             delta.deletes.append(PlacedRow(home, rowid, row))
+            self._record_undo(
+                lambda f=self.nodes[home].fragment(relation), r=rowid, t=row: (
+                    f.restore(r, t)
+                ),
+                node=home, tag=Tag.BASE, writes=1,
+                description=f"restore {relation} delete",
+            )
         for row in inserts:
             home = info.partitioner.node_of_row(row)
             rowid = self.nodes[home].insert(relation, row, Tag.BASE)
             delta.inserts.append(PlacedRow(home, rowid, row))
-        info.row_count += len(inserts) - len(deletes)
-        self._co_update_auxiliaries(info, delta)
-        self._co_update_global_indexes(info, delta)
-        for view in self.catalog.views_on(relation):
-            view.maintainer.apply(delta)
+            self._record_undo(
+                lambda f=self.nodes[home].fragment(relation), r=rowid: f.delete(r),
+                node=home, tag=Tag.BASE, writes=1,
+                description=f"undo {relation} insert",
+            )
+        applied = len(inserts) - len(deletes)
+        if applied:
+            info.row_count += applied
+            self._record_undo(
+                lambda i=info, n=applied: setattr(i, "row_count", i.row_count - n),
+                description=f"restore {relation} row_count",
+            )
+        return info, delta
+
+    def _record_undo(
+        self,
+        undo: Callable[[], None],
+        node: Optional[int] = None,
+        tag: Optional[Tag] = None,
+        writes: int = 0,
+        description: str = "",
+    ) -> None:
+        """Record an inverse operation in the innermost undo scope.
+
+        A no-op when no scope is active — the fault-free engine pays one
+        truthiness test per mutation and nothing else.
+        """
+        if self._undo_logs:
+            self._undo_logs[-1].record(
+                undo, node=node, tag=tag, writes=writes, description=description
+            )
 
     def _validate_deletes(self, info: RelationInfo, deletes: List[Row]) -> None:
         """Reject the whole statement if any requested delete cannot apply.
@@ -374,15 +458,36 @@ class Cluster:
                 if image is None:
                     continue
                 dest = aux.partitioner.node_of_row(image)
-                self.network.send(placed.node, dest, Tag.MAINTAIN)
-                self.nodes[dest].delete_matching(aux.name, image, Tag.MAINTAIN)
+                deliveries = self.network.send(placed.node, dest, Tag.MAINTAIN)
+                for _ in range(deliveries):
+                    try:
+                        rowid = self.nodes[dest].delete_matching(
+                            aux.name, image, Tag.MAINTAIN
+                        )
+                    except KeyError:
+                        # A duplicated (un-deduped) delete found nothing: the
+                        # first copy already removed the row.
+                        break
+                    self._record_undo(
+                        lambda f=self.nodes[dest].fragment(aux.name),
+                        r=rowid, t=image: f.restore(r, t),
+                        node=dest, tag=Tag.MAINTAIN, writes=1,
+                        description=f"restore {aux.name} delete",
+                    )
             for placed in delta.inserts:
                 image = aux.image_of(placed.row)
                 if image is None:
                     continue
                 dest = aux.partitioner.node_of_row(image)
-                self.network.send(placed.node, dest, Tag.MAINTAIN)
-                self.nodes[dest].insert(aux.name, image, Tag.MAINTAIN)
+                deliveries = self.network.send(placed.node, dest, Tag.MAINTAIN)
+                for _ in range(deliveries):
+                    rowid = self.nodes[dest].insert(aux.name, image, Tag.MAINTAIN)
+                    self._record_undo(
+                        lambda f=self.nodes[dest].fragment(aux.name),
+                        r=rowid: f.delete(r),
+                        node=dest, tag=Tag.MAINTAIN, writes=1,
+                        description=f"undo {aux.name} insert",
+                    )
 
     def _co_update_global_indexes(self, info: RelationInfo, delta: Delta) -> None:
         """Propagate the base delta into every GI of the relation."""
@@ -390,17 +495,32 @@ class Cluster:
             for placed in delta.deletes:
                 key = placed.row[gi.key_position]
                 dest = gi.home_node(key)
-                self.network.send(placed.node, dest, Tag.MAINTAIN)
-                self.nodes[dest].gi_delete(
-                    gi.name, key, GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN
-                )
+                grid = GlobalRowId(placed.node, placed.rowid)
+                deliveries = self.network.send(placed.node, dest, Tag.MAINTAIN)
+                for _ in range(deliveries):
+                    try:
+                        self.nodes[dest].gi_delete(gi.name, key, grid, Tag.MAINTAIN)
+                    except KeyError:
+                        break  # duplicated delete: the entry is already gone
+                    self._record_undo(
+                        lambda p=self.nodes[dest].gi_partition(gi.name),
+                        k=key, g=grid: p.insert(k, g),
+                        node=dest, tag=Tag.MAINTAIN, writes=1,
+                        description=f"restore {gi.name} entry",
+                    )
             for placed in delta.inserts:
                 key = placed.row[gi.key_position]
                 dest = gi.home_node(key)
-                self.network.send(placed.node, dest, Tag.MAINTAIN)
-                self.nodes[dest].gi_insert(
-                    gi.name, key, GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN
-                )
+                grid = GlobalRowId(placed.node, placed.rowid)
+                deliveries = self.network.send(placed.node, dest, Tag.MAINTAIN)
+                for _ in range(deliveries):
+                    self.nodes[dest].gi_insert(gi.name, key, grid, Tag.MAINTAIN)
+                    self._record_undo(
+                        lambda p=self.nodes[dest].gi_partition(gi.name),
+                        k=key, g=grid: p.delete(k, g),
+                        node=dest, tag=Tag.MAINTAIN, writes=1,
+                        description=f"undo {gi.name} entry",
+                    )
 
     # ============================================== view delta application
 
@@ -426,14 +546,38 @@ class Cluster:
                 self._round_robin_delete(view, source, row)
             else:
                 dest = partitioner.node_of_row(row)
-                self.network.send(source, dest, Tag.VIEW)
-                self.nodes[dest].delete_matching(name, row, Tag.VIEW)
+                deliveries = self.network.send(source, dest, Tag.VIEW)
+                for _ in range(deliveries):
+                    try:
+                        rowid = self.nodes[dest].delete_matching(name, row, Tag.VIEW)
+                    except KeyError:
+                        break  # duplicated delete: first copy already won
+                    self._record_undo(
+                        lambda f=self.nodes[dest].fragment(name),
+                        r=rowid, t=row: f.restore(r, t),
+                        node=dest, tag=Tag.VIEW, writes=1,
+                        description=f"restore {name} delete",
+                    )
             view.row_count -= 1
+            self._record_undo(
+                lambda v=view: setattr(v, "row_count", v.row_count + 1),
+                description=f"restore {name} row_count",
+            )
         for source, row in inserts:
             dest = partitioner.node_of_row(row)
-            self.network.send(source, dest, Tag.VIEW)
-            self.nodes[dest].insert(name, row, Tag.VIEW)
+            deliveries = self.network.send(source, dest, Tag.VIEW)
+            for _ in range(deliveries):
+                rowid = self.nodes[dest].insert(name, row, Tag.VIEW)
+                self._record_undo(
+                    lambda f=self.nodes[dest].fragment(name), r=rowid: f.delete(r),
+                    node=dest, tag=Tag.VIEW, writes=1,
+                    description=f"undo {name} insert",
+                )
             view.row_count += 1
+            self._record_undo(
+                lambda v=view: setattr(v, "row_count", v.row_count - 1),
+                description=f"restore {name} row_count",
+            )
 
     def _round_robin_delete(self, view: ViewInfo, source: int, row: Row) -> None:
         for node in self.nodes:
@@ -443,6 +587,11 @@ class Cluster:
             for rowid, stored in fragment.table.scan():
                 if stored == row:
                     node.delete_by_rowid(view.name, rowid, Tag.VIEW)
+                    self._record_undo(
+                        lambda f=fragment, r=rowid, t=row: f.restore(r, t),
+                        node=node.node_id, tag=Tag.VIEW, writes=1,
+                        description=f"restore {view.name} delete",
+                    )
                     return
         raise KeyError(f"view {view.name!r} holds no tuple equal to {row!r}")
 

@@ -7,23 +7,52 @@ node.  Besides charging the ledger, the network keeps raw message counts so
 tests can assert on communication patterns (e.g. the naive method really
 does broadcast to all L nodes and the AR method really does send exactly
 one message per delta tuple).
+
+Unreliable mode (departure from the paper's fault-free assumption): when a
+:class:`~repro.faults.injector.FaultInjector` is attached, every
+cross-node message consults it.  Dropped messages are retried with
+exponential backoff up to ``max_retries`` times; *every* attempt — the
+lost original and each retry — is charged to the ledger as a SEND, so
+robustness overhead shows up in the paper's TW/RT metrics.  Backoff
+itself is latency, not I/O, and is tracked in
+:attr:`NetworkStats.backoff_slots` instead of the ledger.  Duplicated
+messages charge two SENDs; receiver-side dedup (``dedup=True``) discards
+the copy, otherwise :meth:`Network.send` reports two deliveries and the
+caller applies twice.  Messages to a crashed node fail fast.  Without an
+injector the code path and every charge are identical to the fault-free
+engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 from ..costs import CostLedger, Op, Tag
+from ..faults.errors import MessageLost, NodeDown
+from ..faults.injector import MessageFate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 
 @dataclass
 class NetworkStats:
-    """Raw (unweighted) message counters."""
+    """Raw (unweighted) message counters.
 
-    messages: int = 0            # messages that crossed the interconnect
+    ``messages``/``by_link`` count *delivered* copies (a duplicated
+    message counts twice); ``drops``/``retries``/``duplicates`` count
+    fault events; ``backoff_slots`` accumulates the exponential-backoff
+    wait slots retries spent (latency, never charged to the ledger).
+    """
+
+    messages: int = 0            # delivered copies that crossed the interconnect
     local_deliveries: int = 0    # src == dst, free per the paper
     by_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    drops: int = 0               # attempts the injector discarded
+    duplicates: int = 0          # messages the injector delivered twice
+    retries: int = 0             # re-send attempts after a drop
+    backoff_slots: float = 0.0   # cumulative backoff wait (in slot units)
 
     def record(self, src: int, dst: int) -> None:
         if src == dst:
@@ -40,18 +69,67 @@ class Network:
         self.num_nodes = num_nodes
         self.ledger = ledger
         self.stats = NetworkStats()
+        #: Fault hooks; installed by :func:`repro.faults.attach_faults`.
+        self.injector: Optional["FaultInjector"] = None
+        self.max_retries: int = 0
+        self.dedup: bool = True
+        self.backoff_base: float = 2.0
 
     def _check(self, node: int) -> None:
         if not (0 <= node < self.num_nodes):
             raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
 
-    def send(self, src: int, dst: int, tag: Tag = Tag.MAINTAIN) -> None:
-        """One message from ``src`` to ``dst``; free if they coincide."""
+    def send(self, src: int, dst: int, tag: Tag = Tag.MAINTAIN) -> int:
+        """One message from ``src`` to ``dst``; free if they coincide.
+
+        Returns the number of *deliveries* the receiver observes: always 1
+        on the reliable path; under an injector, 2 for an un-deduplicated
+        duplicate.  Raises :class:`~repro.faults.errors.MessageLost` when
+        drops exhaust the retry budget and
+        :class:`~repro.faults.errors.NodeDown` when an endpoint is crashed.
+        """
         self._check(src)
         self._check(dst)
-        self.stats.record(src, dst)
-        if src != dst:
+        if self.injector is None or src == dst:
+            self.stats.record(src, dst)
+            if src != dst:
+                self.ledger.charge(src, Op.SEND, tag)
+            return 1
+        return self._send_unreliable(src, dst, tag)
+
+    def _send_unreliable(self, src: int, dst: int, tag: Tag) -> int:
+        assert self.injector is not None
+        attempts = 0
+        while True:
+            attempts += 1
+            fate = self.injector.on_message(src, dst)
+            if fate is MessageFate.SRC_DOWN:
+                # A dead node sends nothing: no charge, fail immediately.
+                raise NodeDown(src, f"cannot send to node {dst}")
+            # The attempt goes on the wire: charge the sender.
             self.ledger.charge(src, Op.SEND, tag)
+            if fate is MessageFate.DEST_DOWN:
+                # Fail fast: retrying a crashed peer is pointless until the
+                # recovery layer restarts it.
+                self.stats.drops += 1
+                raise NodeDown(dst, f"message from node {src} undeliverable")
+            if fate is MessageFate.DROPPED:
+                self.stats.drops += 1
+                if attempts > self.max_retries:
+                    raise MessageLost(src, dst, attempts)
+                # Exponential backoff before the retry: latency, not I/O.
+                self.stats.retries += 1
+                self.stats.backoff_slots += self.backoff_base ** (attempts - 1)
+                continue
+            if fate is MessageFate.DUPLICATED:
+                self.stats.record(src, dst)
+                self.stats.record(src, dst)
+                self.stats.duplicates += 1
+                # The duplicate copy also crossed the wire: charge it too.
+                self.ledger.charge(src, Op.SEND, tag)
+                return 1 if self.dedup else 2
+            self.stats.record(src, dst)
+            return 1
 
     def broadcast(self, src: int, tag: Tag = Tag.MAINTAIN) -> Iterable[int]:
         """Send to *every* node (the naive method's redistribution).
@@ -61,10 +139,16 @@ class Network:
         destinations (Figure 2 draws L solid arrows).  Yields destination
         node ids so callers can do per-node work.
         """
+        self._check(src)
         for dst in range(self.num_nodes):
-            self._check(src)
-            self.stats.record(src, dst)
-            self.ledger.charge(src, Op.SEND, tag)
+            if self.injector is None or dst == src:
+                self.stats.record(src, dst)
+                self.ledger.charge(src, Op.SEND, tag)
+            else:
+                # Unreliable legs of the broadcast go through the retry
+                # machinery; a permanently lost leg aborts the statement
+                # (the naive method cannot skip a node).
+                self.send(src, dst, tag)
             yield dst
 
     def reset_stats(self) -> None:

@@ -8,7 +8,7 @@ to bill an access path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..costs import CostLedger, Op, Tag
 from ..storage import (
@@ -22,6 +22,9 @@ from ..storage import (
     Schema,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.recovery import FaultController
+
 
 class Node:
     """One shared-nothing data server."""
@@ -32,6 +35,27 @@ class Node:
         self.layout = layout
         self._fragments: Dict[str, IndexedHeap] = {}
         self._gi_partitions: Dict[str, GlobalIndexPartition] = {}
+        #: Fault hooks; installed by :func:`repro.faults.attach_faults`.
+        #: ``None`` on the fault-free path — the guards below then cost one
+        #: predicate each and charge nothing, keeping seed behavior exact.
+        self.faults: Optional["FaultController"] = None
+
+    # ---------------------------------------------------------- fault hooks
+
+    def _guard(self, what: str) -> None:
+        """Refuse work while this node is crashed (fault mode only)."""
+        if self.faults is not None:
+            self.faults.guard_node(self.node_id, what)
+
+    def _probe_faults(self, what: str, tag: Tag) -> None:
+        """Model transient probe failures: each wasted attempt costs the
+        SEARCH it burned; exhausting the retry budget raises
+        :class:`~repro.faults.errors.ProbeFailure`."""
+        if self.faults is None:
+            return
+        wasted = self.faults.wasted_probe_attempts(self.node_id, what)
+        if wasted:
+            self.ledger.charge(self.node_id, Op.SEARCH, tag, count=wasted)
 
     # ------------------------------------------------------------------ DDL
 
@@ -43,6 +67,10 @@ class Node:
         return fragment
 
     def drop_fragment(self, name: str) -> None:
+        if name not in self._fragments:
+            raise KeyError(
+                f"node {self.node_id} stores no fragment of {name!r}"
+            )
         del self._fragments[name]
 
     def fragment(self, name: str) -> IndexedHeap:
@@ -69,7 +97,11 @@ class Node:
         return partition
 
     def drop_gi_partition(self, gi_name: str) -> None:
-        self._gi_partitions.pop(gi_name, None)
+        if gi_name not in self._gi_partitions:
+            raise KeyError(
+                f"node {self.node_id} holds no partition of GI {gi_name!r}"
+            )
+        del self._gi_partitions[gi_name]
 
     def gi_partition(self, gi_name: str) -> GlobalIndexPartition:
         try:
@@ -83,6 +115,7 @@ class Node:
 
     def insert(self, name: str, row: Row, tag: Tag) -> int:
         """Insert into the local fragment; bills one INSERT."""
+        self._guard(f"insert into {name!r}")
         rowid = self.fragment(name).insert(row)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
         return rowid
@@ -93,6 +126,7 @@ class Node:
         Billed as one INSERT-weight write (the model prices all single-tuple
         table mutations identically) plus a SEARCH if an index located it.
         """
+        self._guard(f"delete from {name!r}")
         fragment = self.fragment(name)
         index = _any_index(fragment)
         if index is not None:
@@ -109,6 +143,7 @@ class Node:
         return rowid
 
     def delete_by_rowid(self, name: str, rowid: int, tag: Tag) -> Row:
+        self._guard(f"delete from {name!r}")
         row = self.fragment(name).delete(rowid)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
         return row
@@ -126,10 +161,12 @@ class Node:
         """Probe a local index: 1 SEARCH, plus per-match FETCHes when the
         index is non-clustered (clustered matches share the landing page and
         are free — paper assumptions 5 and 7)."""
+        self._guard(f"index probe of {name}.{column}")
         fragment = self.fragment(name)
         index = fragment.index_on(column)
         if index is None:
             raise KeyError(f"{name!r} has no index on {column!r} at node {self.node_id}")
+        self._probe_faults(f"{name}.{column}", tag)
         self.ledger.charge(self.node_id, Op.SEARCH, tag)
         rowids = index.search(key)
         if not rowids or not fetch_rows:
@@ -153,6 +190,7 @@ class Node:
         """
         if not rowids:
             return []
+        self._guard(f"fetch from {name!r}")
         count = 1 if clustered_on_page else len(rowids)
         self.ledger.charge(self.node_id, Op.FETCH, tag, count=count)
         fragment = self.fragment(name)
@@ -160,14 +198,18 @@ class Node:
 
     def gi_probe(self, gi_name: str, key: object, tag: Tag) -> Dict[int, List[GlobalRowId]]:
         """Probe a GI partition: 1 SEARCH; entry fetch is free (assumption 6)."""
+        self._guard(f"probe of GI {gi_name!r}")
+        self._probe_faults(f"GI {gi_name}", tag)
         self.ledger.charge(self.node_id, Op.SEARCH, tag)
         return self.gi_partition(gi_name).search_grouped(key)
 
     def gi_insert(self, gi_name: str, key: object, grid: GlobalRowId, tag: Tag) -> None:
+        self._guard(f"insert into GI {gi_name!r}")
         self.gi_partition(gi_name).insert(key, grid)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
 
     def gi_delete(self, gi_name: str, key: object, grid: GlobalRowId, tag: Tag) -> None:
+        self._guard(f"delete from GI {gi_name!r}")
         self.gi_partition(gi_name).delete(key, grid)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
 
@@ -177,6 +219,7 @@ class Node:
         """All live rows of a fragment; bills a page scan when tagged."""
         fragment = self.fragment(name)
         if tag is not None:
+            self._guard(f"scan of {name!r}")
             self.ledger.charge(
                 self.node_id, Op.SCAN_PAGE, tag, count=fragment.table.num_pages
             )

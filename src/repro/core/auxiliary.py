@@ -40,6 +40,10 @@ def provision_auxiliary(
     the columns this view needs; an existing trimmed AR that lacks a column
     the new view needs raises, with the remedy in the message.
     """
+    if cluster.faults is not None:
+        # Backfilling an AR scans every base fragment: all nodes must be up,
+        # or the new copy would silently miss a crashed node's tuples.
+        cluster.faults.require_all_up("provisioning auxiliary relations")
     view_name = bound.definition.name
     for relation in bound.definition.relations:
         info = cluster.catalog.relation(relation)

@@ -93,6 +93,7 @@ class DeferredMaintainer:
         """Queue a base-relation delta; flush first if it switches relation."""
         if delta.is_empty:
             return
+        self._snapshot_queue_undo()
         if self._pending_relation not in (None, delta.relation):
             self.refresh()
         self._pending_relation = delta.relation
@@ -118,10 +119,51 @@ class DeferredMaintainer:
         if self._pending[row] == 0:
             del self._pending[row]
 
+    def _snapshot_queue_undo(self) -> None:
+        """Record the queue's current state into the active undo scope.
+
+        The queue is derived bookkeeping, not stored pages, so restoring it
+        costs no write I/Os (``writes=0``) — but a rolled-back statement
+        must not leave its delta queued, or the next refresh would apply
+        phantom changes.  No-op on the fault-free path.
+        """
+        cluster = self.inner.cluster
+        if not cluster._undo_logs:
+            return
+        pending = Counter(self._pending)
+        placed = {row: list(entries) for row, entries in self._placed.items()}
+        relation = self._pending_relation
+        statements, netted = self._statements, self._netted
+
+        def restore() -> None:
+            self._pending = Counter(pending)
+            self._placed = {row: list(entries) for row, entries in placed.items()}
+            self._pending_relation = relation
+            self._statements = statements
+            self._netted = netted
+
+        cluster._undo_logs[-1].record(
+            restore,
+            description=f"restore deferred queue of {self.view_info.name!r}",
+        )
+
     # ------------------------------------------------------------ refresh
 
     def refresh(self) -> RefreshReport:
-        """Apply all pending changes as one batched maintenance pass."""
+        """Apply all pending changes as one batched maintenance pass.
+
+        With a fault controller attached, the whole batch runs inside an
+        atomic scope: a fault mid-refresh restores both the view and the
+        pending queue, so nothing is half-applied.
+        """
+        faults = self.inner.cluster.faults
+        if faults is not None and faults.policy.undo:
+            with faults.atomic(f"refresh of {self.view_info.name!r}"):
+                return self._refresh_now()
+        return self._refresh_now()
+
+    def _refresh_now(self) -> RefreshReport:
+        self._snapshot_queue_undo()
         if not self._pending:
             report = RefreshReport(0, 0, self._netted, self._statements)
             self._reset_counters()
@@ -166,6 +208,20 @@ class DeferredMaintainer:
         if self.is_stale:
             return self.refresh()
         return None
+
+    def discard_pending(self) -> int:
+        """Drop the queue without applying it; returns the changes dropped.
+
+        Used by :meth:`repro.faults.ConsistencyAuditor.repair`: a naive
+        recomputation already reflects every base write, so replaying the
+        queued deltas on top would double-apply them.
+        """
+        dropped = self.pending_changes
+        self._pending.clear()
+        self._placed.clear()
+        self._pending_relation = None
+        self._reset_counters()
+        return dropped
 
 
 def defer_view(cluster, view_name: str, flush_threshold: Optional[int] = None) -> DeferredMaintainer:

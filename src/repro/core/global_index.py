@@ -34,6 +34,10 @@ def provision_global_index(cluster: "Cluster", bound: BoundView) -> None:
     a clustered local index on c (the validation in
     :meth:`Cluster.create_global_index` re-checks this).
     """
+    if cluster.faults is not None:
+        # Backfilling a GI enumerates every base fragment's rowids: all
+        # nodes must be up, or the rid-lists would be born incomplete.
+        cluster.faults.require_all_up("provisioning global indexes")
     view_name = bound.definition.name
     for relation in bound.definition.relations:
         info = cluster.catalog.relation(relation)

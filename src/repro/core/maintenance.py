@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from ..cluster.catalog import ViewInfo
 from ..costs import Op, Tag
+from ..faults.errors import FaultError
 from ..storage.schema import Row
 from .delta import Delta, PlacedRow
 from .multiway import (
@@ -90,18 +91,30 @@ class JoinViewMaintainer:
     # ------------------------------------------------------------- driver
 
     def apply(self, delta: Delta) -> None:
-        """Propagate a base-relation delta into the view."""
+        """Propagate a base-relation delta into the view.
+
+        A :class:`~repro.faults.errors.FaultError` escaping the join or the
+        view write is annotated with the view and method before re-raising,
+        so rolled-back statements say *which* maintenance hop died.
+        """
         if delta.is_empty:
             return
-        plan = self.planner.plan_for(delta.relation)
-        mapper = OutputMapper(self.bound, plan)
-        view_deletes = self._compute_join(plan, mapper, delta.deletes)
-        view_inserts = self._compute_join(plan, mapper, delta.inserts)
-        self.cluster.apply_view_delta(
-            self.view_info,
-            inserts=[(node, mapper.to_view_row(tup)) for node, tup in view_inserts],
-            deletes=[(node, mapper.to_view_row(tup)) for node, tup in view_deletes],
-        )
+        try:
+            plan = self.planner.plan_for(delta.relation)
+            mapper = OutputMapper(self.bound, plan)
+            view_deletes = self._compute_join(plan, mapper, delta.deletes)
+            view_inserts = self._compute_join(plan, mapper, delta.inserts)
+            self.cluster.apply_view_delta(
+                self.view_info,
+                inserts=[(node, mapper.to_view_row(tup)) for node, tup in view_inserts],
+                deletes=[(node, mapper.to_view_row(tup)) for node, tup in view_deletes],
+            )
+        except FaultError as exc:
+            exc.add_context(
+                f"maintaining view {self.view_info.name!r} "
+                f"({self.method.value}) on delta of {delta.relation!r}"
+            )
+            raise
 
     def _compute_join(
         self,
@@ -119,10 +132,19 @@ class JoinViewMaintainer:
             use_sort_merge = self._pick_sort_merge(hop, len(state))
             key_position = mapper.position(hop.left_relation, hop.left_column)
             filters = self._compile_filters(hop, mapper)
-            if use_sort_merge:
-                state = self._hop_sort_merge(hop, state, key_position, filters)
-            else:
-                state = self._hop_index_nested_loops(hop, state, key_position, filters)
+            try:
+                if use_sort_merge:
+                    state = self._hop_sort_merge(hop, state, key_position, filters)
+                else:
+                    state = self._hop_index_nested_loops(
+                        hop, state, key_position, filters
+                    )
+            except FaultError as exc:
+                exc.add_context(
+                    f"hop {hop_index} against {hop.partner!r} "
+                    f"({'sort-merge' if use_sort_merge else 'index-nested-loops'})"
+                )
+                raise
         return state
 
     def _pick_sort_merge(self, hop: Hop, state_size: int) -> bool:

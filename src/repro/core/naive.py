@@ -33,6 +33,8 @@ def provision_naive(
     falls back to a non-clustered index, mirroring the single-clustering
     restriction Teradata imposed on the authors.
     """
+    if cluster.faults is not None:
+        cluster.faults.require_all_up("provisioning naive-method indexes")
     for relation in bound.definition.relations:
         info = cluster.catalog.relation(relation)
         for column in bound.definition.join_columns_of(relation):

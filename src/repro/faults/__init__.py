@@ -1,0 +1,75 @@
+"""Fault injection, transactional recovery, and view-consistency auditing.
+
+The paper evaluates its three maintenance methods on a fault-free
+shared-nothing cluster.  This package drops that assumption:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a deterministic,
+  seed-driven schedule of node crashes/restarts, message drops, message
+  duplication, and probe failures;
+* :class:`RecoveryPolicy` / :class:`FaultController` /
+  :func:`attach_faults` — retry-with-backoff (retries charged as extra
+  SENDs), a physical :class:`UndoLog` giving statements all-or-nothing
+  semantics across base fragments, auxiliary relations, GI partitions,
+  and the view, queued replay of rolled-back statements, and graceful
+  degradation to naive recomputation while an AR/GI node is down; and
+* :class:`ConsistencyAuditor` — recomputes every derived structure from
+  the base relations and diffs it against what the cluster stores.
+
+With faults disabled (or none firing), every ledger charge is
+bit-identical to the fault-free engine — the paper's Figure 7–14
+reproductions are unchanged.  See DESIGN.md § Fault model and atomicity.
+"""
+
+from .errors import (
+    FaultError,
+    MessageLost,
+    NodeDown,
+    ProbeFailure,
+    StatementAborted,
+)
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .injector import FaultInjector, InjectorStats, MessageFate
+from .undo import RollbackReport, UndoEntry, UndoLog
+from .recovery import (
+    ControllerStats,
+    FaultController,
+    QueuedStatement,
+    RecoveryPolicy,
+    ReplayReport,
+    attach_faults,
+    detach_faults,
+)
+from .audit import (
+    AuditReport,
+    ConsistencyAuditor,
+    Discrepancy,
+    RepairReport,
+)
+
+__all__ = [
+    "FaultError",
+    "MessageLost",
+    "NodeDown",
+    "ProbeFailure",
+    "StatementAborted",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectorStats",
+    "MessageFate",
+    "UndoLog",
+    "UndoEntry",
+    "RollbackReport",
+    "RecoveryPolicy",
+    "FaultController",
+    "ControllerStats",
+    "QueuedStatement",
+    "ReplayReport",
+    "attach_faults",
+    "detach_faults",
+    "AuditReport",
+    "Discrepancy",
+    "ConsistencyAuditor",
+    "RepairReport",
+]

@@ -1,0 +1,81 @@
+"""Fault exception hierarchy.
+
+Everything the fault injector can do to a running statement surfaces as a
+:class:`FaultError` subclass.  The recovery layer catches exactly this
+hierarchy: any *other* exception is a programming error and propagates —
+faults must never be able to mask bugs.
+
+Errors carry a context stack (:meth:`FaultError.add_context`) so a fault
+raised deep inside a maintenance hop reports the view, hop, and statement
+it interrupted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault effect."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self._context: List[str] = []
+
+    def add_context(self, note: str) -> "FaultError":
+        """Attach a breadcrumb (innermost first); returns self for chaining."""
+        self._context.append(note)
+        return self
+
+    @property
+    def context(self) -> Tuple[str, ...]:
+        return tuple(self._context)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if not self._context:
+            return base
+        return base + " [" + "; ".join(self._context) + "]"
+
+
+class NodeDown(FaultError):
+    """An operation touched a crashed node."""
+
+    def __init__(self, node: int, what: str = "operation") -> None:
+        super().__init__(f"node {node} is down ({what})")
+        self.node = node
+
+
+class MessageLost(FaultError):
+    """A message was dropped and every retry was exhausted."""
+
+    def __init__(self, src: int, dst: int, attempts: int) -> None:
+        super().__init__(
+            f"message {src}->{dst} lost after {attempts} attempt(s)"
+        )
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
+class ProbeFailure(FaultError):
+    """An index/GI probe failed (transient device error) beyond its retries."""
+
+    def __init__(self, node: int, what: str, attempts: int) -> None:
+        super().__init__(
+            f"probe of {what} failed at node {node} after {attempts} attempt(s)"
+        )
+        self.node = node
+        self.attempts = attempts
+
+
+class StatementAborted(FaultError):
+    """A statement hit a fault and was rolled back (undo applied).
+
+    Raised to the caller only when recovery queuing is disabled; with
+    queuing on, the statement is parked for replay instead.
+    """
+
+    def __init__(self, description: str, cause: Optional[FaultError] = None) -> None:
+        super().__init__(f"statement aborted and rolled back: {description}")
+        self.cause = cause

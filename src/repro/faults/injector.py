@@ -1,0 +1,179 @@
+"""The deterministic, seed-driven fault injector.
+
+The injector is the single oracle the cluster consults about misfortune:
+
+* the network asks :meth:`FaultInjector.on_message` for the fate of every
+  message (delivered / dropped / duplicated / destination down);
+* nodes ask :meth:`FaultInjector.should_fail_probe` before serving an
+  index or GI probe and :meth:`FaultInjector.is_down` before any local
+  work; and
+* the recovery controller drives :meth:`crash` / :meth:`restart` manually
+  when a schedule calls for operator action.
+
+Determinism contract: given the same :class:`~repro.faults.plan.FaultPlan`,
+the same ``seed``, and the same sequence of oracle calls, the injector
+returns the same answers — fault runs replay exactly.  Counted events
+consume per-event countdowns; probabilistic events draw from one
+``random.Random(seed)`` stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+
+class MessageFate(enum.Enum):
+    """What the interconnect did to one message attempt."""
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+    DUPLICATED = "duplicated"
+    DEST_DOWN = "dest_down"
+    SRC_DOWN = "src_down"
+
+
+@dataclass
+class InjectorStats:
+    """Raw counts of what the injector actually did."""
+
+    messages_seen: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    probe_failures: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+
+class FaultInjector:
+    """Replays a :class:`FaultPlan` deterministically against the cluster."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None, seed: int = 0) -> None:
+        self.plan = plan or FaultPlan()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.stats = InjectorStats()
+        self.message_count = 0
+        self._down: Set[int] = set()
+        # Mutable countdowns, keyed by event identity (plans stay pure data).
+        self._remaining: Dict[int, int] = {
+            id(e): e.times for e in self.plan.events if e.probability is None
+        }
+        self._fired_triggers: Set[int] = set()
+        self._apply_due_triggers()
+
+    # ------------------------------------------------------------ liveness
+
+    def is_down(self, node: int) -> bool:
+        self._apply_due_triggers()
+        return node in self._down
+
+    @property
+    def down_nodes(self) -> List[int]:
+        self._apply_due_triggers()
+        return sorted(self._down)
+
+    def crash(self, node: int) -> None:
+        """Manually crash a node (takes effect immediately)."""
+        if node not in self._down:
+            self._down.add(node)
+            self.stats.crashes += 1
+
+    def restart(self, node: int) -> None:
+        """Manually restore a crashed node."""
+        if node in self._down:
+            self._down.discard(node)
+            self.stats.restarts += 1
+
+    def restart_all(self) -> List[int]:
+        revived = sorted(self._down)
+        for node in revived:
+            self.restart(node)
+        return revived
+
+    def _apply_due_triggers(self) -> None:
+        """Fire crash/restart events whose message-count gate has passed."""
+        for event in self.plan.events:
+            key = id(event)
+            if key in self._fired_triggers:
+                continue
+            if event.kind not in (FaultKind.NODE_CRASH, FaultKind.NODE_RESTART):
+                continue
+            if self.message_count < event.after_messages:
+                continue
+            self._fired_triggers.add(key)
+            assert event.node is not None
+            if event.kind is FaultKind.NODE_CRASH:
+                self.crash(event.node)
+            else:
+                self.restart(event.node)
+
+    # ------------------------------------------------------------ messages
+
+    def on_message(self, src: int, dst: int) -> MessageFate:
+        """Decide the fate of one message attempt (counts as an occasion
+        for message-scoped faults and advances crash/restart gates)."""
+        self.message_count += 1
+        self.stats.messages_seen += 1
+        self._apply_due_triggers()
+        if src in self._down:
+            return MessageFate.SRC_DOWN
+        if dst in self._down:
+            return MessageFate.DEST_DOWN
+        if self._consume(FaultKind.MESSAGE_DROP, src=src, dst=dst):
+            self.stats.drops += 1
+            return MessageFate.DROPPED
+        if self._consume(FaultKind.MESSAGE_DUPLICATE, src=src, dst=dst):
+            self.stats.duplicates += 1
+            return MessageFate.DUPLICATED
+        return MessageFate.DELIVERED
+
+    # -------------------------------------------------------------- probes
+
+    def should_fail_probe(self, node: int) -> bool:
+        """Whether the next probe at ``node`` fails (consumes one occasion)."""
+        self._apply_due_triggers()
+        if self._consume(FaultKind.PROBE_FAILURE, node=node):
+            self.stats.probe_failures += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------ internal
+
+    def _consume(
+        self,
+        kind: FaultKind,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        node: Optional[int] = None,
+    ) -> bool:
+        for event in self.plan.events:
+            if event.kind is not kind:
+                continue
+            if src is not None and dst is not None:
+                if not event.matches_link(src, dst):
+                    continue
+            elif node is not None and not event.matches_node(node):
+                continue
+            if event.probability is not None:
+                if self.rng.random() < event.probability:
+                    return True
+                continue
+            remaining = self._remaining.get(id(event), 0)
+            if remaining > 0:
+                self._remaining[id(event)] = remaining - 1
+                return True
+        return False
+
+    # -------------------------------------------------------------- status
+
+    def exhausted(self) -> bool:
+        """True when every counted event has fired (probabilistic events
+        never exhaust)."""
+        return all(v == 0 for v in self._remaining.values()) and not any(
+            e.probability is not None for e in self.plan.events
+        )

@@ -73,3 +73,13 @@ class GlobalIndexPartition:
 
     def items(self) -> Iterable[Tuple[object, List[GlobalRowId]]]:
         return self._entries.items()
+
+    def entries(self) -> List[Tuple[object, GlobalRowId]]:
+        """Flattened ``(key, grid)`` pairs — the auditor's unit of compare."""
+        return [
+            (key, grid) for key, grids in self._entries.items() for grid in grids
+        ]
+
+    def clear(self) -> None:
+        """Drop every entry (used by naive-recomputation repair)."""
+        self._entries.clear()

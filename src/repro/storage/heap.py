@@ -62,6 +62,24 @@ class HeapTable:
                 f"rowid {rowid} not present in {self.schema.name!r}"
             ) from None
 
+    def restore(self, rowid: int, row: Row) -> None:
+        """Re-insert a previously deleted row under its *original* rowid.
+
+        Used by transactional rollback (see :mod:`repro.faults.undo`): global
+        indexes identify tuples by ``(node, rowid)``, so undoing a delete must
+        bring the row back under the same id — a plain :meth:`insert` would
+        mint a fresh one and orphan every GI entry pointing at the old id.
+        """
+        if rowid in self._rows:
+            raise ValueError(
+                f"rowid {rowid} is still live in {self.schema.name!r}; "
+                "restore() only revives deleted rows"
+            )
+        self.schema.check_row(row)
+        self._rows[rowid] = row
+        if rowid >= self._next_rowid:
+            self._next_rowid = rowid + 1
+
     def delete_where(self, predicate: Callable[[Row], bool]) -> List[Tuple[int, Row]]:
         """Delete every row satisfying ``predicate``; returns (rowid, row) pairs."""
         victims = [(rid, row) for rid, row in self._rows.items() if predicate(row)]

@@ -124,6 +124,14 @@ class IndexedHeap:
             index.on_delete(rowid, row)
         return row
 
+    def restore(self, rowid: int, row: Row) -> None:
+        """Undo a delete: revive the row under its original rowid and
+        re-enter it into every index (rollback path; uncharged here —
+        the undo log owns cost attribution)."""
+        self.table.restore(rowid, row)
+        for index in self.indexes.values():
+            index.on_insert(rowid, row)
+
     def delete_matching(self, row: Row) -> int:
         """Delete one stored tuple equal to ``row``; returns its rowid."""
         for rowid, stored in self.table.scan():

@@ -51,3 +51,89 @@ def test_reset_stats(network):
     network.reset_stats()
     assert network.stats.messages == 0
     assert network.stats.by_link == {}
+
+
+def test_by_link_counts_each_directed_link(network):
+    network.send(0, 1)
+    network.send(0, 1)
+    network.send(1, 0)
+    network.send(2, 3, Tag.VIEW)
+    network.send(3, 3)  # local: never in by_link
+    assert network.stats.by_link == {(0, 1): 2, (1, 0): 1, (2, 3): 1}
+    assert network.stats.messages == 4
+    assert network.stats.local_deliveries == 1
+
+
+def test_reset_stats_clears_fault_counters(network):
+    from repro.faults import FaultInjector, FaultPlan
+
+    network.injector = FaultInjector(FaultPlan().drop(times=1).duplicate(times=1))
+    network.max_retries = 3
+    network.send(0, 1)  # dropped once, then retried
+    network.send(0, 2)  # duplicated
+    stats = network.stats
+    assert (stats.drops, stats.retries, stats.duplicates) == (1, 1, 1)
+    assert stats.backoff_slots > 0
+    network.reset_stats()
+    assert network.stats.drops == 0
+    assert network.stats.retries == 0
+    assert network.stats.duplicates == 0
+    assert network.stats.backoff_slots == 0.0
+    assert network.stats.by_link == {}
+
+
+def test_dropped_message_retries_and_charges_every_attempt(network):
+    from repro.faults import FaultInjector, FaultPlan
+
+    network.injector = FaultInjector(FaultPlan().drop(times=2))
+    network.max_retries = 3
+    deliveries = network.send(0, 1)
+    assert deliveries == 1
+    # Two lost attempts + the successful third: three SENDs on the wire.
+    assert network.ledger.snapshot().op_count(Op.SEND) == 3
+    assert network.stats.retries == 2
+    # Exponential backoff: 1 + 2 slots for the two retries.
+    assert network.stats.backoff_slots == pytest.approx(3.0)
+
+
+def test_drops_beyond_budget_raise_message_lost(network):
+    from repro.faults import FaultInjector, FaultPlan, MessageLost
+
+    network.injector = FaultInjector(FaultPlan().drop(times=5))
+    network.max_retries = 1
+    with pytest.raises(MessageLost):
+        network.send(0, 1)
+    # Both attempts (original + one retry) were charged.
+    assert network.ledger.snapshot().op_count(Op.SEND) == 2
+
+
+def test_duplicate_charges_two_sends_and_dedups(network):
+    from repro.faults import FaultInjector, FaultPlan
+
+    network.injector = FaultInjector(FaultPlan().duplicate(times=1))
+    assert network.send(0, 1) == 1  # dedup on: one delivery reported
+    assert network.ledger.snapshot().op_count(Op.SEND) == 2
+    assert network.stats.messages == 2  # both copies crossed the wire
+
+
+def test_duplicate_without_dedup_reports_two_deliveries(network):
+    from repro.faults import FaultInjector, FaultPlan
+
+    network.injector = FaultInjector(FaultPlan().duplicate(times=1))
+    network.dedup = False
+    assert network.send(0, 1) == 2
+
+
+def test_send_to_crashed_node_fails_fast(network):
+    from repro.faults import FaultInjector, FaultPlan, NodeDown
+
+    injector = FaultInjector(FaultPlan())
+    injector.crash(2)
+    network.injector = injector
+    with pytest.raises(NodeDown):
+        network.send(0, 2)
+    # The attempt went on the wire before bouncing: charged.
+    assert network.ledger.snapshot().op_count(Op.SEND) == 1
+    with pytest.raises(NodeDown):
+        network.send(2, 0)  # a dead sender sends nothing
+    assert network.ledger.snapshot().op_count(Op.SEND) == 1
