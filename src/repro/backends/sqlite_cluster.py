@@ -214,30 +214,52 @@ class SQLiteCluster:
         self.load(table, rows)
 
     def delete(self, table: str, rows: Iterable[Row]) -> None:
-        """Delete one stored instance of each given row."""
+        """Delete one stored instance of each given row.
+
+        Batched: rows are grouped by home node, victims are claimed per
+        distinct row (so duplicated delete requests consume distinct stored
+        copies, as the per-row loop did), and each node issues one
+        ``executemany`` — one commit per fragment instead of one per row.
+        All victims are located before any are deleted, so an unsatisfiable
+        request fails before this statement removes anything.
+        """
         info = self._info(table)
         predicate = " AND ".join(f"{c.name} = ?" for c in info.schema.columns)
+        by_node: Dict[int, List[Row]] = {}
         for row in rows:
-            node = self.nodes[self.node_of_key(row[info.key_position])]
-            if info.clustered:
-                victim = node.query(
-                    f"SELECT _seq FROM {table} WHERE {predicate} LIMIT 1", row
-                )
-                if not victim:
+            by_node.setdefault(self.node_of_key(row[info.key_position]), []).append(row)
+        key_sql = "_seq" if info.clustered else "rowid"
+        staged: List[Tuple[SQLiteNode, List[Tuple]]] = []
+        for node_id, node_rows in by_node.items():
+            node = self.nodes[node_id]
+            pools: Dict[Row, List] = {}
+            victims: List[Tuple] = []
+            for row in node_rows:
+                pool = pools.get(row)
+                if pool is None:
+                    pool = [
+                        r[0]
+                        for r in node.query(
+                            f"SELECT {key_sql} FROM {table} WHERE {predicate}", row
+                        )
+                    ]
+                    pools[row] = pool
+                if not pool:
                     raise KeyError(f"{table!r} holds no row {row!r}")
-                node.execute(
-                    f"DELETE FROM {table} WHERE {info.partition_column} = ? AND _seq = ?",
-                    (row[info.key_position], victim[0][0]),
-                )
-            else:
-                victim = node.query(
-                    f"SELECT rowid FROM {table} WHERE {predicate} LIMIT 1", row
-                )
-                if not victim:
-                    raise KeyError(f"{table!r} holds no row {row!r}")
-                node.execute(f"DELETE FROM {table} WHERE rowid = ?", (victim[0][0],))
-            if not node.defer_commits:
-                node.connection.commit()
+                victim = pool.pop(0)
+                if info.clustered:
+                    victims.append((row[info.key_position], victim))
+                else:
+                    victims.append((victim,))
+            staged.append((node, victims))
+        delete_sql = (
+            f"DELETE FROM {table} WHERE {info.partition_column} = ? AND _seq = ?"
+            if info.clustered
+            else f"DELETE FROM {table} WHERE rowid = ?"
+        )
+        for node, victims in staged:
+            if victims:
+                node.executemany(delete_sql, victims)
 
     def _insert_local(self, info: SQLiteTableInfo, node_id: int, rows: List[Row]) -> None:
         table = info.schema.name

@@ -322,7 +322,13 @@ class TeradataStyleExperiment:
 
     def maintain_jv1_insert(self, delta: Sequence[Row], method: str) -> StepTiming:
         """Full maintenance: compute the join step with ``method``, apply
-        the base insert, and install the delta into jv1."""
+        the base insert, and install the delta into jv1.
+
+        The base insert and the multi-row view-delta application run in one
+        atomic scope: every node commits once at the end (instead of once
+        per bulk write), and a failure rolls the whole statement back — the
+        paper's transaction sketch, on SQLite.
+        """
         if method == "naive":
             timing = self.naive_jv1(delta)
             joined = self._collect_naive_jv1()
@@ -331,8 +337,9 @@ class TeradataStyleExperiment:
             joined = self._collect_ar_jv1()
         else:
             raise ValueError(f"unsupported method {method!r}")
-        self.cluster.insert("customer", delta)
-        self.cluster.load("jv1", joined)
+        with self.cluster.atomic():
+            self.cluster.insert("customer", delta)
+            self.cluster.load("jv1", joined)
         return timing
 
     def _collect_naive_jv1(self) -> List[Row]:

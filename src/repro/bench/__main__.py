@@ -1,18 +1,27 @@
 """Run paper experiments from the command line.
 
-    python -m repro.bench              # list experiments
-    python -m repro.bench fig7 fig14   # run and print selected ones
-    python -m repro.bench all          # run everything
+    python -m repro.bench                        # list experiments
+    python -m repro.bench fig7 fig14             # run and print selected ones
+    python -m repro.bench all                    # run everything
+    python -m repro.bench --profile fig7         # cProfile, top 25 by cumtime
+
+``--profile`` wraps the selected experiments in :mod:`cProfile` and prints
+the 25 hottest call sites by cumulative time — the view used to find the
+batched engine's wins (see DESIGN.md and ``repro.bench.perf``).
 """
 
 from __future__ import annotations
 
+import cProfile
+import pstats
 import sys
 from typing import Callable, Dict
 
 from . import experiments
 from .harness import ExperimentResult
 from .validation import validation_grid
+
+PROFILE_TOP = 25
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig7": experiments.figure7,
@@ -37,12 +46,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def main(argv: list[str]) -> int:
-    if not argv:
-        print("usage: python -m repro.bench <experiment ...|all>")
-        print("experiments:", ", ".join(EXPERIMENTS))
-        return 1
-    names = list(EXPERIMENTS) if argv == ["all"] else argv
+def _run_experiments(names: list[str]) -> int:
     for name in names:
         runner = EXPERIMENTS.get(name)
         if runner is None:
@@ -51,6 +55,27 @@ def main(argv: list[str]) -> int:
         print(runner().render())
         print()
     return 0
+
+
+def main(argv: list[str]) -> int:
+    profile = "--profile" in argv
+    argv = [arg for arg in argv if arg != "--profile"]
+    if not argv:
+        print("usage: python -m repro.bench [--profile] <experiment ...|all>")
+        print("experiments:", ", ".join(EXPERIMENTS))
+        return 1
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; choose from {list(EXPERIMENTS)}")
+        return 1
+    if not profile:
+        return _run_experiments(names)
+    profiler = cProfile.Profile()
+    status = profiler.runcall(_run_experiments, names)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,343 @@
+"""Wall-clock throughput harness for the batched delta-execution engine.
+
+Every other bench in this package reports *modeled* costs (ledger charges,
+I/Os, messages).  This one measures real wall-clock time: how many delta
+tuples per second the Python engine sustains with the batched execution
+paths on versus off, for all three maintenance methods, uniform and skewed
+key distributions, and eager versus deferred application.
+
+The reference engine differs from the batched one only through
+``Cluster.batch_execution``; both charge bit-identical ledger cells (see
+``tests/test_batch_equivalence.py``), so the speedups reported here are
+pure interpreter-overhead wins — plan compilation, probe memoization,
+coalesced sends, and bulk fragment writes.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf            # full run
+    PYTHONPATH=src python -m repro.bench.perf --smoke    # CI-sized
+    PYTHONPATH=src python -m repro.bench.perf --out /tmp/p.json
+
+Writes ``BENCH_PERF.json`` at the repo root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core.deferred import defer_view
+from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
+from ..workloads.uniform import UniformJoinWorkload, build_cluster
+
+SCHEMA_VERSION = 1
+METHODS = ("naive", "auxiliary", "global_index")
+WORKLOADS = ("uniform", "skewed")
+MODES = ("eager", "deferred")
+HEADLINE_TARGET_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Sizing knobs for one harness run."""
+
+    num_nodes: int = 8
+    num_keys: int = 64
+    fanout: int = 4
+    skew: float = 1.2
+    total_rows: int = 1200          # rows per grid case
+    statement_size: int = 20        # rows per eager statement
+    headline_rows: int = 4800       # one large skewed transaction
+    repeats: int = 3                # best-of timing repeats
+
+    @classmethod
+    def smoke(cls) -> "PerfConfig":
+        return cls(
+            num_nodes=4,
+            num_keys=16,
+            fanout=4,
+            total_rows=160,
+            statement_size=16,
+            headline_rows=240,
+            repeats=1,
+        )
+
+
+@dataclass
+class CaseResult:
+    """One grid cell: a (method, workload, mode) pair timed both ways."""
+
+    method: str
+    workload: str
+    mode: str
+    rows: int
+    reference_seconds: float
+    batched_seconds: float
+
+    @property
+    def reference_tps(self) -> float:
+        return self.rows / self.reference_seconds
+
+    @property
+    def batched_tps(self) -> float:
+        return self.rows / self.batched_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_seconds / self.batched_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "workload": self.workload,
+            "mode": self.mode,
+            "rows": self.rows,
+            "reference_seconds": round(self.reference_seconds, 6),
+            "batched_seconds": round(self.batched_seconds, 6),
+            "reference_tps": round(self.reference_tps, 1),
+            "batched_tps": round(self.batched_tps, 1),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _make_cluster(config: PerfConfig, workload_kind: str, method: str, batched: bool):
+    """A fresh cluster for one timed run, with the engine mode set.
+
+    ``build_cluster`` pre-loads B uncharged; the timed region is only the
+    delta statements, matching what the modeled benches measure.
+    """
+    if workload_kind == "uniform":
+        workload = UniformJoinWorkload(
+            num_keys=config.num_keys, fanout=config.fanout
+        )
+        cluster = build_cluster(
+            workload, num_nodes=config.num_nodes, method=method, strategy="inl"
+        )
+    else:
+        workload = SkewedJoinWorkload(
+            num_keys=config.num_keys, fanout=config.fanout, skew=config.skew
+        )
+        cluster = build_skewed_cluster(
+            workload, num_nodes=config.num_nodes, method=method, strategy="inl"
+        )
+    cluster.batch_execution = batched
+    return cluster, workload
+
+
+def _timed(thunk: Callable[[], None], repeats: int) -> float:
+    """Best-of-N wall-clock seconds (each repeat gets a fresh closure via
+    the caller, so N=1 in smoke mode is just one run)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_one(
+    config: PerfConfig,
+    workload_kind: str,
+    method: str,
+    mode: str,
+    batched: bool,
+) -> float:
+    """Time ``total_rows`` of delta application on a fresh cluster.
+
+    Eager mode applies ``statement_size``-row statements as they arrive;
+    deferred mode queues everything behind ``defer_view`` and flushes with
+    one refresh — both ends of the paper's immediate/deferred spectrum.
+    """
+
+    def once() -> float:
+        cluster, workload = _make_cluster(config, workload_kind, method, batched)
+        rows = workload.a_rows(config.total_rows)
+        statements = [
+            rows[i : i + config.statement_size]
+            for i in range(0, len(rows), config.statement_size)
+        ]
+        if mode == "deferred":
+            wrapper = defer_view(cluster, "JV", flush_threshold=None)
+            start = time.perf_counter()
+            for statement in statements:
+                cluster.insert("A", statement)
+            wrapper.refresh()
+            return time.perf_counter() - start
+        start = time.perf_counter()
+        for statement in statements:
+            cluster.insert("A", statement)
+        return time.perf_counter() - start
+
+    return min(once() for _ in range(config.repeats))
+
+
+def run_grid(config: PerfConfig) -> List[CaseResult]:
+    results: List[CaseResult] = []
+    for method in METHODS:
+        for workload_kind in WORKLOADS:
+            for mode in MODES:
+                reference = _run_one(config, workload_kind, method, mode, False)
+                batched = _run_one(config, workload_kind, method, mode, True)
+                results.append(
+                    CaseResult(
+                        method=method,
+                        workload=workload_kind,
+                        mode=mode,
+                        rows=config.total_rows,
+                        reference_seconds=reference,
+                        batched_seconds=batched,
+                    )
+                )
+    return results
+
+
+def run_headline(config: PerfConfig) -> CaseResult:
+    """The probe memo's target case: one large transaction whose Zipf keys
+    repeat heavily, so the per-tuple engine probes the same B keys over and
+    over while the batched engine probes each distinct key once."""
+
+    def once(batched: bool) -> float:
+        cluster, workload = _make_cluster(config, "skewed", "auxiliary", batched)
+        rows = workload.a_rows(config.headline_rows)
+        start = time.perf_counter()
+        cluster.insert("A", rows)
+        return time.perf_counter() - start
+
+    # Interleave the two engines (A/B style) so slow drift in machine load
+    # hits both sides alike, and take the best of the extra repeats.
+    repeats = max(config.repeats, 3) if config.repeats > 1 else 1
+    reference, batched = float("inf"), float("inf")
+    for _ in range(repeats):
+        reference = min(reference, once(False))
+        batched = min(batched, once(True))
+    return CaseResult(
+        method="auxiliary",
+        workload="skewed",
+        mode="large_transaction",
+        rows=config.headline_rows,
+        reference_seconds=reference,
+        batched_seconds=batched,
+    )
+
+
+def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
+    grid = run_grid(config)
+    headline = run_headline(config)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "smoke": smoke,
+        "config": asdict(config),
+        "results": [case.as_dict() for case in grid],
+        "headline": {
+            **headline.as_dict(),
+            "name": "skewed_large_transaction",
+            "target_speedup": HEADLINE_TARGET_SPEEDUP,
+            "met_target": headline.speedup >= HEADLINE_TARGET_SPEEDUP,
+        },
+    }
+
+
+def validate_report(report: Dict[str, object]) -> List[str]:
+    """Schema check used by the CI perf-smoke job; returns problems found."""
+    problems: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append("schema_version mismatch")
+    for key in ("generated_at", "config", "results", "headline"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    results = report.get("results", [])
+    expected = len(METHODS) * len(WORKLOADS) * len(MODES)
+    if len(results) != expected:
+        problems.append(f"expected {expected} grid results, got {len(results)}")
+    required = {
+        "method", "workload", "mode", "rows",
+        "reference_seconds", "batched_seconds",
+        "reference_tps", "batched_tps", "speedup",
+    }
+    for index, case in enumerate(results):
+        missing = required - set(case)
+        if missing:
+            problems.append(f"result {index} missing fields {sorted(missing)}")
+            continue
+        if case["reference_tps"] <= 0 or case["batched_tps"] <= 0:
+            problems.append(f"result {index} has non-positive throughput")
+    headline = report.get("headline", {})
+    for key in required | {"name", "target_speedup", "met_target"}:
+        if key not in headline:
+            problems.append(f"headline missing field {key!r}")
+    return problems
+
+
+def default_output_path() -> Path:
+    """BENCH_PERF.json at the repo root (three levels above this file's
+    ``src/repro/bench`` package), falling back to the working directory."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src").is_dir():
+        return candidate / "BENCH_PERF.json"
+    return Path.cwd() / "BENCH_PERF.json"
+
+
+def render(report: Dict[str, object]) -> str:
+    lines = [
+        "Batched engine wall-clock throughput "
+        f"({'smoke' if report['smoke'] else 'full'} config)",
+        "",
+        f"{'method':<13} {'workload':<9} {'mode':<9} "
+        f"{'ref tup/s':>11} {'batch tup/s':>12} {'speedup':>8}",
+    ]
+    for case in report["results"]:
+        lines.append(
+            f"{case['method']:<13} {case['workload']:<9} {case['mode']:<9} "
+            f"{case['reference_tps']:>11,.0f} {case['batched_tps']:>12,.0f} "
+            f"{case['speedup']:>7.2f}x"
+        )
+    headline = report["headline"]
+    lines.append("")
+    lines.append(
+        f"headline ({headline['name']}, {headline['rows']} rows, "
+        f"method={headline['method']}): "
+        f"{headline['reference_tps']:,.0f} -> {headline['batched_tps']:,.0f} "
+        f"tuples/s, {headline['speedup']:.2f}x "
+        f"(target {headline['target_speedup']:.1f}x, "
+        f"{'met' if headline['met_target'] else 'MISSED'})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Measure wall-clock tuples/sec, batched engine vs reference.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_PERF.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    config = PerfConfig.smoke() if args.smoke else PerfConfig()
+    report = run(config, smoke=args.smoke)
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - self-check of freshly built report
+        for problem in problems:
+            print(f"schema problem: {problem}", file=sys.stderr)
+        return 1
+    out_path = args.out or default_output_path()
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(render(report))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

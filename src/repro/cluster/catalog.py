@@ -107,6 +107,15 @@ class Catalog:
         self._aux_of_base: Dict[str, List[str]] = {}
         self._gi_of_base: Dict[str, List[str]] = {}
         self._views_on_base: Dict[str, List[str]] = {}
+        #: Monotone counter bumped on every DDL-level change (objects or
+        #: indexes added/removed).  Compiled maintenance plans, output
+        #: mappers, and filter tables are cached keyed on this version, so
+        #: any catalog change invalidates them without explicit wiring.
+        self.version: int = 0
+
+    def bump_version(self) -> None:
+        """Invalidate every version-keyed cache (compiled plans etc.)."""
+        self.version += 1
 
     # ----------------------------------------------------------- register
 
@@ -127,6 +136,7 @@ class Catalog:
     def add_relation(self, info: RelationInfo) -> None:
         self._require_fresh(info.name)
         self.relations[info.name] = info
+        self.bump_version()
 
     def add_auxiliary(self, info: AuxiliaryRelationInfo) -> None:
         self._require_fresh(info.name)
@@ -134,6 +144,7 @@ class Catalog:
             raise KeyError(f"auxiliary {info.name!r}: unknown base {info.base!r}")
         self.auxiliaries[info.name] = info
         self._aux_of_base.setdefault(info.base, []).append(info.name)
+        self.bump_version()
 
     def add_global_index(self, info: GlobalIndexInfo) -> None:
         self._require_fresh(info.name)
@@ -141,6 +152,7 @@ class Catalog:
             raise KeyError(f"global index {info.name!r}: unknown base {info.base!r}")
         self.global_indexes[info.name] = info
         self._gi_of_base.setdefault(info.base, []).append(info.name)
+        self.bump_version()
 
     def add_view(self, info: ViewInfo, base_relations: List[str]) -> None:
         self._require_fresh(info.name)
@@ -150,6 +162,7 @@ class Catalog:
         self.views[info.name] = info
         for base in base_relations:
             self._views_on_base.setdefault(base, []).append(info.name)
+        self.bump_version()
 
     # --------------------------------------------------------------- drop
 
@@ -165,6 +178,7 @@ class Catalog:
         for gi in self.global_indexes.values():
             if name in gi.serves_views:
                 gi.serves_views.remove(name)
+        self.bump_version()
         return info
 
     def remove_auxiliary(self, name: str, force: bool = False) -> AuxiliaryRelationInfo:
@@ -176,6 +190,7 @@ class Catalog:
             )
         del self.auxiliaries[name]
         self._aux_of_base[info.base].remove(name)
+        self.bump_version()
         return info
 
     def remove_global_index(self, name: str, force: bool = False) -> GlobalIndexInfo:
@@ -187,6 +202,7 @@ class Catalog:
             )
         del self.global_indexes[name]
         self._gi_of_base[info.base].remove(name)
+        self.bump_version()
         return info
 
     # ------------------------------------------------------------- lookup

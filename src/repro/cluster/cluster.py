@@ -61,11 +61,18 @@ class Cluster:
         num_nodes: int,
         costs: CostParameters = PAPER_COSTS,
         layout: PageLayout = DEFAULT_LAYOUT,
+        batch_execution: bool = True,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
         self.layout = layout
+        #: Enables the batched delta-execution engine (bulk routing, probe
+        #: memoization, coalesced sends).  Charge-equivalent to the
+        #: tuple-at-a-time reference engine on the fault-free path; pass
+        #: ``False`` to force the reference engine everywhere (the
+        #: equivalence tests compare the two).
+        self.batch_execution = batch_execution
         self.ledger = CostLedger(costs)
         self.network = Network(num_nodes, self.ledger)
         self.nodes: List[Node] = [
@@ -113,6 +120,9 @@ class Cluster:
         for node in self.nodes:
             node.create_local_index(relation, column, clustered)
         info.indexes[column] = clustered
+        # New indexes change the available access paths: invalidate every
+        # version-keyed plan cache.
+        self.catalog.bump_version()
 
     def has_index(self, relation: str, column: str) -> bool:
         return column in self.catalog.relation(relation).indexes
@@ -347,6 +357,20 @@ class Cluster:
         else:
             self._execute_statement(relation, inserts, deletes)
 
+    def _bulk_ok(self) -> bool:
+        """Whether the bulk write paths may run for this statement.
+
+        Bulk application is charge-equivalent only where operation order is
+        immaterial (commutative ledger cells / network counters) and no
+        per-mutation undo records are needed.  With a fault controller or an
+        open undo scope, the tuple-at-a-time reference path runs instead.
+        """
+        return (
+            self.batch_execution
+            and self.faults is None
+            and not self._undo_logs
+        )
+
     def _execute_statement(
         self, relation: str, inserts: List[Row], deletes: List[Row]
     ) -> None:
@@ -384,15 +408,30 @@ class Cluster:
                 node=home, tag=Tag.BASE, writes=1,
                 description=f"restore {relation} delete",
             )
-        for row in inserts:
-            home = info.partitioner.node_of_row(row)
-            rowid = self.nodes[home].insert(relation, row, Tag.BASE)
-            delta.inserts.append(PlacedRow(home, rowid, row))
-            self._record_undo(
-                lambda f=self.nodes[home].fragment(relation), r=rowid: f.delete(r),
-                node=home, tag=Tag.BASE, writes=1,
-                description=f"undo {relation} insert",
-            )
+        if inserts and self._bulk_ok():
+            # Bulk path: group rows by home node (preserving per-home order,
+            # so rowids match the per-tuple engine), then one insert_many per
+            # node — one INSERT charge of count=n, same ledger cell sum.
+            homes = [info.partitioner.node_of_row(row) for row in inserts]
+            grouped: Dict[int, List[Row]] = {}
+            for home, row in zip(homes, inserts):
+                grouped.setdefault(home, []).append(row)
+            rowid_iters = {
+                home: iter(self.nodes[home].insert_many(relation, rows, Tag.BASE))
+                for home, rows in grouped.items()
+            }
+            for home, row in zip(homes, inserts):
+                delta.inserts.append(PlacedRow(home, next(rowid_iters[home]), row))
+        else:
+            for row in inserts:
+                home = info.partitioner.node_of_row(row)
+                rowid = self.nodes[home].insert(relation, row, Tag.BASE)
+                delta.inserts.append(PlacedRow(home, rowid, row))
+                self._record_undo(
+                    lambda f=self.nodes[home].fragment(relation), r=rowid: f.delete(r),
+                    node=home, tag=Tag.BASE, writes=1,
+                    description=f"undo {relation} insert",
+                )
         applied = len(inserts) - len(deletes)
         if applied:
             info.row_count += applied
@@ -452,6 +491,9 @@ class Cluster:
         partitioning key hashes to and written there — the "update auxiliary
         relation (cheap)" line of the paper's transaction sketch.
         """
+        if self._bulk_ok():
+            self._co_update_auxiliaries_bulk(info, delta)
+            return
         for aux in self.catalog.auxiliaries_of(info.name):
             for placed in delta.deletes:
                 image = aux.image_of(placed.row)
@@ -489,8 +531,50 @@ class Cluster:
                         description=f"undo {aux.name} insert",
                     )
 
+    def _co_update_auxiliaries_bulk(self, info: RelationInfo, delta: Delta) -> None:
+        """Bulk AR co-update: coalesced sends, one insert_many per node.
+
+        Charge-identical to the per-tuple loop (fault-free deliveries are
+        always 1, ledger cells are commutative sums) and content-identical
+        (per-destination row order is preserved, so rowids match).
+        """
+        for aux in self.catalog.auxiliaries_of(info.name):
+            send_counts: Dict[Tuple[int, int], int] = {}
+            routed_deletes: List[Tuple[int, Row]] = []
+            for placed in delta.deletes:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                routed_deletes.append((dest, image))
+            grouped_inserts: Dict[int, List[Row]] = {}
+            for placed in delta.inserts:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped_inserts.setdefault(dest, []).append(image)
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            for dest, image in routed_deletes:
+                try:
+                    self.nodes[dest].delete_matching(aux.name, image, Tag.MAINTAIN)
+                except KeyError:
+                    # A duplicated (un-deduped) delete found nothing: the
+                    # first copy already removed the row.
+                    pass
+            for dest, images in grouped_inserts.items():
+                self.nodes[dest].insert_many(aux.name, images, Tag.MAINTAIN)
+
     def _co_update_global_indexes(self, info: RelationInfo, delta: Delta) -> None:
         """Propagate the base delta into every GI of the relation."""
+        if self._bulk_ok():
+            self._co_update_global_indexes_bulk(info, delta)
+            return
         for gi in self.catalog.global_indexes_of(info.name):
             for placed in delta.deletes:
                 key = placed.row[gi.key_position]
@@ -522,6 +606,37 @@ class Cluster:
                         description=f"undo {gi.name} entry",
                     )
 
+    def _co_update_global_indexes_bulk(self, info: RelationInfo, delta: Delta) -> None:
+        """Bulk GI co-update: coalesced sends, one entry-batch per home node."""
+        for gi in self.catalog.global_indexes_of(info.name):
+            send_counts: Dict[Tuple[int, int], int] = {}
+            routed_deletes: List[Tuple[int, object, GlobalRowId]] = []
+            for placed in delta.deletes:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                routed_deletes.append((dest, key, GlobalRowId(placed.node, placed.rowid)))
+            grouped_inserts: Dict[int, List[Tuple[object, GlobalRowId]]] = {}
+            for placed in delta.inserts:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped_inserts.setdefault(dest, []).append(
+                    (key, GlobalRowId(placed.node, placed.rowid))
+                )
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            for dest, key, grid in routed_deletes:
+                try:
+                    self.nodes[dest].gi_delete(gi.name, key, grid, Tag.MAINTAIN)
+                except KeyError:
+                    pass  # duplicated delete: the entry is already gone
+            for dest, entries in grouped_inserts.items():
+                self.nodes[dest].gi_partition(gi.name).insert_many(entries)
+                self.ledger.charge(dest, Op.INSERT, Tag.MAINTAIN, count=len(entries))
+
     # ============================================== view delta application
 
     def apply_view_delta(
@@ -541,6 +656,9 @@ class Cluster:
         """
         partitioner = view.partitioner
         name = view.name
+        if self._bulk_ok():
+            self._apply_view_delta_bulk(view, inserts, deletes)
+            return
         for source, row in deletes:
             if isinstance(partitioner, BoundRoundRobin):
                 self._round_robin_delete(view, source, row)
@@ -578,6 +696,56 @@ class Cluster:
                 lambda v=view: setattr(v, "row_count", v.row_count - 1),
                 description=f"restore {name} row_count",
             )
+
+    def _apply_view_delta_bulk(
+        self,
+        view: ViewInfo,
+        inserts: Sequence[Tuple[int, Row]],
+        deletes: Sequence[Tuple[int, Row]],
+    ) -> None:
+        """Bulk view-delta application: coalesced sends, one insert_many per
+        destination fragment.
+
+        Round-robin deletes stay per-row (their node-by-node search stops at
+        the first match, so their cost depends on *where* each victim lives);
+        everything else groups.  Destination computation runs in statement
+        order, which keeps the stateful round-robin insert placement
+        identical to the per-tuple engine.
+        """
+        partitioner = view.partitioner
+        name = view.name
+        if isinstance(partitioner, BoundRoundRobin):
+            for source, row in deletes:
+                self._round_robin_delete(view, source, row)
+        else:
+            send_counts: Dict[Tuple[int, int], int] = {}
+            routed: List[Tuple[int, Row]] = []
+            for source, row in deletes:
+                dest = partitioner.node_of_row(row)
+                link = (source, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                routed.append((dest, row))
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.VIEW)
+            for dest, row in routed:
+                try:
+                    self.nodes[dest].delete_matching(name, row, Tag.VIEW)
+                except KeyError:
+                    pass  # duplicated delete: first copy already won
+        view.row_count -= len(deletes)
+        if inserts:
+            send_counts = {}
+            grouped: Dict[int, List[Row]] = {}
+            for source, row in inserts:
+                dest = partitioner.node_of_row(row)
+                link = (source, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped.setdefault(dest, []).append(row)
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.VIEW)
+            for dest, rows in grouped.items():
+                self.nodes[dest].insert_many(name, rows, Tag.VIEW)
+            view.row_count += len(inserts)
 
     def _round_robin_delete(self, view: ViewInfo, source: int, row: Row) -> None:
         for node in self.nodes:

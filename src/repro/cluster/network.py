@@ -131,6 +131,64 @@ class Network:
             self.stats.record(src, dst)
             return 1
 
+    # ------------------------------------------------------ coalesced sends
+
+    def send_many(self, src: int, dst: int, count: int, tag: Tag = Tag.MAINTAIN) -> int:
+        """``count`` logical messages from ``src`` to ``dst`` as one envelope.
+
+        The batched execution engine's coalescing primitive: one
+        Python-level delivery that charges exactly the N modeled SENDs the
+        per-tuple engine would (stats and ledger are commutative sums, so
+        the totals are bit-identical).  With a fault injector attached every
+        *logical* message still consults the injector individually — drops,
+        retries, and duplicates behave exactly as N separate :meth:`send`
+        calls, preserving the PR 1 fault semantics.
+
+        Returns the total number of deliveries the receiver observes.
+        """
+        if count <= 0:
+            return 0
+        self._check(src)
+        self._check(dst)
+        if self.injector is None or src == dst:
+            if src == dst:
+                self.stats.local_deliveries += count
+            else:
+                self.stats.messages += count
+                self.stats.by_link[(src, dst)] = (
+                    self.stats.by_link.get((src, dst), 0) + count
+                )
+                self.ledger.charge(src, Op.SEND, tag, count=count)
+            return count
+        return sum(self._send_unreliable(src, dst, tag) for _ in range(count))
+
+    def broadcast_many(self, src: int, count: int, tag: Tag = Tag.MAINTAIN) -> None:
+        """``count`` logical broadcasts from ``src`` in one envelope per link.
+
+        Mirrors :meth:`broadcast` charge-for-charge: every one of the
+        ``count`` logical messages is charged for all L destinations,
+        including the self-delivery (Figure 2 draws L solid arrows).  Under
+        an injector each logical leg routes through the per-message retry
+        machinery, exactly like ``count`` separate broadcasts.
+        """
+        if count <= 0:
+            return
+        self._check(src)
+        for dst in range(self.num_nodes):
+            if self.injector is None or dst == src:
+                if dst == src:
+                    self.stats.local_deliveries += count
+                else:
+                    self.stats.messages += count
+                    self.stats.by_link[(src, dst)] = (
+                        self.stats.by_link.get((src, dst), 0) + count
+                    )
+                # broadcast() charges the self-leg too, unlike send().
+                self.ledger.charge(src, Op.SEND, tag, count=count)
+            else:
+                for _ in range(count):
+                    self.send(src, dst, tag)
+
     def broadcast(self, src: int, tag: Tag = Tag.MAINTAIN) -> Iterable[int]:
         """Send to *every* node (the naive method's redistribution).
 

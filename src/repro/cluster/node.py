@@ -120,6 +120,19 @@ class Node:
         self.ledger.charge(self.node_id, Op.INSERT, tag)
         return rowid
 
+    def insert_many(self, name: str, rows: List[Row], tag: Tag) -> List[int]:
+        """Bulk insert into the local fragment; bills one INSERT per row.
+
+        Charge-equivalent to N :meth:`insert` calls (the ledger cell receives
+        the same sum) with one charge call and one heap update.
+        """
+        if not rows:
+            return []
+        self._guard(f"insert into {name!r}")
+        rowids = self.fragment(name).insert_many(rows)
+        self.ledger.charge(self.node_id, Op.INSERT, tag, count=len(rows))
+        return rowids
+
     def delete_matching(self, name: str, row: Row, tag: Tag) -> int:
         """Delete one stored tuple equal to ``row``.
 
@@ -174,6 +187,48 @@ class Node:
         if not index.clustered:
             self.ledger.charge(self.node_id, Op.FETCH, tag, count=len(rowids))
         return [fragment.table.fetch(rowid) for rowid in rowids]
+
+    def charge_index_probe(
+        self, name: str, column: str, num_matches: int, tag: Tag, times: int = 1
+    ) -> None:
+        """Charge the modeled cost of ``times`` repeat probes of one key
+        without re-executing them (the probe-memo path).
+
+        Exactly what ``times`` :meth:`index_probe` calls for a key with
+        ``num_matches`` matches would charge: one SEARCH each, plus one
+        FETCH per match when the index is non-clustered.  Never called with
+        a fault controller attached (the batched engine falls back to the
+        per-tuple reference path there), so no probe-fault consultation is
+        needed — but the guard is kept for defense in depth.
+        """
+        if times <= 0:
+            return
+        self._guard(f"index probe of {name}.{column}")
+        fragment = self.fragment(name)
+        index = fragment.index_on(column)
+        if index is None:
+            raise KeyError(f"{name!r} has no index on {column!r} at node {self.node_id}")
+        self.ledger.charge(self.node_id, Op.SEARCH, tag, count=times)
+        if num_matches and not index.clustered:
+            self.ledger.charge(
+                self.node_id, Op.FETCH, tag, count=times * num_matches
+            )
+
+    def charge_gi_probe(self, gi_name: str, tag: Tag, times: int = 1) -> None:
+        """Charge ``times`` repeat GI probes (1 SEARCH each, memoized rows)."""
+        if times <= 0:
+            return
+        self._guard(f"probe of GI {gi_name!r}")
+        self.gi_partition(gi_name)  # validate existence, as gi_probe would
+        self.ledger.charge(self.node_id, Op.SEARCH, tag, count=times)
+
+    def charge_fetch(self, name: str, units: int, tag: Tag, times: int = 1) -> None:
+        """Charge ``times`` repeat rowid-fetch batches of ``units`` FETCHes
+        each (the GI landing-node cost of memoized keys)."""
+        if times <= 0 or units <= 0:
+            return
+        self._guard(f"fetch from {name!r}")
+        self.ledger.charge(self.node_id, Op.FETCH, tag, count=times * units)
 
     def fetch_by_rowids(
         self,

@@ -33,7 +33,6 @@ from ..costs import Op, Tag
 from ..storage.schema import Column, Row, Schema
 from .delta import Delta
 from .maintenance import JoinStrategy, JoinViewMaintainer, MaintenanceMethod
-from .multiway import OutputMapper
 from .view import BoundView, JoinViewDefinition, SelectItem, ViewDefinitionError
 
 
@@ -125,8 +124,8 @@ class AggregateViewMaintainer(JoinViewMaintainer):
     def apply(self, delta: Delta) -> None:
         if delta.is_empty:
             return
-        plan = self.planner.plan_for(delta.relation)
-        mapper = OutputMapper(self.bound, plan)
+        compiled = self.planner.compiled_for(delta.relation)
+        mapper = compiled.mapper
         group_positions = tuple(
             mapper.position(relation, column) for relation, column in self.spec.group_by
         )
@@ -146,8 +145,8 @@ class AggregateViewMaintainer(JoinViewMaintainer):
                 for offset, value in enumerate(sums):
                     entry[1 + offset] += sign * value
 
-        fold(self._compute_join(plan, mapper, delta.deletes), -1)
-        fold(self._compute_join(plan, mapper, delta.inserts), +1)
+        fold(self._compute_join(compiled, delta.deletes), -1)
+        fold(self._compute_join(compiled, delta.inserts), +1)
         self._apply_contributions(contributions)
 
     def _apply_contributions(

@@ -109,15 +109,32 @@ class DeferredMaintainer:
             self.refresh()
 
     def _note(self, placed: PlacedRow, sign: int) -> None:
+        """Fold one placed change into the queue, keeping ``_placed`` pruned
+        to exactly the surviving insert placements.
+
+        Invariant: ``len(_placed[row]) == max(0, _pending[row])``.  A delete
+        that cancels a queued insert pops that insert's placement; an insert
+        that cancels a queued delete records no placement (nothing of it
+        will flush).  Safe because equal rows hash to equal home nodes, so
+        every placement of one row carries the same source node — refresh
+        charges cannot depend on *which* placement survives.
+        """
         row = placed.row
         before = self._pending[row]
-        self._pending[row] = before + sign
-        if abs(self._pending[row]) < abs(before):
+        after = before + sign
+        if abs(after) < abs(before):
             self._netted += 2  # one queued change cancelled one incoming
-        if sign > 0:
-            self._placed.setdefault(row, []).append(placed)
-        if self._pending[row] == 0:
+        if after == 0:
             del self._pending[row]
+            self._placed.pop(row, None)
+            return
+        self._pending[row] = after
+        if sign > 0 and after > 0:
+            self._placed.setdefault(row, []).append(placed)
+        elif sign < 0 and before > 0:
+            placements = self._placed.get(row)
+            if placements:
+                placements.pop()
 
     def _snapshot_queue_undo(self) -> None:
         """Record the queue's current state into the active undo scope.
@@ -174,12 +191,18 @@ class DeferredMaintainer:
         deletes: List[PlacedRow] = []
         for row, net in self._pending.items():
             if net > 0:
+                # One routing pass: _placed holds exactly the ``net``
+                # surviving insert placements (pruned at queue time by
+                # _note), most recent first at flush, as before.
                 placements = self._placed.get(row, [])
-                for i in range(net):
-                    if i < len(placements):
-                        inserts.append(placements[-(i + 1)])
-                    else:  # pragma: no cover - placements always recorded
-                        inserts.append(PlacedRow(0, -1, row))
+                if len(placements) >= net:
+                    inserts.extend(placements[len(placements) - net:][::-1])
+                else:  # pragma: no cover - guarded by the _note invariant
+                    inserts.extend(placements[::-1])
+                    inserts.extend(
+                        PlacedRow(0, -1, row)
+                        for _ in range(net - len(placements))
+                    )
             else:
                 # Deleted rows have already left the base fragments; their
                 # placement only needs the originating node for SEND

@@ -21,6 +21,7 @@ from .delta import Delta, PlacedRow
 from .multiway import (
     AuxiliaryAccess,
     BaseAccess,
+    CompiledPlan,
     GlobalIndexAccess,
     Hop,
     MaintenancePlan,
@@ -90,6 +91,24 @@ class JoinViewMaintainer:
 
     # ------------------------------------------------------------- driver
 
+    def _batch_mode(self) -> bool:
+        """Whether the batched fast path may run for this statement.
+
+        The batched engine is charge-equivalent only where the order of
+        primitive operations is immaterial: the fault-free path, where
+        ledger cells and network counters are commutative sums.  With a
+        fault controller attached (injector answers are keyed to the call
+        *sequence*) or an undo scope open (rollback needs per-mutation
+        inverse records), execution routes through the tuple-at-a-time
+        reference engine, which is the PR 1 code unchanged.
+        """
+        cluster = self.cluster
+        return (
+            cluster.batch_execution
+            and cluster.faults is None
+            and not cluster._undo_logs
+        )
+
     def apply(self, delta: Delta) -> None:
         """Propagate a base-relation delta into the view.
 
@@ -100,14 +119,15 @@ class JoinViewMaintainer:
         if delta.is_empty:
             return
         try:
-            plan = self.planner.plan_for(delta.relation)
-            mapper = OutputMapper(self.bound, plan)
-            view_deletes = self._compute_join(plan, mapper, delta.deletes)
-            view_inserts = self._compute_join(plan, mapper, delta.inserts)
+            compiled = self.planner.compiled_for(delta.relation)
+            mapper = compiled.mapper
+            view_deletes = self._compute_join(compiled, delta.deletes)
+            view_inserts = self._compute_join(compiled, delta.inserts)
+            to_view_row = mapper.to_view_row
             self.cluster.apply_view_delta(
                 self.view_info,
-                inserts=[(node, mapper.to_view_row(tup)) for node, tup in view_inserts],
-                deletes=[(node, mapper.to_view_row(tup)) for node, tup in view_deletes],
+                inserts=[(node, to_view_row(tup)) for node, tup in view_inserts],
+                deletes=[(node, to_view_row(tup)) for node, tup in view_deletes],
             )
         except FaultError as exc:
             exc.add_context(
@@ -118,23 +138,30 @@ class JoinViewMaintainer:
 
     def _compute_join(
         self,
-        plan: MaintenancePlan,
-        mapper: OutputMapper,
+        compiled: CompiledPlan,
         placed: Sequence[PlacedRow],
     ) -> List[Intermediate]:
         """Join delta rows through every hop of the plan."""
         if not placed:
             return []
+        batch = self._batch_mode()
         state: List[Intermediate] = [(p.node, p.row) for p in placed]
-        for hop_index, hop in enumerate(plan.hops):
+        for hop_index, chop in enumerate(compiled.hops):
             if not state:
                 break
+            hop = chop.hop
             use_sort_merge = self._pick_sort_merge(hop, len(state))
-            key_position = mapper.position(hop.left_relation, hop.left_column)
-            filters = self._compile_filters(hop, mapper)
+            key_position = chop.key_position
+            filters = chop.filters
             try:
                 if use_sort_merge:
-                    state = self._hop_sort_merge(hop, state, key_position, filters)
+                    state = self._hop_sort_merge(
+                        hop, state, key_position, filters, batch=batch
+                    )
+                elif batch:
+                    state = self._hop_index_nested_loops_batched(
+                        hop, state, key_position, filters
+                    )
                 else:
                     state = self._hop_index_nested_loops(
                         hop, state, key_position, filters
@@ -267,6 +294,188 @@ class JoinViewMaintainer:
                         results.append((owner, prefix + partner_row))
         return results
 
+    # ------------------------------------- batched index-nested-loops hops
+
+    def _hop_index_nested_loops_batched(
+        self,
+        hop: Hop,
+        state: List[Intermediate],
+        key_position: int,
+        filters,
+    ) -> List[Intermediate]:
+        """The batched fast path: one partition pass groups the in-flight
+        state by (destination, join key), each distinct key is probed once
+        per statement (the probe memo), repeats are *charged* without being
+        re-executed, and cross-node traffic leaves as per-destination
+        envelopes.  Charge totals, message counters, and the result order
+        are identical to :meth:`_hop_index_nested_loops` — see DESIGN.md
+        § Batched execution engine for the equivalence argument.
+        """
+        access = hop.access
+        if isinstance(access, BaseAccess):
+            if access.broadcast:
+                return self._inl_broadcast_batched(
+                    hop, state, key_position, filters, access
+                )
+            return self._inl_colocated_batched(
+                hop, state, key_position, filters, access.fragment_name,
+                access.column, self._base_key_router(access),
+            )
+        if isinstance(access, AuxiliaryAccess):
+            aux = self.cluster.catalog.auxiliary(access.ar_name)
+            return self._inl_colocated_batched(
+                hop, state, key_position, filters, access.ar_name,
+                access.column, aux.partitioner.node_of_key,
+            )
+        if isinstance(access, GlobalIndexAccess):
+            return self._inl_global_index_batched(
+                hop, state, key_position, filters, access
+            )
+        raise TypeError(f"unknown access path {access!r}")
+
+    def _inl_colocated_batched(
+        self, hop, state, key_position, filters, fragment_name, column, router
+    ) -> List[Intermediate]:
+        """Batched AR / co-located hop: route once, probe distinct keys once."""
+        network = self.cluster.network
+        nodes = self.cluster.nodes
+        send_counts: Dict[Tuple[int, int], int] = {}
+        occurrences: Dict[Tuple[int, object], int] = {}
+        routed: List[Tuple[Row, Tuple[int, object]]] = []
+        route_cache: Dict[object, int] = {}
+        for node, prefix in state:
+            key = prefix[key_position]
+            destination = route_cache.get(key)
+            if destination is None:
+                destination = route_cache[key] = router(key)
+            link = (node, destination)
+            send_counts[link] = send_counts.get(link, 0) + 1
+            slot = (destination, key)
+            occurrences[slot] = occurrences.get(slot, 0) + 1
+            routed.append((prefix, slot))
+        for (src, dst), count in send_counts.items():
+            network.send_many(src, dst, count, Tag.MAINTAIN)
+        memo: Dict[Tuple[int, object], List[Row]] = {}
+        for slot, times in occurrences.items():
+            destination, key = slot
+            matches = nodes[destination].index_probe(
+                fragment_name, column, key, Tag.MAINTAIN
+            )
+            memo[slot] = matches
+            if times > 1:
+                nodes[destination].charge_index_probe(
+                    fragment_name, column, len(matches), Tag.MAINTAIN,
+                    times=times - 1,
+                )
+        results: List[Intermediate] = []
+        passes = self._passes
+        for prefix, slot in routed:
+            destination = slot[0]
+            for partner_row in memo[slot]:
+                if not filters or passes(filters, prefix, partner_row):
+                    results.append((destination, prefix + partner_row))
+        return results
+
+    def _inl_broadcast_batched(
+        self, hop, state, key_position, filters, access: BaseAccess
+    ) -> List[Intermediate]:
+        """Batched naive hop: coalesce each source node's broadcasts into
+        one envelope per link, probe each distinct key once per node."""
+        network = self.cluster.network
+        nodes = self.cluster.nodes
+        broadcast_counts: Dict[int, int] = {}
+        key_occurrences: Dict[object, int] = {}
+        for node, prefix in state:
+            broadcast_counts[node] = broadcast_counts.get(node, 0) + 1
+            key = prefix[key_position]
+            key_occurrences[key] = key_occurrences.get(key, 0) + 1
+        for src, count in broadcast_counts.items():
+            network.broadcast_many(src, count, Tag.MAINTAIN)
+        memo: Dict[Tuple[int, object], List[Row]] = {}
+        for key, times in key_occurrences.items():
+            for destination_node in nodes:
+                matches = destination_node.index_probe(
+                    access.relation, access.column, key, Tag.MAINTAIN
+                )
+                memo[(destination_node.node_id, key)] = matches
+                if times > 1:
+                    destination_node.charge_index_probe(
+                        access.relation, access.column, len(matches),
+                        Tag.MAINTAIN, times=times - 1,
+                    )
+        results: List[Intermediate] = []
+        passes = self._passes
+        num_nodes = self.cluster.num_nodes
+        for node, prefix in state:
+            key = prefix[key_position]
+            for destination in range(num_nodes):
+                for partner_row in memo[(destination, key)]:
+                    if not filters or passes(filters, prefix, partner_row):
+                        results.append((destination, prefix + partner_row))
+        return results
+
+    def _inl_global_index_batched(
+        self, hop, state, key_position, filters, access: GlobalIndexAccess
+    ) -> List[Intermediate]:
+        """Batched GI hop: one GI probe and one rowid-fetch batch per
+        distinct key; repeats charge the modeled SEND/SEARCH/FETCH without
+        touching storage again."""
+        gi = self.cluster.catalog.global_index(access.gi_name)
+        network = self.cluster.network
+        nodes = self.cluster.nodes
+        send_counts: Dict[Tuple[int, int], int] = {}
+        key_occurrences: Dict[object, int] = {}
+        home_cache: Dict[object, int] = {}
+        routed: List[Tuple[Row, object]] = []
+        for node, prefix in state:
+            key = prefix[key_position]
+            home = home_cache.get(key)
+            if home is None:
+                home = home_cache[key] = gi.home_node(key)
+            link = (node, home)
+            send_counts[link] = send_counts.get(link, 0) + 1
+            key_occurrences[key] = key_occurrences.get(key, 0) + 1
+            routed.append((prefix, key))
+        for (src, dst), count in send_counts.items():
+            network.send_many(src, dst, count, Tag.MAINTAIN)
+        # Probe each distinct key once; fetch each owner's matches once.
+        memo: Dict[object, List[Tuple[int, List[Row]]]] = {}
+        owner_send_counts: Dict[Tuple[int, int], int] = {}
+        for key, times in key_occurrences.items():
+            home = home_cache[key]
+            grouped = nodes[home].gi_probe(access.gi_name, key, Tag.MAINTAIN)
+            if times > 1:
+                nodes[home].charge_gi_probe(
+                    access.gi_name, Tag.MAINTAIN, times=times - 1
+                )
+            fetched: List[Tuple[int, List[Row]]] = []
+            for owner, grids in grouped.items():
+                link = (home, owner)
+                owner_send_counts[link] = owner_send_counts.get(link, 0) + times
+                rows = nodes[owner].fetch_by_rowids(
+                    access.relation,
+                    [grid.rowid for grid in grids],
+                    Tag.MAINTAIN,
+                    clustered_on_page=access.distributed_clustered,
+                )
+                if times > 1:
+                    units = 1 if access.distributed_clustered else len(grids)
+                    nodes[owner].charge_fetch(
+                        access.relation, units, Tag.MAINTAIN, times=times - 1
+                    )
+                fetched.append((owner, rows))
+            memo[key] = fetched
+        for (src, dst), count in owner_send_counts.items():
+            network.send_many(src, dst, count, Tag.MAINTAIN)
+        results: List[Intermediate] = []
+        passes = self._passes
+        for prefix, key in routed:
+            for owner, rows in memo[key]:
+                for partner_row in rows:
+                    if not filters or passes(filters, prefix, partner_row):
+                        results.append((owner, prefix + partner_row))
+        return results
+
     # ---------------------------------------------------- sort-merge hops
 
     def _hop_sort_merge(
@@ -275,18 +484,22 @@ class JoinViewMaintainer:
         state: List[Intermediate],
         key_position: int,
         filters,
+        batch: bool = False,
     ) -> List[Intermediate]:
         """Batch alternative: instead of per-tuple probes, the partner's
         fragments are scanned (clustered) or sorted (non-clustered) once and
         merged with the routed delta (paper §3.1.2)."""
         access = hop.access
         if isinstance(access, BaseAccess) and access.broadcast:
-            return self._sm_broadcast(hop, state, key_position, filters, access)
+            return self._sm_broadcast(
+                hop, state, key_position, filters, access, batch=batch
+            )
         if isinstance(access, BaseAccess):
             return self._sm_partitioned(
                 hop, state, key_position, filters,
                 access.fragment_name, access.column,
                 self._base_key_router(access), sorted_fragments=access.clustered,
+                batch=batch,
             )
         if isinstance(access, AuxiliaryAccess):
             aux = self.cluster.catalog.auxiliary(access.ar_name)
@@ -294,6 +507,7 @@ class JoinViewMaintainer:
                 hop, state, key_position, filters,
                 access.ar_name, access.column,
                 aux.partitioner.node_of_key, sorted_fragments=True,
+                batch=batch,
             )
         if isinstance(access, GlobalIndexAccess):
             # In the sort-merge regime the GI brings nothing: the work is
@@ -303,6 +517,7 @@ class JoinViewMaintainer:
                 hop, state, key_position, filters,
                 access.relation, access.column,
                 sorted_fragments=access.distributed_clustered,
+                batch=batch,
             )
         raise TypeError(f"unknown access path {access!r}")
 
@@ -336,13 +551,21 @@ class JoinViewMaintainer:
         return results
 
     def _sm_broadcast(
-        self, hop, state, key_position, filters, access: BaseAccess
+        self, hop, state, key_position, filters, access: BaseAccess,
+        batch: bool = False,
     ) -> List[Intermediate]:
         """Naive sort-merge: every node receives the whole delta and merges
         it with its own partner fragment."""
-        for node, _ in state:
-            for _ in self.cluster.network.broadcast(node, Tag.MAINTAIN):
-                pass
+        if batch:
+            broadcast_counts: Dict[int, int] = {}
+            for node, _ in state:
+                broadcast_counts[node] = broadcast_counts.get(node, 0) + 1
+            for src, count in broadcast_counts.items():
+                self.cluster.network.broadcast_many(src, count, Tag.MAINTAIN)
+        else:
+            for node, _ in state:
+                for _ in self.cluster.network.broadcast(node, Tag.MAINTAIN):
+                    pass
         prefixes = [prefix for _, prefix in state]
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
@@ -357,15 +580,29 @@ class JoinViewMaintainer:
 
     def _sm_partitioned(
         self, hop, state, key_position, filters, fragment_name, column, router,
-        sorted_fragments: bool,
+        sorted_fragments: bool, batch: bool = False,
     ) -> List[Intermediate]:
         """AR / co-located sort-merge: route the delta by join key, then
         each node merges its slice with its (clustered) fragment."""
         slices: Dict[int, List[Row]] = {}
-        for node, prefix in state:
-            destination = router(prefix[key_position])
-            self.cluster.network.send(node, destination, Tag.MAINTAIN)
-            slices.setdefault(destination, []).append(prefix)
+        if batch:
+            send_counts: Dict[Tuple[int, int], int] = {}
+            route_cache: Dict[object, int] = {}
+            for node, prefix in state:
+                key = prefix[key_position]
+                destination = route_cache.get(key)
+                if destination is None:
+                    destination = route_cache[key] = router(key)
+                link = (node, destination)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                slices.setdefault(destination, []).append(prefix)
+            for (src, dst), count in send_counts.items():
+                self.cluster.network.send_many(src, dst, count, Tag.MAINTAIN)
+        else:
+            for node, prefix in state:
+                destination = router(prefix[key_position])
+                self.cluster.network.send(node, destination, Tag.MAINTAIN)
+                slices.setdefault(destination, []).append(prefix)
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
             self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)
@@ -381,17 +618,31 @@ class JoinViewMaintainer:
 
     def _sm_scan_all(
         self, hop, state, key_position, filters, fragment_name, column,
-        sorted_fragments: bool,
+        sorted_fragments: bool, batch: bool = False,
     ) -> List[Intermediate]:
         """GI sort-merge: the base fragments are scanned/sorted at every
         node; the delta (already keyed) is merged against each."""
         prefixes = [prefix for _, prefix in state]
-        for node, prefix in state:
-            # The delta still travels to its key's GI home node first.
-            gi_home = self.cluster.catalog.global_index(
-                hop.access.gi_name  # type: ignore[union-attr]
-            ).home_node(prefix[key_position])
-            self.cluster.network.send(node, gi_home, Tag.MAINTAIN)
+        gi = self.cluster.catalog.global_index(
+            hop.access.gi_name  # type: ignore[union-attr]
+        )
+        if batch:
+            send_counts: Dict[Tuple[int, int], int] = {}
+            home_cache: Dict[object, int] = {}
+            for node, prefix in state:
+                key = prefix[key_position]
+                gi_home = home_cache.get(key)
+                if gi_home is None:
+                    gi_home = home_cache[key] = gi.home_node(key)
+                link = (node, gi_home)
+                send_counts[link] = send_counts.get(link, 0) + 1
+            for (src, dst), count in send_counts.items():
+                self.cluster.network.send_many(src, dst, count, Tag.MAINTAIN)
+        else:
+            for node, prefix in state:
+                # The delta still travels to its key's GI home node first.
+                gi_home = gi.home_node(prefix[key_position])
+                self.cluster.network.send(node, gi_home, Tag.MAINTAIN)
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
             self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)

@@ -180,6 +180,56 @@ def enumerate_orders(
     return orders
 
 
+@dataclass(frozen=True)
+class CompiledHop:
+    """One hop with its per-statement lookups resolved once.
+
+    ``key_position`` is the flat position (in the running intermediate
+    tuple) of the value that probes the partner; ``filters`` are the
+    pre-resolved (left position, partner position) pairs of the hop's extra
+    join conditions.  Both used to be recomputed on every statement; the
+    batched execution engine caches them per (view, relation, catalog
+    version).
+    """
+
+    hop: Hop
+    key_position: int
+    filters: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A maintenance plan plus every derived artifact execution needs.
+
+    Cached by :meth:`repro.core.optimizer.MaintenancePlanner.compiled_for`
+    keyed on the catalog version (invalidation on any DDL change), so the
+    per-statement cost of planning drops to one dict lookup.
+    """
+
+    plan: MaintenancePlan
+    mapper: "OutputMapper"
+    hops: Tuple[CompiledHop, ...]
+
+
+def compile_plan(bound: BoundView, plan: MaintenancePlan) -> CompiledPlan:
+    """Resolve the mapper, probe-key positions, and filter positions of a
+    plan once, ahead of execution."""
+    mapper = OutputMapper(bound, plan)
+    compiled_hops = []
+    for hop in plan.hops:
+        key_position = mapper.position(hop.left_relation, hop.left_column)
+        filters = []
+        for condition in hop.extra_filters:
+            left_relation, left_column = condition.other(hop.partner)
+            left_position = mapper.position(left_relation, left_column)
+            partner_position = hop.contributed.index_of(
+                condition.column_of(hop.partner)
+            )
+            filters.append((left_position, partner_position))
+        compiled_hops.append(CompiledHop(hop, key_position, tuple(filters)))
+    return CompiledPlan(plan=plan, mapper=mapper, hops=tuple(compiled_hops))
+
+
 class OutputMapper:
     """Maps a plan's concatenated intermediate tuples to view output rows.
 

@@ -25,10 +25,12 @@ from .multiway import (
     AccessPath,
     AuxiliaryAccess,
     BaseAccess,
+    CompiledPlan,
     GlobalIndexAccess,
     Hop,
     HopChoice,
     MaintenancePlan,
+    compile_plan,
     enumerate_orders,
 )
 from .statistics import StatisticsCache
@@ -57,26 +59,68 @@ class MaintenancePlanner:
         self.bound = bound
         self.method = method
         self.statistics = statistics or StatisticsCache(cluster)
-        self._plan_cache: Dict[Tuple[str, Tuple[int, ...]], MaintenancePlan] = {}
+        self._plan_cache: Dict[Tuple, MaintenancePlan] = {}
+        self._compiled_cache: Dict[Tuple, CompiledPlan] = {}
+        self._order_counts: Dict[Tuple[str, int], int] = {}
 
     # ------------------------------------------------------------ planning
 
-    def plan_for(self, updated: str) -> MaintenancePlan:
-        """The cheapest legal plan for a delta on ``updated``.
-
-        Cached per catalog cardinalities, so plans adapt as data grows
-        (the statistics that drive pricing are cardinality-keyed too).
-        """
+    def _signature_key(self, updated: str) -> Tuple:
+        """Plan-cache key: catalog version (DDL invalidation) plus the
+        relation cardinalities (replan as data grows, matching the
+        cardinality-keyed statistics that drive pricing)."""
         signature = tuple(
             self.cluster.catalog.relation(name).row_count
             for name in self.bound.definition.relations
         )
-        key = (updated, signature)
+        return (updated, self.cluster.catalog.version, signature)
+
+    def _single_order(self, updated: str) -> bool:
+        """Whether only one legal hop order exists (every two-relation
+        view).  Memoized per catalog version — new structures can change
+        neither the order count (it depends only on the join graph) but a
+        version bump is a cheap, safe invalidation boundary."""
+        order_key = (updated, self.cluster.catalog.version)
+        count = self._order_counts.get(order_key)
+        if count is None:
+            count = len(enumerate_orders(self.bound, updated))
+            self._order_counts[order_key] = count
+        return count <= 1
+
+    def plan_for(self, updated: str) -> MaintenancePlan:
+        """The cheapest legal plan for a delta on ``updated``.
+
+        Cached per catalog version and catalog cardinalities, so plans
+        adapt as data grows (the statistics that drive pricing are
+        cardinality-keyed too).
+        """
+        key = self._signature_key(updated)
         plan = self._plan_cache.get(key)
         if plan is None:
             plan = self._choose_plan(updated)
             self._plan_cache[key] = plan
         return plan
+
+    def compiled_for(self, updated: str) -> CompiledPlan:
+        """The plan for ``updated`` with mapper, probe-key positions, and
+        filter positions resolved once.
+
+        When only one legal hop order exists (every two-relation view),
+        cardinality growth cannot change the plan — only its object
+        identity — so the compiled artifact is cached per catalog version
+        alone and survives data growth; multiway views key on the full
+        cardinality signature, tracking :meth:`plan_for`'s replanning.
+        """
+        version = self.cluster.catalog.version
+        if self._single_order(updated):
+            key: Tuple = (updated, version)
+        else:
+            key = self._signature_key(updated)
+        compiled = self._compiled_cache.get(key)
+        if compiled is None:
+            compiled = compile_plan(self.bound, self.plan_for(updated))
+            self._compiled_cache[key] = compiled
+        return compiled
 
     def alternatives(self, updated: str) -> List[Tuple[MaintenancePlan, float]]:
         """Every legal plan with its estimated cost, cheapest first —

@@ -42,6 +42,12 @@ class GlobalIndexPartition:
     def insert(self, key: object, grid: GlobalRowId) -> None:
         self._entries.setdefault(key, []).append(grid)
 
+    def insert_many(self, entries: Iterable[Tuple[object, GlobalRowId]]) -> None:
+        """Bulk insert of ``(key, grid)`` pairs, order-preserving per key."""
+        setdefault = self._entries.setdefault
+        for key, grid in entries:
+            setdefault(key, []).append(grid)
+
     def delete(self, key: object, grid: GlobalRowId) -> None:
         grids = self._entries.get(key)
         if not grids or grid not in grids:

@@ -42,7 +42,21 @@ class HeapTable:
         return rowid
 
     def insert_many(self, rows) -> List[int]:
-        return [self.insert(row) for row in rows]
+        """Bulk insert; returns the local rowids in input order.
+
+        Semantically identical to N :meth:`insert` calls (same rowids, same
+        validation) but performs one dict update instead of N — the heap
+        half of the batched execution engine's bulk-apply path.
+        """
+        rows = list(rows)
+        check = self.schema.check_row
+        for row in rows:
+            check(row)
+        first = self._next_rowid
+        rowids = list(range(first, first + len(rows)))
+        self._rows.update(zip(rowids, rows))
+        self._next_rowid = first + len(rows)
+        return rowids
 
     def fetch(self, rowid: int) -> Row:
         """The row stored under ``rowid``."""

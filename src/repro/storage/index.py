@@ -118,6 +118,20 @@ class IndexedHeap:
             index.on_insert(rowid, row)
         return rowid
 
+    def insert_many(self, rows) -> "list[int]":
+        """Bulk insert keeping every index in lockstep.
+
+        Equivalent to N :meth:`insert` calls — same rowids, same index
+        entry order — with the per-row Python overhead amortized.
+        """
+        rows = list(rows)
+        rowids = self.table.insert_many(rows)
+        for index in self.indexes.values():
+            on_insert = index.on_insert
+            for rowid, row in zip(rowids, rows):
+                on_insert(rowid, row)
+        return rowids
+
     def delete(self, rowid: int) -> Row:
         row = self.table.delete(rowid)
         for index in self.indexes.values():

@@ -38,6 +38,24 @@ def test_every_registered_experiment_is_callable():
         assert required in EXPERIMENTS
 
 
+def test_profile_flag_prints_hotspots(capsys):
+    assert main(["--profile", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "cumulative time" in out
+    assert "ncalls" in out
+
+
+def test_profile_flag_with_unknown_experiment(capsys):
+    assert main(["--profile", "zzz"]) == 1
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_profile_flag_alone_shows_usage(capsys):
+    assert main(["--profile"]) == 1
+    assert "usage" in capsys.readouterr().out
+
+
 def test_module_entrypoint_runs():
     completed = subprocess.run(
         [sys.executable, "-m", "repro.bench", "table1"],

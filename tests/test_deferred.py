@@ -60,6 +60,30 @@ def test_delete_then_insert_nets(deferred):
     assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
 
 
+def test_placed_pruned_at_note_time_and_report_counts_unchanged(deferred):
+    """The one-pass routing rework: ``_placed`` keeps exactly the surviving
+    insert placements (pruned as netting happens), and the RefreshReport
+    counts match what the pre-rework engine reported."""
+    cluster, wrapper = deferred
+    cluster.insert("A", [(100, 0, "pre")])
+    wrapper.refresh()                            # (100, 0, "pre") is live
+    rows = [(i, i % 5, f"x{i}") for i in range(6)]
+    cluster.insert("A", rows)                    # 6 queued inserts
+    cluster.delete("A", [rows[0], rows[1]])      # net away two of them
+    cluster.delete("A", [(100, 0, "pre")])       # plain delete, nothing queued
+    # Invariant: len(_placed[row]) == max(0, _pending[row]).
+    for row, net in wrapper._pending.items():
+        assert len(wrapper._placed.get(row, [])) == max(0, net)
+    assert rows[0] not in wrapper._placed and rows[1] not in wrapper._placed
+    report = wrapper.refresh()
+    assert report.flushed_inserts == 4
+    assert report.flushed_deletes == 1
+    assert report.netted_away == 4       # two cancellations, two sides each
+    assert report.statements_absorbed == 3
+    assert wrapper._placed == {} and not wrapper._pending
+    assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
+
+
 def test_cross_relation_delta_forces_flush(deferred):
     cluster, wrapper = deferred
     cluster.insert("A", [(1, 2, "x")])

@@ -1,0 +1,104 @@
+"""Smoke tests for the wall-clock perf harness (repro.bench.perf).
+
+These runs are deliberately tiny: they prove the harness executes end to
+end, the JSON schema validates, and the CLI writes its report — they make
+no assertions about speedups, which belong to the full run on quiet
+hardware (BENCH_PERF.json).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import perf
+from repro.bench.perf import CaseResult, PerfConfig, validate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    config = PerfConfig(
+        num_nodes=2,
+        num_keys=8,
+        fanout=2,
+        total_rows=24,
+        statement_size=8,
+        headline_rows=24,
+        repeats=1,
+    )
+    return perf.run(config, smoke=True)
+
+
+def test_report_schema_valid(tiny_report):
+    assert validate_report(tiny_report) == []
+    assert tiny_report["schema_version"] == perf.SCHEMA_VERSION
+    assert len(tiny_report["results"]) == 12  # 3 methods x 2 workloads x 2 modes
+
+
+def test_report_covers_full_grid(tiny_report):
+    cells = {
+        (case["method"], case["workload"], case["mode"])
+        for case in tiny_report["results"]
+    }
+    assert cells == {
+        (method, workload, mode)
+        for method in perf.METHODS
+        for workload in perf.WORKLOADS
+        for mode in perf.MODES
+    }
+    headline = tiny_report["headline"]
+    assert headline["name"] == "skewed_large_transaction"
+    assert headline["mode"] == "large_transaction"
+    assert headline["speedup"] > 0
+
+
+def test_render_mentions_every_method(tiny_report):
+    text = perf.render(tiny_report)
+    for method in perf.METHODS:
+        assert method in text
+    assert "headline" in text
+
+
+def test_validate_report_catches_problems(tiny_report):
+    broken = dict(tiny_report)
+    broken["schema_version"] = 0
+    broken["results"] = tiny_report["results"][:-1]
+    problems = validate_report(broken)
+    assert any("schema_version" in p for p in problems)
+    assert any("grid results" in p for p in problems)
+    headless = dict(tiny_report)
+    headless.pop("headline")
+    assert any("headline" in p for p in validate_report(headless))
+
+
+def test_case_result_derived_metrics():
+    case = CaseResult(
+        method="auxiliary", workload="skewed", mode="eager",
+        rows=100, reference_seconds=2.0, batched_seconds=0.5,
+    )
+    assert case.reference_tps == 50.0
+    assert case.batched_tps == 200.0
+    assert case.speedup == 4.0
+    assert case.as_dict()["speedup"] == 4.0
+
+
+def test_cli_writes_report(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "perf.json"
+    # Shrink the smoke config further so the CLI test stays fast.
+    monkeypatch.setattr(
+        PerfConfig, "smoke",
+        classmethod(lambda cls: cls(
+            num_nodes=2, num_keys=8, fanout=2, total_rows=16,
+            statement_size=8, headline_rows=16, repeats=1,
+        )),
+    )
+    assert perf.main(["--smoke", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert validate_report(report) == []
+    assert report["smoke"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_default_output_path_is_repo_root():
+    path = perf.default_output_path()
+    assert path.name == "BENCH_PERF.json"
+    assert (path.parent / "src").is_dir()

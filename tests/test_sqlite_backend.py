@@ -74,6 +74,53 @@ def test_delete_from_clustered_table(sqlite_cluster):
     assert sqlite_cluster.count("R") == 2
 
 
+def test_batched_delete_duplicates_claim_distinct_copies(sqlite_cluster):
+    """One executemany per node must still consume one stored copy per
+    requested duplicate, like the old per-row loop."""
+    sqlite_cluster.create_table(R, partitioned_on="k")
+    sqlite_cluster.load("R", [(1, "a"), (1, "a"), (1, "a"), (2, "b")])
+    sqlite_cluster.delete("R", [(1, "a"), (1, "a")])
+    assert Counter(sqlite_cluster.all_rows("R")) == Counter([(1, "a"), (2, "b")])
+    # Over-deleting fails before any row of the statement is removed.
+    with pytest.raises(KeyError):
+        sqlite_cluster.delete("R", [(1, "a"), (1, "a")])
+    assert sqlite_cluster.count("R") == 2
+
+
+def test_atomic_scope_commits_bulk_writes_once(sqlite_cluster):
+    sqlite_cluster.create_table(R, partitioned_on="k")
+    with sqlite_cluster.atomic():
+        sqlite_cluster.load("R", [(i, f"v{i}") for i in range(10)])
+        sqlite_cluster.delete("R", [(0, "v0")])
+    assert sqlite_cluster.count("R") == 9
+    # A failing scope rolls every node back.
+    with pytest.raises(RuntimeError):
+        with sqlite_cluster.atomic():
+            sqlite_cluster.load("R", [(100, "boom")])
+            raise RuntimeError("abort")
+    assert sqlite_cluster.count("R") == 9
+
+
+def test_maintain_jv1_insert_is_atomic_across_nodes():
+    """The full-maintenance path wraps base insert + view delta in one
+    transaction; contents still match a recompute afterwards."""
+    with TeradataStyleExperiment(num_nodes=2, scale=0.001) as experiment:
+        experiment.materialize_jv1()
+        before = experiment.cluster.count("jv1")
+        delta = experiment.new_delta(5)
+        experiment.maintain_jv1_insert(delta, "auxiliary")
+        assert experiment.cluster.count("jv1") == before + 5
+        recomputed = Counter(
+            tuple(r)
+            for node in experiment.cluster.nodes
+            for r in node.query(
+                "SELECT c.custkey, c.acctbal, o.orderkey, o.totalprice "
+                "FROM customer c JOIN orders_1 o ON c.custkey = o.custkey"
+            )
+        )
+        assert Counter(experiment.cluster.all_rows("jv1")) == recomputed
+
+
 def test_scatter_groups_by_hash(sqlite_cluster):
     groups = sqlite_cluster.scatter([(0,), (1,), (4,)], key_position=0)
     assert groups == {0: [(0,), (4,)], 1: [(1,)]}
