@@ -51,6 +51,7 @@ from .partitioning import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.recovery import FaultController
     from ..faults.undo import UndoLog
+    from .parallel import ParallelEngine
 
 
 class Cluster:
@@ -62,9 +63,13 @@ class Cluster:
         costs: CostParameters = PAPER_COSTS,
         layout: PageLayout = DEFAULT_LAYOUT,
         batch_execution: bool = True,
+        workers: Optional[int] = None,
+        probe_cache_threshold: int = 3,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for serial)")
         self.num_nodes = num_nodes
         self.layout = layout
         #: Enables the batched delta-execution engine (bulk routing, probe
@@ -73,6 +78,15 @@ class Cluster:
         #: ``False`` to force the reference engine everywhere (the
         #: equivalence tests compare the two).
         self.batch_execution = batch_execution
+        #: ``None`` (default) keeps execution serial.  An integer forks a
+        #: persistent pool of that many node workers (see
+        #: :mod:`repro.cluster.parallel`), each owning a contiguous shard of
+        #: nodes; fault-free statements then run as BSP supersteps with
+        #: bit-identical ledgers, stats, and fragment contents.
+        self.workers = workers
+        #: Probe frequency at which a worker promotes a join key to its
+        #: resident heavy-hitter cache; ``0`` disables the cache.
+        self.probe_cache_threshold = probe_cache_threshold
         self.ledger = CostLedger(costs)
         self.network = Network(num_nodes, self.ledger)
         self.nodes: List[Node] = [
@@ -86,6 +100,94 @@ class Cluster:
         #: Stack of active undo scopes (innermost last).  Empty on the
         #: fault-free path: :meth:`_record_undo` is then a no-op.
         self._undo_logs: List["UndoLog"] = []
+        #: Lazily constructed worker-pool handle (see ``workers`` above).
+        self._parallel_engine: Optional["ParallelEngine"] = None
+
+    # ==================================================== parallel lifecycle
+
+    def _parallel_gate(self) -> bool:
+        """Whether parallel execution is admissible *right now*.
+
+        Same conditions as :meth:`_bulk_ok` (the superstep engine is built
+        on the bulk paths) plus a configured worker count.  Faults and undo
+        scopes route to the serial reference engine, exactly like PR 2.
+        """
+        return (
+            self.workers is not None
+            and self.batch_execution
+            and self.faults is None
+            and not self._undo_logs
+        )
+
+    def _parallel_start(self) -> Optional["ParallelEngine"]:
+        """The engine, forked and running — or ``None`` (serial statement).
+
+        Called at statement entry.  When parallel execution is configured
+        but currently inadmissible the pool is drained first, so no worker
+        ever holds a shard the serial path is about to mutate behind its
+        back.  Draining is free: the coordinator's node image is current at
+        every superstep boundary, and a later start re-forks from it.
+        """
+        if self.workers is None:
+            return None
+        if not self._parallel_gate():
+            self._drain_parallel()
+            return None
+        engine = self._parallel_engine
+        if engine is None:
+            from .parallel import ParallelEngine, fork_available
+
+            if not fork_available():  # pragma: no cover - POSIX-only repo
+                return None
+            engine = ParallelEngine(
+                self, self.workers, self.probe_cache_threshold
+            )
+            self._parallel_engine = engine
+        if engine.broken:
+            return None
+        engine.start()
+        return engine if engine.running else None
+
+    def _parallel_running(self) -> Optional["ParallelEngine"]:
+        """The engine, only if the pool is already alive and admissible.
+
+        Used by mid-statement hooks (maintenance hops, view-delta writes):
+        they never *start* a pool, so a statement that began serially stays
+        serial throughout.
+        """
+        engine = self._parallel_engine
+        if engine is not None and engine.running and self._parallel_gate():
+            return engine
+        return None
+
+    def _drain_parallel(self) -> None:
+        """Stop the worker pool (no-op when not running).  Loses nothing —
+        worker shards are replicas of the coordinator's current image."""
+        engine = self._parallel_engine
+        if engine is not None and engine.running:
+            engine.stop()
+
+    def close(self) -> None:
+        """Release external resources (the worker pool).  Idempotent; the
+        cluster remains fully usable afterwards (serially, until the next
+        eligible statement re-forks the pool)."""
+        self._drain_parallel()
+
+    def _views_parallel_safe(self, relation: str) -> bool:
+        """Whether every view over ``relation`` maintains through the
+        superstep engine.  Plain join views (optionally deferred) do;
+        subclasses with bespoke apply paths (aggregate views mutate view
+        fragments directly) drain and run serially instead."""
+        from ..core.deferred import DeferredMaintainer
+        from ..core.maintenance import JoinViewMaintainer
+
+        for view in self.catalog.views_on(relation):
+            maintainer = view.maintainer
+            if isinstance(maintainer, DeferredMaintainer):
+                maintainer = maintainer.inner
+            if type(maintainer) is not JoinViewMaintainer:
+                return False
+        return True
 
     # ================================================================= DDL
 
@@ -100,6 +202,7 @@ class Cluster:
         ``indexes`` lists (column, clustered) local indexes to build on each
         fragment; a fragment may be clustered on at most one column.
         """
+        self._drain_parallel()  # DDL reshapes shards: rebuild workers after
         spec = HashPartitioning(partitioned_on)
         partitioner = spec.bind(schema, self.num_nodes)
         info = RelationInfo(schema=schema, spec=spec, partitioner=partitioner)
@@ -112,6 +215,7 @@ class Cluster:
 
     def create_index(self, relation: str, column: str, clustered: bool = False) -> None:
         """Build a local index on ``relation.column`` at every node."""
+        self._drain_parallel()
         info = self.catalog.relation(relation)
         if column not in info.schema:
             raise KeyError(f"{relation!r} has no column {column!r}")
@@ -143,6 +247,7 @@ class Cluster:
         base rows are copied in without cost charging (one-time build, like
         the paper's offline creation of orders_1/lineitem_1).
         """
+        self._drain_parallel()
         base_info = self.catalog.relation(base)
         if on_column not in base_info.schema:
             raise KeyError(f"{base!r} has no column {on_column!r}")
@@ -201,6 +306,7 @@ class Cluster:
         ``base`` is physically clustered on ``on_column``; it is validated
         against the declared local indexes.
         """
+        self._drain_parallel()
         base_info = self.catalog.relation(base)
         if on_column not in base_info.schema:
             raise KeyError(f"{base!r} has no column {on_column!r}")
@@ -244,6 +350,7 @@ class Cluster:
         """Create the view's fragments on every node; returns the bound
         partitioner.  Hash-partitioned views get an index on the partitioning
         column (paper assumption 3)."""
+        self._drain_parallel()
         partitioner = spec.bind(schema, self.num_nodes)
         for node in self.nodes:
             node.create_fragment(schema)
@@ -288,6 +395,7 @@ class Cluster:
         serves-views links of the structures it used.  The structures
         themselves stay (other views may share them); drop them separately
         when unreferenced."""
+        self._drain_parallel()
         self.catalog.remove_view(name)
         for node in self.nodes:
             if node.has_fragment(name):
@@ -298,6 +406,7 @@ class Cluster:
         it unless ``force`` is given (after which those views would fall
         back to planning errors on their next delta — the caller owns it).
         """
+        self._drain_parallel()
         self.catalog.remove_auxiliary(name, force=force)
         for node in self.nodes:
             if node.has_fragment(name):
@@ -305,6 +414,7 @@ class Cluster:
 
     def drop_global_index(self, name: str, force: bool = False) -> None:
         """Drop a global index (same safety rule as auxiliary relations)."""
+        self._drain_parallel()
         self.catalog.remove_global_index(name, force=force)
         for node in self.nodes:
             node.drop_gi_partition(name)
@@ -375,11 +485,144 @@ class Cluster:
         self, relation: str, inserts: List[Row], deletes: List[Row]
     ) -> None:
         """The paper's transaction sketch: base writes, co-updates, views."""
-        info, delta = self._execute_base_writes(relation, inserts, deletes)
-        self._co_update_auxiliaries(info, delta)
-        self._co_update_global_indexes(info, delta)
+        engine = None
+        if self.workers is not None:
+            if self._views_parallel_safe(relation):
+                engine = self._parallel_start()
+            else:
+                # A bespoke maintainer will mutate fragments outside the
+                # superstep engine: drain so workers never go stale.
+                self._drain_parallel()
+        if engine is not None:
+            info, delta = self._execute_statement_parallel(
+                engine, relation, inserts, deletes
+            )
+        else:
+            info, delta = self._execute_base_writes(relation, inserts, deletes)
+            self._co_update_auxiliaries(info, delta)
+            self._co_update_global_indexes(info, delta)
         for view in self.catalog.views_on(relation):
             view.maintainer.apply(delta)
+
+    def _execute_statement_parallel(
+        self, engine, relation: str, inserts: List[Row], deletes: List[Row]
+    ) -> Tuple[RelationInfo, Delta]:
+        """Base writes + AR/GI co-updates as **one fused superstep**.
+
+        The coordinator precomputes every placement — delete victims via
+        :func:`~repro.cluster.parallel.locate_victim` with per-fragment
+        exclusion sets (replicating the serial engine's mutate-between-
+        searches victim choice), insert rowids from each mirror fragment's
+        ``next_rowid`` — so the AR images and GI entries derived from the
+        delta can ship in the *same* envelope as the base writes.  Network
+        sends are charged here (routing is coordinator work); node-local
+        charges ride back in the workers' ledger deltas.  Per-node command
+        order equals the serial bulk engine's order (base deletes, base
+        inserts, AR deletes/inserts, GI deletes/inserts), so fragment
+        contents and rowids match bit-for-bit — the workers' returned
+        rowids are asserted against the precomputed ones.
+        """
+        from .parallel import locate_victim
+
+        info = self.catalog.relation(relation)
+        self._validate_deletes(info, deletes)
+        for row in inserts:
+            info.schema.check_row(row)
+        delta = Delta(relation=relation)
+        ops: List[tuple] = []
+        del_positions: List[int] = []
+        expected_rowids: List[int] = []
+        # --- base deletes (statement order; victims precomputed) ---------
+        taken: Dict[int, set] = {}
+        for row in deletes:
+            home = info.partitioner.node_of_row(row)
+            exclusion = taken.setdefault(home, set())
+            rowid = locate_victim(
+                self.nodes[home].fragment(relation), row, exclusion
+            )
+            if rowid is None:  # pragma: no cover - _validate_deletes bars it
+                raise KeyError(
+                    f"no tuple equal to {row!r} in {relation!r} at node {home}"
+                )
+            exclusion.add(rowid)
+            delta.deletes.append(PlacedRow(home, rowid, row))
+            del_positions.append(len(ops))
+            expected_rowids.append(rowid)
+            ops.append(("del", home, relation, row, Tag.BASE, False))
+        # --- base inserts (grouped by home, per-home order preserved) ----
+        if inserts:
+            homes = [info.partitioner.node_of_row(row) for row in inserts]
+            grouped: Dict[int, List[Row]] = {}
+            for home, row in zip(homes, inserts):
+                grouped.setdefault(home, []).append(row)
+            rowid_iters = {}
+            for home, rows in grouped.items():
+                start = self.nodes[home].fragment(relation).table.next_rowid
+                rowid_iters[home] = iter(range(start, start + len(rows)))
+                ops.append(("ins", home, relation, rows, Tag.BASE))
+            for home, row in zip(homes, inserts):
+                delta.inserts.append(PlacedRow(home, next(rowid_iters[home]), row))
+        # --- AR co-updates (same routing as the serial bulk path) --------
+        for aux in self.catalog.auxiliaries_of(info.name):
+            send_counts: Dict[Tuple[int, int], int] = {}
+            for placed in delta.deletes:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                ops.append(("del", dest, aux.name, image, Tag.MAINTAIN, True))
+            grouped_images: Dict[int, List[Row]] = {}
+            for placed in delta.inserts:
+                image = aux.image_of(placed.row)
+                if image is None:
+                    continue
+                dest = aux.partitioner.node_of_row(image)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped_images.setdefault(dest, []).append(image)
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            for dest, images in grouped_images.items():
+                ops.append(("ins", dest, aux.name, images, Tag.MAINTAIN))
+        # --- GI co-updates -----------------------------------------------
+        for gi in self.catalog.global_indexes_of(info.name):
+            send_counts = {}
+            for placed in delta.deletes:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                ops.append((
+                    "gi_del", dest, gi.name, key,
+                    GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN, True,
+                ))
+            grouped_entries: Dict[int, List[Tuple[object, GlobalRowId]]] = {}
+            for placed in delta.inserts:
+                key = placed.row[gi.key_position]
+                dest = gi.home_node(key)
+                link = (placed.node, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped_entries.setdefault(dest, []).append(
+                    (key, GlobalRowId(placed.node, placed.rowid))
+                )
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            for dest, entries in grouped_entries.items():
+                ops.append(("gi_ins", dest, gi.name, entries, Tag.MAINTAIN))
+        results = engine.run_ops(ops)
+        for position, rowid in zip(del_positions, expected_rowids):
+            if results[position] != rowid:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"parallel delete victim divergence on {relation!r}: "
+                    f"coordinator chose rowid {rowid}, worker chose "
+                    f"{results[position]}"
+                )
+        applied = len(inserts) - len(deletes)
+        if applied:
+            info.row_count += applied
+        return info, delta
 
     def _execute_base_writes(
         self, relation: str, inserts: List[Row], deletes: List[Row]
@@ -657,6 +900,10 @@ class Cluster:
         partitioner = view.partitioner
         name = view.name
         if self._bulk_ok():
+            engine = self._parallel_running()
+            if engine is not None:
+                self._apply_view_delta_parallel(engine, view, inserts, deletes)
+                return
             self._apply_view_delta_bulk(view, inserts, deletes)
             return
         for source, row in deletes:
@@ -746,6 +993,75 @@ class Cluster:
             for dest, rows in grouped.items():
                 self.nodes[dest].insert_many(name, rows, Tag.VIEW)
             view.row_count += len(inserts)
+
+    def _apply_view_delta_parallel(
+        self,
+        engine,
+        view: ViewInfo,
+        inserts: Sequence[Tuple[int, Row]],
+        deletes: Sequence[Tuple[int, Row]],
+    ) -> None:
+        """View-delta application as one superstep.
+
+        Hash-partitioned deletes and all inserts mirror the bulk path
+        one-to-one (route → coalesced sends → per-destination commands).
+        Round-robin deletes need the serial engine's node-by-node search:
+        the coordinator *simulates* it on its (always current) mirror with
+        exclusion sets, charging the per-node SENDs itself and shipping a
+        SEARCH charge for each node visited without a hit plus one
+        ``rr_del`` (SEARCH + delete) for the victim's node — the same cells
+        the serial walk charges, in the same per-node amounts.
+        """
+        partitioner = view.partitioner
+        name = view.name
+        ops: List[tuple] = []
+        if isinstance(partitioner, BoundRoundRobin):
+            taken: Dict[int, set] = {}
+            for source, row in deletes:
+                found = False
+                for node in self.nodes:
+                    self.network.send(source, node.node_id, Tag.VIEW)
+                    exclusion = taken.setdefault(node.node_id, set())
+                    victim = None
+                    for rowid, stored in node.fragment(name).table.scan():
+                        if rowid not in exclusion and stored == row:
+                            victim = rowid
+                            break
+                    if victim is not None:
+                        exclusion.add(victim)
+                        ops.append(("rr_del", node.node_id, name, victim, Tag.VIEW))
+                        found = True
+                        break
+                    ops.append(("charge", node.node_id, Op.SEARCH, Tag.VIEW, 1))
+                if not found:
+                    # Replicate the serial engine's charges-then-raise shape.
+                    engine.run_ops(ops)
+                    raise KeyError(
+                        f"view {name!r} holds no tuple equal to {row!r}"
+                    )
+        else:
+            send_counts: Dict[Tuple[int, int], int] = {}
+            for source, row in deletes:
+                dest = partitioner.node_of_row(row)
+                link = (source, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                ops.append(("del", dest, name, row, Tag.VIEW, True))
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.VIEW)
+        if inserts:
+            send_counts = {}
+            grouped: Dict[int, List[Row]] = {}
+            for source, row in inserts:
+                dest = partitioner.node_of_row(row)
+                link = (source, dest)
+                send_counts[link] = send_counts.get(link, 0) + 1
+                grouped.setdefault(dest, []).append(row)
+            for (src, dst), count in send_counts.items():
+                self.network.send_many(src, dst, count, Tag.VIEW)
+            for dest, rows in grouped.items():
+                ops.append(("ins", dest, name, rows, Tag.VIEW))
+        engine.run_ops(ops)
+        view.row_count += len(inserts) - len(deletes)
 
     def _round_robin_delete(self, view: ViewInfo, source: int, row: Row) -> None:
         for node in self.nodes:

@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Raw (unweighted) message counters.
 
@@ -64,6 +64,11 @@ class NetworkStats:
 
 class Network:
     """Charges SENDs to the ledger and tallies message statistics."""
+
+    __slots__ = (
+        "num_nodes", "ledger", "stats",
+        "injector", "max_retries", "dedup", "backoff_base",
+    )
 
     def __init__(self, num_nodes: int, ledger: CostLedger) -> None:
         self.num_nodes = num_nodes
@@ -151,13 +156,14 @@ class Network:
         self._check(src)
         self._check(dst)
         if self.injector is None or src == dst:
+            stats = self.stats
             if src == dst:
-                self.stats.local_deliveries += count
+                stats.local_deliveries += count
             else:
-                self.stats.messages += count
-                self.stats.by_link[(src, dst)] = (
-                    self.stats.by_link.get((src, dst), 0) + count
-                )
+                stats.messages += count
+                link = (src, dst)  # precomputed once per envelope
+                by_link = stats.by_link
+                by_link[link] = by_link.get(link, 0) + count
                 self.ledger.charge(src, Op.SEND, tag, count=count)
             return count
         return sum(self._send_unreliable(src, dst, tag) for _ in range(count))
@@ -174,17 +180,20 @@ class Network:
         if count <= 0:
             return
         self._check(src)
+        stats = self.stats
+        by_link = stats.by_link
+        injector = self.injector
+        charge = self.ledger.charge
         for dst in range(self.num_nodes):
-            if self.injector is None or dst == src:
+            if injector is None or dst == src:
                 if dst == src:
-                    self.stats.local_deliveries += count
+                    stats.local_deliveries += count
                 else:
-                    self.stats.messages += count
-                    self.stats.by_link[(src, dst)] = (
-                        self.stats.by_link.get((src, dst), 0) + count
-                    )
+                    stats.messages += count
+                    link = (src, dst)  # precomputed once per envelope
+                    by_link[link] = by_link.get(link, 0) + count
                 # broadcast() charges the self-leg too, unlike send().
-                self.ledger.charge(src, Op.SEND, tag, count=count)
+                charge(src, Op.SEND, tag, count=count)
             else:
                 for _ in range(count):
                     self.send(src, dst, tag)

@@ -29,6 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Node:
     """One shared-nothing data server."""
 
+    __slots__ = (
+        "node_id", "ledger", "layout", "_fragments", "_gi_partitions", "faults",
+    )
+
     def __init__(self, node_id: int, ledger: CostLedger, layout: PageLayout) -> None:
         self.node_id = node_id
         self.ledger = ledger

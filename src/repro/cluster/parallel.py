@@ -1,0 +1,482 @@
+"""True shared-nothing execution: a fork-based node-worker pool.
+
+The simulation's L nodes are shared-nothing *in the model* but, before this
+module, were executed serially on one core.  :class:`ParallelEngine` gives
+each of W worker processes a contiguous shard of nodes and runs statement
+execution as BSP-style supersteps:
+
+1. the **coordinator** (the parent process) partitions the work of one
+   statement phase by destination node — reusing the batched engine's
+   grouping passes — and ships each worker one envelope of node-local
+   commands (inserts, deletes, index/GI probes, rowid fetches, merge
+   passes);
+2. each **worker** executes its commands against its resident shard
+   (fragments, local indexes, GI partitions — alive for the life of the
+   pool), consulting its :class:`~repro.cluster.probe_cache.HeavyHitterProbeCache`
+   for hot join keys, and charges node-local work to a private
+   :class:`~repro.costs.CostLedger`;
+3. the coordinator collects result envelopes in shard order, merges the
+   per-worker ledger deltas into the real ledger in deterministic
+   ``(node, op, tag)`` order, and **replays** every mutating command on its
+   own node image — uncharged, since the workers already billed the work.
+
+The replay keeps the coordinator's nodes bit-identical to the workers'
+shards at every superstep boundary.  That is what makes the engine safe:
+
+* every read path (delete validation, optimizer statistics, query engine,
+  audits, benches) sees current data with zero synchronization machinery;
+* network modeling stays entirely at the coordinator — routing decides who
+  sends, and routing is coordinator work — so ``NetworkStats`` is trivially
+  identical to the serial engines;
+* **draining is free**: stopping the pool loses nothing, and the next
+  eligible statement re-forks workers from the current image (fork gives
+  each worker a copy-on-write snapshot of all cluster state).  DDL,
+  transactions, fault attachment, and aggregate-view maintenance all drain
+  and run on the serial reference path, exactly like PR 2's gate.
+
+Ledger cells are commutative sums of integer counts, so the merge order
+cannot change the float result — the deterministic order is still enforced
+so equivalence failures reproduce byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..costs import CostLedger, Op
+from .node import _any_index
+from .probe_cache import HeavyHitterProbeCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage import IndexedHeap, Row
+    from .cluster import Cluster
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the fork start method (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_ranges(num_nodes: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` node ranges, one per worker, sizes within 1."""
+    workers = max(1, min(workers, num_nodes))
+    base, extra = divmod(num_nodes, workers)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(workers):
+        hi = lo + base + (1 if index < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def locate_victim(fragment: "IndexedHeap", row: "Row", taken) -> Optional[int]:
+    """The rowid :meth:`Node.delete_matching` would delete for ``row``,
+    excluding rowids already claimed by earlier deletes of this statement
+    (the serial engine mutates between searches; the exclusion set models
+    exactly that).  Returns ``None`` when no live copy remains."""
+    index = _any_index(fragment)
+    if index is not None:
+        for rowid in index.search(index.key_of(row)):
+            if rowid not in taken and fragment.table.fetch(rowid) == row:
+                return rowid
+        return None
+    for rowid, stored in fragment.table.scan():
+        if rowid not in taken and stored == row:
+            return rowid
+    return None
+
+
+# ============================================================ worker side
+
+
+def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
+    """Run one envelope command against this worker's shard.
+
+    Charges go to the worker's private ledger through the normal
+    :class:`~repro.cluster.node.Node` methods, so a worker bills exactly
+    what the serial engine would for the same command.  Probe-cache hits
+    charge through the ``charge_*`` helpers — the modeled cost of the probe
+    they avoided re-executing.
+    """
+    kind = op[0]
+    if kind == "probe":
+        _, node_id, fragment, column, key, tag = op
+        node = nodes[node_id]
+        if cache is not None:
+            rows = cache.lookup_index(node_id, fragment, column, key)
+            if rows is not None:
+                node.charge_index_probe(fragment, column, len(rows), tag, times=1)
+                return rows
+        rows = node.index_probe(fragment, column, key, tag)
+        if cache is not None:
+            position = node.fragment(fragment).table.schema.index_of(column)
+            cache.note_index_miss(node_id, fragment, column, key, position, rows)
+        return rows
+    if kind == "ins":
+        _, node_id, name, rows, tag = op
+        if cache is not None and cache.has_resident_rows():
+            for row in rows:
+                cache.note_write(node_id, name, row)
+        return nodes[node_id].insert_many(name, list(rows), tag)
+    if kind == "del":
+        _, node_id, name, row, tag, tolerate = op
+        if cache is not None:
+            cache.note_write(node_id, name, row)
+        try:
+            return nodes[node_id].delete_matching(name, row, tag)
+        except KeyError:
+            if tolerate:
+                return None
+            raise
+    if kind == "gi_probe":
+        _, node_id, gi_name, key, tag = op
+        node = nodes[node_id]
+        if cache is not None:
+            grouped = cache.lookup_gi(node_id, gi_name, key)
+            if grouped is not None:
+                node.charge_gi_probe(gi_name, tag, times=1)
+                return grouped
+        grouped = node.gi_probe(gi_name, key, tag)
+        if cache is not None:
+            cache.note_gi_miss(node_id, gi_name, key, grouped)
+        return grouped
+    if kind == "fetch":
+        _, node_id, relation, rowids, tag, clustered = op
+        node = nodes[node_id]
+        slot = tuple(rowids)
+        if cache is not None:
+            rows = cache.lookup_fetch(node_id, relation, slot)
+            if rows is not None:
+                units = 1 if clustered else len(rowids)
+                node.charge_fetch(relation, units, tag, times=1)
+                return rows
+        rows = node.fetch_by_rowids(
+            relation, list(rowids), tag, clustered_on_page=clustered
+        )
+        if cache is not None:
+            cache.note_fetch_miss(node_id, relation, slot, rows)
+        return rows
+    if kind == "gi_ins":
+        _, node_id, gi_name, entries, tag = op
+        node = nodes[node_id]
+        if cache is not None:
+            for key, _grid in entries:
+                cache.note_gi_write(node_id, gi_name, key)
+        node.gi_partition(gi_name).insert_many(entries)
+        node.ledger.charge(node_id, Op.INSERT, tag, count=len(entries))
+        return None
+    if kind == "gi_del":
+        _, node_id, gi_name, key, grid, tag, tolerate = op
+        if cache is not None:
+            cache.note_gi_write(node_id, gi_name, key)
+        try:
+            nodes[node_id].gi_delete(gi_name, key, grid, tag)
+            return True
+        except KeyError:
+            if tolerate:
+                return False
+            raise
+    if kind == "merge":
+        _, node_id, fragment, column, is_sorted, keys, tag = op
+        node = nodes[node_id]
+        pages = node.fragment_pages(fragment)
+        if pages:
+            if is_sorted:
+                node.ledger.charge(node_id, Op.SCAN_PAGE, tag, count=pages)
+            else:
+                cost = node.layout.sort_cost_pages(pages)
+                node.ledger.charge(node_id, Op.SORT_PAGE, tag, count=cost)
+        matches: Dict[object, list] = {}
+        if keys:
+            position = node.fragment(fragment).table.schema.index_of(column)
+            wanted = set(keys)
+            for row in node.scan(fragment):
+                key = row[position]
+                if key in wanted:
+                    matches.setdefault(key, []).append(row)
+        return matches
+    if kind == "rr_del":
+        _, node_id, name, rowid, tag = op
+        node = nodes[node_id]
+        if cache is not None:
+            cache.note_write(node_id, name, node.fragment(name).table.fetch(rowid))
+        node.ledger.charge(node_id, Op.SEARCH, tag)
+        node.delete_by_rowid(name, rowid, tag)
+        return None
+    if kind == "charge":
+        _, node_id, cost_op, tag, count = op
+        nodes[node_id].ledger.charge(node_id, cost_op, tag, count=count)
+        return None
+    raise ValueError(f"unknown parallel op {kind!r}")
+
+
+def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> None:
+    """Worker process loop: owns ``cluster.nodes[lo:hi]`` for the pool's
+    life; bills node-local work to a private ledger whose cell delta rides
+    back on every reply envelope."""
+    # Neutralize the forked copy of the engine so nothing in this process
+    # can ever write to the coordinator's pipes (e.g. a stray __del__).
+    engine = cluster._parallel_engine
+    cluster._parallel_engine = None
+    cluster.workers = 0
+    if engine is not None:
+        engine._disarm()
+    ledger = CostLedger(cluster.ledger.params)
+    for node in cluster.nodes[lo:hi]:
+        node.ledger = ledger
+    cache = HeavyHitterProbeCache(threshold) if threshold > 0 else None
+    nodes = cluster.nodes
+    cells = ledger._cells
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            break
+        kind = message[0]
+        if kind == "stop":
+            conn.send(("bye",))
+            break
+        if kind == "stats":
+            conn.send(("ok", cache.stats() if cache is not None else {}, {}))
+            continue
+        _, catalog_version, ops = message
+        if cache is not None:
+            cache.check_epoch(catalog_version)
+        cells.clear()
+        try:
+            results = [_execute_op(nodes, cache, op) for op in ops]
+        except BaseException:
+            conn.send(("err", traceback.format_exc(), {}))
+            break
+        conn.send(("ok", results, dict(cells)))
+    conn.close()
+
+
+# ======================================================= coordinator side
+
+
+class ParallelEngine:
+    """Coordinator handle for the worker pool of one cluster.
+
+    ``workers=1`` is special-cased as an **inline shard**: one worker
+    covering every node is the coordinator itself, so no process is forked
+    and no envelope crosses a pipe — the op stream executes directly
+    against the coordinator's nodes (which bill the real ledger), the
+    heavy-hitter probe cache still applies, and replay is unnecessary.
+    This keeps the single-worker configuration within the engine-overhead
+    budget (op-list construction only) instead of paying IPC serialization
+    for no parallelism.
+    """
+
+    def __init__(
+        self, cluster: "Cluster", workers: int, probe_cache_threshold: int = 3
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cluster = cluster
+        self.workers = workers
+        self.probe_cache_threshold = probe_cache_threshold
+        self.running = False
+        #: poisoned by a worker failure; the cluster then stays serial
+        self.broken = False
+        self.supersteps = 0
+        self._owner_pid = os.getpid()
+        self._conns: List = []
+        self._procs: List = []
+        self._node_worker: List[int] = []
+        self._inline_cache: Optional[HeavyHitterProbeCache] = None
+
+    @property
+    def inline(self) -> bool:
+        """Whether this engine runs its single shard in-process."""
+        return self.workers == 1
+
+    # ------------------------------------------------------ pool lifecycle
+
+    def start(self) -> None:
+        """Fork the pool from the coordinator's current node image."""
+        if self.running or self.broken:
+            return
+        if self.inline:
+            if self._inline_cache is None and self.probe_cache_threshold > 0:
+                self._inline_cache = HeavyHitterProbeCache(
+                    self.probe_cache_threshold
+                )
+            self.running = True
+            return
+        context = multiprocessing.get_context("fork")
+        ranges = shard_ranges(self.cluster.num_nodes, self.workers)
+        self._node_worker = [0] * self.cluster.num_nodes
+        for worker_id, (lo, hi) in enumerate(ranges):
+            for node_id in range(lo, hi):
+                self._node_worker[node_id] = worker_id
+        self._conns = []
+        self._procs = []
+        for lo, hi in ranges:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(self.cluster, lo, hi, child_conn, self.probe_cache_threshold),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        self.running = True
+
+    def stop(self) -> None:
+        """Drain the pool.  Free: the coordinator image is already current,
+        so worker state is simply discarded; a later :meth:`start` re-forks
+        from the then-current image."""
+        if self.inline:
+            # Discard the inline shard's cache, exactly as a forked
+            # worker's cache dies with its process.
+            self._inline_cache = None
+            self.running = False
+            return
+        if not self._conns:
+            self.running = False
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._conns = []
+        self._procs = []
+        self.running = False
+
+    def _disarm(self) -> None:
+        """Forget all pool handles without touching the pipes (called in
+        the forked child on its inherited copy of the engine)."""
+        self._conns = []
+        self._procs = []
+        self.running = False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        if self.running and os.getpid() == self._owner_pid:
+            try:
+                self.stop()
+            except Exception:
+                pass
+
+    # --------------------------------------------------------- supersteps
+
+    def run_ops(self, ops: Sequence[tuple]) -> List[object]:
+        """One superstep: route ``ops`` to their shard owners, execute,
+        merge ledger deltas deterministically, replay mutations on the
+        coordinator image, and return per-op results in op order."""
+        if not ops:
+            return []
+        if self.inline:
+            cache = self._inline_cache
+            if cache is not None:
+                cache.check_epoch(self.cluster.catalog.version)
+            nodes = self.cluster.nodes
+            self.supersteps += 1
+            # Nodes bill the real ledger directly and mutations land on the
+            # real image, so there is nothing to merge or replay.
+            return [_execute_op(nodes, cache, op) for op in ops]
+        owner = self._node_worker
+        per_worker: Dict[int, List[Tuple[int, tuple]]] = {}
+        for position, op in enumerate(ops):
+            per_worker.setdefault(owner[op[1]], []).append((position, op))
+        version = self.cluster.catalog.version
+        try:
+            for worker_id, pairs in per_worker.items():
+                self._conns[worker_id].send(
+                    ("step", version, [op for _, op in pairs])
+                )
+            results: List[object] = [None] * len(ops)
+            deltas: List[Dict] = []
+            for worker_id in sorted(per_worker):
+                reply = self._conns[worker_id].recv()
+                if reply[0] != "ok":
+                    raise RuntimeError(
+                        f"parallel worker {worker_id} failed:\n{reply[1]}"
+                    )
+                for (position, _), result in zip(per_worker[worker_id], reply[1]):
+                    results[position] = result
+                deltas.append(reply[2])
+        except (RuntimeError, EOFError, OSError) as exc:
+            self.broken = True
+            self.running = False
+            for conn in self._conns:
+                conn.close()
+            self._conns = []
+            self._procs = []
+            raise RuntimeError(f"parallel superstep failed: {exc}") from exc
+        self.supersteps += 1
+        self._merge_cells(deltas)
+        replay = self._replay
+        for op, result in zip(ops, results):
+            replay(op, result)
+        return results
+
+    def _merge_cells(self, deltas: List[Dict]) -> None:
+        """Fold per-worker ledger deltas into the real ledger in
+        deterministic ``(node, op, tag)`` order.  Cells are sums of integer
+        counts, so the order cannot change the float totals — determinism
+        makes any equivalence failure byte-reproducible anyway."""
+        merged: Dict[tuple, float] = {}
+        for cells in deltas:
+            for cell, count in cells.items():
+                merged[cell] = merged.get(cell, 0.0) + count
+        target = self.cluster.ledger._cells
+        for cell in sorted(merged, key=lambda c: (c[0], c[1].name, c[2].name)):
+            target[cell] += merged[cell]
+
+    def _replay(self, op: tuple, result) -> None:
+        """Apply one mutating command to the coordinator's node image —
+        uncharged (the worker already billed it) — so reads, validation,
+        statistics, and the next fork all see current data."""
+        kind = op[0]
+        nodes = self.cluster.nodes
+        if kind == "ins":
+            rowids = nodes[op[1]].fragment(op[2]).insert_many(op[3])
+            if rowids != result:  # pragma: no cover - invariant guard
+                raise RuntimeError(
+                    f"replay rowid divergence on {op[2]!r} at node {op[1]}"
+                )
+        elif kind == "del":
+            if result is not None:
+                nodes[op[1]].fragment(op[2]).delete(result)
+        elif kind == "rr_del":
+            nodes[op[1]].fragment(op[2]).delete(op[3])
+        elif kind == "gi_ins":
+            nodes[op[1]].gi_partition(op[2]).insert_many(op[3])
+        elif kind == "gi_del":
+            if result:
+                nodes[op[1]].gi_partition(op[2]).delete(op[3], op[4])
+        # probe / gi_probe / fetch / merge / charge are read-or-charge only.
+
+    # -------------------------------------------------------------- stats
+
+    def probe_cache_stats(self) -> List[Dict[str, int]]:
+        """Per-worker heavy-hitter cache statistics (empty when stopped)."""
+        if not self.running:
+            return []
+        if self.inline:
+            return [self._inline_cache.stats() if self._inline_cache else {}]
+        for conn in self._conns:
+            conn.send(("stats",))
+        stats = []
+        for conn in self._conns:
+            reply = conn.recv()
+            stats.append(reply[1])
+        return stats

@@ -124,6 +124,12 @@ class AggregateViewMaintainer(JoinViewMaintainer):
     def apply(self, delta: Delta) -> None:
         if delta.is_empty:
             return
+        # Aggregate folding rewrites view rows in place, outside the
+        # superstep engine's command set: never let a worker pool keep a
+        # (soon stale) replica.  Statements on relations with aggregate
+        # views already drain at entry (Cluster._views_parallel_safe); this
+        # covers direct calls, e.g. through a deferred wrapper's refresh().
+        self.cluster._drain_parallel()
         compiled = self.planner.compiled_for(delta.relation)
         mapper = compiled.mapper
         group_positions = tuple(

@@ -187,6 +187,12 @@ class DeferredMaintainer:
             return report
         relation = self._pending_relation
         assert relation is not None
+        cluster = self.inner.cluster
+        if cluster.workers is not None and type(self.inner) is JoinViewMaintainer:
+            # A deferred refresh is its own "statement": give it the same
+            # chance to (re)start the worker pool an eager statement gets.
+            # _parallel_start drains instead when faults/undo gate it.
+            cluster._parallel_start()
         inserts: List[PlacedRow] = []
         deletes: List[PlacedRow] = []
         for row, net in self._pending.items():

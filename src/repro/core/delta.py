@@ -14,7 +14,7 @@ from typing import List, Tuple
 from ..storage.schema import Row
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlacedRow:
     """A row plus its physical location (node, local rowid)."""
 
@@ -23,7 +23,7 @@ class PlacedRow:
     row: Row
 
 
-@dataclass
+@dataclass(slots=True)
 class Delta:
     """The net change one DML statement made to one base relation.
 
@@ -50,7 +50,7 @@ class Delta:
         return len(self.inserts) + len(self.deletes)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewDelta:
     """Computed change to a view: rows to add and rows to remove.
 

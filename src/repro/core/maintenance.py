@@ -136,6 +136,17 @@ class JoinViewMaintainer:
             )
             raise
 
+    def _parallel_hop_engine(self):
+        """The running worker pool, when this maintainer's hops may use it.
+
+        Only exact :class:`JoinViewMaintainer` instances qualify: subclasses
+        may override hop behavior in ways the superstep ops don't model.
+        Never *starts* a pool — a statement that began serially stays serial.
+        """
+        if type(self) is not JoinViewMaintainer:
+            return None
+        return self.cluster._parallel_running()
+
     def _compute_join(
         self,
         compiled: CompiledPlan,
@@ -145,6 +156,7 @@ class JoinViewMaintainer:
         if not placed:
             return []
         batch = self._batch_mode()
+        engine = self._parallel_hop_engine() if batch else None
         state: List[Intermediate] = [(p.node, p.row) for p in placed]
         for hop_index, chop in enumerate(compiled.hops):
             if not state:
@@ -156,11 +168,12 @@ class JoinViewMaintainer:
             try:
                 if use_sort_merge:
                     state = self._hop_sort_merge(
-                        hop, state, key_position, filters, batch=batch
+                        hop, state, key_position, filters, batch=batch,
+                        engine=engine,
                     )
                 elif batch:
                     state = self._hop_index_nested_loops_batched(
-                        hop, state, key_position, filters
+                        hop, state, key_position, filters, engine=engine
                     )
                 else:
                     state = self._hop_index_nested_loops(
@@ -302,6 +315,7 @@ class JoinViewMaintainer:
         state: List[Intermediate],
         key_position: int,
         filters,
+        engine=None,
     ) -> List[Intermediate]:
         """The batched fast path: one partition pass groups the in-flight
         state by (destination, join key), each distinct key is probed once
@@ -310,31 +324,37 @@ class JoinViewMaintainer:
         envelopes.  Charge totals, message counters, and the result order
         are identical to :meth:`_hop_index_nested_loops` — see DESIGN.md
         § Batched execution engine for the equivalence argument.
+
+        With ``engine`` (a running worker pool) the distinct-key probes
+        execute on the node workers as one superstep instead of inline; the
+        grouping pass, repeat charging, and result assembly are byte-for-
+        byte the same code, so equivalence is inherited (DESIGN.md § 8).
         """
         access = hop.access
         if isinstance(access, BaseAccess):
             if access.broadcast:
                 return self._inl_broadcast_batched(
-                    hop, state, key_position, filters, access
+                    hop, state, key_position, filters, access, engine=engine
                 )
             return self._inl_colocated_batched(
                 hop, state, key_position, filters, access.fragment_name,
-                access.column, self._base_key_router(access),
+                access.column, self._base_key_router(access), engine=engine,
             )
         if isinstance(access, AuxiliaryAccess):
             aux = self.cluster.catalog.auxiliary(access.ar_name)
             return self._inl_colocated_batched(
                 hop, state, key_position, filters, access.ar_name,
-                access.column, aux.partitioner.node_of_key,
+                access.column, aux.partitioner.node_of_key, engine=engine,
             )
         if isinstance(access, GlobalIndexAccess):
             return self._inl_global_index_batched(
-                hop, state, key_position, filters, access
+                hop, state, key_position, filters, access, engine=engine
             )
         raise TypeError(f"unknown access path {access!r}")
 
     def _inl_colocated_batched(
-        self, hop, state, key_position, filters, fragment_name, column, router
+        self, hop, state, key_position, filters, fragment_name, column, router,
+        engine=None,
     ) -> List[Intermediate]:
         """Batched AR / co-located hop: route once, probe distinct keys once."""
         network = self.cluster.network
@@ -356,17 +376,35 @@ class JoinViewMaintainer:
         for (src, dst), count in send_counts.items():
             network.send_many(src, dst, count, Tag.MAINTAIN)
         memo: Dict[Tuple[int, object], List[Row]] = {}
-        for slot, times in occurrences.items():
-            destination, key = slot
-            matches = nodes[destination].index_probe(
-                fragment_name, column, key, Tag.MAINTAIN
-            )
-            memo[slot] = matches
-            if times > 1:
-                nodes[destination].charge_index_probe(
-                    fragment_name, column, len(matches), Tag.MAINTAIN,
-                    times=times - 1,
+        if engine is not None:
+            # One superstep: every distinct (destination, key) probe runs on
+            # its node's worker; repeats charge through the coordinator's
+            # mirror nodes exactly as the inline path below does.
+            slots = list(occurrences)
+            probe_results = engine.run_ops([
+                ("probe", destination, fragment_name, column, key, Tag.MAINTAIN)
+                for destination, key in slots
+            ])
+            for slot, matches in zip(slots, probe_results):
+                memo[slot] = matches
+                times = occurrences[slot]
+                if times > 1:
+                    nodes[slot[0]].charge_index_probe(
+                        fragment_name, column, len(matches), Tag.MAINTAIN,
+                        times=times - 1,
+                    )
+        else:
+            for slot, times in occurrences.items():
+                destination, key = slot
+                matches = nodes[destination].index_probe(
+                    fragment_name, column, key, Tag.MAINTAIN
                 )
+                memo[slot] = matches
+                if times > 1:
+                    nodes[destination].charge_index_probe(
+                        fragment_name, column, len(matches), Tag.MAINTAIN,
+                        times=times - 1,
+                    )
         results: List[Intermediate] = []
         passes = self._passes
         for prefix, slot in routed:
@@ -377,7 +415,8 @@ class JoinViewMaintainer:
         return results
 
     def _inl_broadcast_batched(
-        self, hop, state, key_position, filters, access: BaseAccess
+        self, hop, state, key_position, filters, access: BaseAccess,
+        engine=None,
     ) -> List[Intermediate]:
         """Batched naive hop: coalesce each source node's broadcasts into
         one envelope per link, probe each distinct key once per node."""
@@ -392,17 +431,39 @@ class JoinViewMaintainer:
         for src, count in broadcast_counts.items():
             network.broadcast_many(src, count, Tag.MAINTAIN)
         memo: Dict[Tuple[int, object], List[Row]] = {}
-        for key, times in key_occurrences.items():
-            for destination_node in nodes:
-                matches = destination_node.index_probe(
-                    access.relation, access.column, key, Tag.MAINTAIN
-                )
-                memo[(destination_node.node_id, key)] = matches
-                if times > 1:
-                    destination_node.charge_index_probe(
-                        access.relation, access.column, len(matches),
-                        Tag.MAINTAIN, times=times - 1,
+        if engine is not None:
+            keys = list(key_occurrences)
+            num_nodes = self.cluster.num_nodes
+            probe_results = engine.run_ops([
+                ("probe", node_id, access.relation, access.column, key,
+                 Tag.MAINTAIN)
+                for key in keys
+                for node_id in range(num_nodes)
+            ])
+            position = 0
+            for key in keys:
+                times = key_occurrences[key]
+                for node_id in range(num_nodes):
+                    matches = probe_results[position]
+                    position += 1
+                    memo[(node_id, key)] = matches
+                    if times > 1:
+                        nodes[node_id].charge_index_probe(
+                            access.relation, access.column, len(matches),
+                            Tag.MAINTAIN, times=times - 1,
+                        )
+        else:
+            for key, times in key_occurrences.items():
+                for destination_node in nodes:
+                    matches = destination_node.index_probe(
+                        access.relation, access.column, key, Tag.MAINTAIN
                     )
+                    memo[(destination_node.node_id, key)] = matches
+                    if times > 1:
+                        destination_node.charge_index_probe(
+                            access.relation, access.column, len(matches),
+                            Tag.MAINTAIN, times=times - 1,
+                        )
         results: List[Intermediate] = []
         passes = self._passes
         num_nodes = self.cluster.num_nodes
@@ -415,11 +476,16 @@ class JoinViewMaintainer:
         return results
 
     def _inl_global_index_batched(
-        self, hop, state, key_position, filters, access: GlobalIndexAccess
+        self, hop, state, key_position, filters, access: GlobalIndexAccess,
+        engine=None,
     ) -> List[Intermediate]:
         """Batched GI hop: one GI probe and one rowid-fetch batch per
         distinct key; repeats charge the modeled SEND/SEARCH/FETCH without
-        touching storage again."""
+        touching storage again.
+
+        Parallel mode needs two supersteps — the rowid fetches depend on the
+        GI probe answers — which is exactly the paper's two-round GI
+        protocol (probe the directory, then visit the owners)."""
         gi = self.cluster.catalog.global_index(access.gi_name)
         network = self.cluster.network
         nodes = self.cluster.nodes
@@ -441,30 +507,67 @@ class JoinViewMaintainer:
         # Probe each distinct key once; fetch each owner's matches once.
         memo: Dict[object, List[Tuple[int, List[Row]]]] = {}
         owner_send_counts: Dict[Tuple[int, int], int] = {}
-        for key, times in key_occurrences.items():
-            home = home_cache[key]
-            grouped = nodes[home].gi_probe(access.gi_name, key, Tag.MAINTAIN)
-            if times > 1:
-                nodes[home].charge_gi_probe(
-                    access.gi_name, Tag.MAINTAIN, times=times - 1
-                )
-            fetched: List[Tuple[int, List[Row]]] = []
-            for owner, grids in grouped.items():
-                link = (home, owner)
-                owner_send_counts[link] = owner_send_counts.get(link, 0) + times
-                rows = nodes[owner].fetch_by_rowids(
-                    access.relation,
-                    [grid.rowid for grid in grids],
-                    Tag.MAINTAIN,
-                    clustered_on_page=access.distributed_clustered,
-                )
+        if engine is not None:
+            keys = list(key_occurrences)
+            grouped_results = engine.run_ops([
+                ("gi_probe", home_cache[key], access.gi_name, key, Tag.MAINTAIN)
+                for key in keys
+            ])
+            fetch_ops: List[tuple] = []
+            fetch_meta: List[Tuple[object, int, int]] = []
+            for key, grouped in zip(keys, grouped_results):
+                times = key_occurrences[key]
+                home = home_cache[key]
                 if times > 1:
-                    units = 1 if access.distributed_clustered else len(grids)
+                    nodes[home].charge_gi_probe(
+                        access.gi_name, Tag.MAINTAIN, times=times - 1
+                    )
+                memo[key] = []
+                for owner, grids in grouped.items():
+                    link = (home, owner)
+                    owner_send_counts[link] = (
+                        owner_send_counts.get(link, 0) + times
+                    )
+                    fetch_ops.append((
+                        "fetch", owner, access.relation,
+                        tuple(grid.rowid for grid in grids), Tag.MAINTAIN,
+                        access.distributed_clustered,
+                    ))
+                    fetch_meta.append((key, owner, len(grids)))
+            fetch_results = engine.run_ops(fetch_ops)
+            for (key, owner, num_grids), rows in zip(fetch_meta, fetch_results):
+                memo[key].append((owner, rows))
+                times = key_occurrences[key]
+                if times > 1:
+                    units = 1 if access.distributed_clustered else num_grids
                     nodes[owner].charge_fetch(
                         access.relation, units, Tag.MAINTAIN, times=times - 1
                     )
-                fetched.append((owner, rows))
-            memo[key] = fetched
+        else:
+            for key, times in key_occurrences.items():
+                home = home_cache[key]
+                grouped = nodes[home].gi_probe(access.gi_name, key, Tag.MAINTAIN)
+                if times > 1:
+                    nodes[home].charge_gi_probe(
+                        access.gi_name, Tag.MAINTAIN, times=times - 1
+                    )
+                fetched: List[Tuple[int, List[Row]]] = []
+                for owner, grids in grouped.items():
+                    link = (home, owner)
+                    owner_send_counts[link] = owner_send_counts.get(link, 0) + times
+                    rows = nodes[owner].fetch_by_rowids(
+                        access.relation,
+                        [grid.rowid for grid in grids],
+                        Tag.MAINTAIN,
+                        clustered_on_page=access.distributed_clustered,
+                    )
+                    if times > 1:
+                        units = 1 if access.distributed_clustered else len(grids)
+                        nodes[owner].charge_fetch(
+                            access.relation, units, Tag.MAINTAIN, times=times - 1
+                        )
+                    fetched.append((owner, rows))
+                memo[key] = fetched
         for (src, dst), count in owner_send_counts.items():
             network.send_many(src, dst, count, Tag.MAINTAIN)
         results: List[Intermediate] = []
@@ -485,6 +588,7 @@ class JoinViewMaintainer:
         key_position: int,
         filters,
         batch: bool = False,
+        engine=None,
     ) -> List[Intermediate]:
         """Batch alternative: instead of per-tuple probes, the partner's
         fragments are scanned (clustered) or sorted (non-clustered) once and
@@ -492,14 +596,15 @@ class JoinViewMaintainer:
         access = hop.access
         if isinstance(access, BaseAccess) and access.broadcast:
             return self._sm_broadcast(
-                hop, state, key_position, filters, access, batch=batch
+                hop, state, key_position, filters, access, batch=batch,
+                engine=engine,
             )
         if isinstance(access, BaseAccess):
             return self._sm_partitioned(
                 hop, state, key_position, filters,
                 access.fragment_name, access.column,
                 self._base_key_router(access), sorted_fragments=access.clustered,
-                batch=batch,
+                batch=batch, engine=engine,
             )
         if isinstance(access, AuxiliaryAccess):
             aux = self.cluster.catalog.auxiliary(access.ar_name)
@@ -507,7 +612,7 @@ class JoinViewMaintainer:
                 hop, state, key_position, filters,
                 access.ar_name, access.column,
                 aux.partitioner.node_of_key, sorted_fragments=True,
-                batch=batch,
+                batch=batch, engine=engine,
             )
         if isinstance(access, GlobalIndexAccess):
             # In the sort-merge regime the GI brings nothing: the work is
@@ -517,9 +622,51 @@ class JoinViewMaintainer:
                 hop, state, key_position, filters,
                 access.relation, access.column,
                 sorted_fragments=access.distributed_clustered,
-                batch=batch,
+                batch=batch, engine=engine,
             )
         raise TypeError(f"unknown access path {access!r}")
+
+    def _sm_merge_parallel(
+        self, engine, fragment_name, column, sorted_fragments,
+        slices: Dict[int, List[Row]], key_position, filters,
+    ) -> List[Intermediate]:
+        """One superstep of per-node merge passes (the parallel half of the
+        sort-merge hops).
+
+        Every node receives a ``merge`` command — the scan/sort pass is
+        charged *per node* whether or not its delta slice is empty, exactly
+        like the serial loop — carrying the distinct join keys of that
+        node's slice.  Workers return matches grouped by key in fragment
+        scan order; the assembly below then walks (node order × slice order
+        × scan order), the same nesting as
+        :meth:`_merge_against_fragment`.
+        """
+        num_nodes = self.cluster.num_nodes
+        wanted: List[Tuple[object, ...]] = []
+        for node_id in range(num_nodes):
+            prefixes = slices.get(node_id)
+            if prefixes:
+                wanted.append(
+                    tuple(dict.fromkeys(p[key_position] for p in prefixes))
+                )
+            else:
+                wanted.append(())
+        merge_results = engine.run_ops([
+            ("merge", node_id, fragment_name, column, sorted_fragments,
+             wanted[node_id], Tag.MAINTAIN)
+            for node_id in range(num_nodes)
+        ])
+        results: List[Intermediate] = []
+        passes = self._passes
+        for node_id, matches in enumerate(merge_results):
+            prefixes = slices.get(node_id)
+            if not prefixes:
+                continue
+            for prefix in prefixes:
+                for partner_row in matches.get(prefix[key_position], ()):
+                    if passes(filters, prefix, partner_row):
+                        results.append((node_id, prefix + partner_row))
+        return results
 
     def _charge_fragment_pass(self, fragment_name: str, node_id: int, is_sorted: bool) -> None:
         """Charge one node for consuming its fragment in merge order:
@@ -552,7 +699,7 @@ class JoinViewMaintainer:
 
     def _sm_broadcast(
         self, hop, state, key_position, filters, access: BaseAccess,
-        batch: bool = False,
+        batch: bool = False, engine=None,
     ) -> List[Intermediate]:
         """Naive sort-merge: every node receives the whole delta and merges
         it with its own partner fragment."""
@@ -567,6 +714,14 @@ class JoinViewMaintainer:
                 for _ in self.cluster.network.broadcast(node, Tag.MAINTAIN):
                     pass
         prefixes = [prefix for _, prefix in state]
+        if engine is not None:
+            slices = {
+                node_id: prefixes for node_id in range(self.cluster.num_nodes)
+            }
+            return self._sm_merge_parallel(
+                engine, access.relation, access.column, access.clustered,
+                slices, key_position, filters,
+            )
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
             self._charge_fragment_pass(access.relation, node.node_id, access.clustered)
@@ -580,7 +735,7 @@ class JoinViewMaintainer:
 
     def _sm_partitioned(
         self, hop, state, key_position, filters, fragment_name, column, router,
-        sorted_fragments: bool, batch: bool = False,
+        sorted_fragments: bool, batch: bool = False, engine=None,
     ) -> List[Intermediate]:
         """AR / co-located sort-merge: route the delta by join key, then
         each node merges its slice with its (clustered) fragment."""
@@ -603,6 +758,11 @@ class JoinViewMaintainer:
                 destination = router(prefix[key_position])
                 self.cluster.network.send(node, destination, Tag.MAINTAIN)
                 slices.setdefault(destination, []).append(prefix)
+        if engine is not None:
+            return self._sm_merge_parallel(
+                engine, fragment_name, column, sorted_fragments,
+                slices, key_position, filters,
+            )
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
             self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)
@@ -618,7 +778,7 @@ class JoinViewMaintainer:
 
     def _sm_scan_all(
         self, hop, state, key_position, filters, fragment_name, column,
-        sorted_fragments: bool, batch: bool = False,
+        sorted_fragments: bool, batch: bool = False, engine=None,
     ) -> List[Intermediate]:
         """GI sort-merge: the base fragments are scanned/sorted at every
         node; the delta (already keyed) is merged against each."""
@@ -643,6 +803,14 @@ class JoinViewMaintainer:
                 # The delta still travels to its key's GI home node first.
                 gi_home = gi.home_node(prefix[key_position])
                 self.cluster.network.send(node, gi_home, Tag.MAINTAIN)
+        if engine is not None:
+            slices = {
+                node_id: prefixes for node_id in range(self.cluster.num_nodes)
+            }
+            return self._sm_merge_parallel(
+                engine, fragment_name, column, sorted_fragments,
+                slices, key_position, filters,
+            )
         results: List[Intermediate] = []
         for node in self.cluster.nodes:
             self._charge_fragment_pass(fragment_name, node.node_id, sorted_fragments)

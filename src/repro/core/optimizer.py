@@ -65,6 +65,20 @@ class MaintenancePlanner:
 
     # ------------------------------------------------------------ planning
 
+    @staticmethod
+    def _prune_stale(cache: Dict[Tuple, object], version: int) -> None:
+        """Drop cache entries made under an older catalog version.
+
+        Every cache key here carries the catalog version in position 1;
+        a DDL bump makes those entries unreachable, so they are garbage.
+        Pruning runs only on cache *misses* (the first plan after a DDL),
+        never on the per-statement hit path, and changes no behavior —
+        stale entries could never be returned anyway.
+        """
+        stale = [key for key in cache if key[1] != version]
+        for key in stale:
+            del cache[key]
+
     def _signature_key(self, updated: str) -> Tuple:
         """Plan-cache key: catalog version (DDL invalidation) plus the
         relation cardinalities (replan as data grows, matching the
@@ -83,6 +97,7 @@ class MaintenancePlanner:
         order_key = (updated, self.cluster.catalog.version)
         count = self._order_counts.get(order_key)
         if count is None:
+            self._prune_stale(self._order_counts, order_key[1])
             count = len(enumerate_orders(self.bound, updated))
             self._order_counts[order_key] = count
         return count <= 1
@@ -97,6 +112,7 @@ class MaintenancePlanner:
         key = self._signature_key(updated)
         plan = self._plan_cache.get(key)
         if plan is None:
+            self._prune_stale(self._plan_cache, key[1])
             plan = self._choose_plan(updated)
             self._plan_cache[key] = plan
         return plan
@@ -118,6 +134,7 @@ class MaintenancePlanner:
             key = self._signature_key(updated)
         compiled = self._compiled_cache.get(key)
         if compiled is None:
+            self._prune_stale(self._compiled_cache, version)
             compiled = compile_plan(self.bound, self.plan_for(updated))
             self._compiled_cache[key] = compiled
         return compiled

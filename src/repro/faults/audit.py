@@ -231,6 +231,9 @@ class ConsistencyAuditor:
         from ..storage import GlobalRowId
 
         cluster = self.cluster
+        # Repair rebuilds fragments in place, bypassing the superstep
+        # engine: drain any worker pool so no replica survives the rebuild.
+        cluster._drain_parallel()
         report = RepairReport()
         for name, aux in cluster.catalog.auxiliaries.items():
             for node in cluster.nodes:

@@ -328,6 +328,10 @@ def attach_faults(
     """
     if cluster.faults is not None:
         raise ValueError("cluster already has a fault controller attached")
+    # Fault semantics are sequence-keyed: statements must run on the serial
+    # reference engine (same gate as the batched paths), so stop any worker
+    # pool now — its replicas would go stale behind undo/rollback writes.
+    cluster._drain_parallel()
     if injector is None:
         injector = FaultInjector(plan, seed=seed)
     elif plan is not None:

@@ -24,6 +24,7 @@ def tiny_report():
         statement_size=8,
         headline_rows=24,
         repeats=1,
+        worker_counts=(1, 2),
     )
     return perf.run(config, smoke=True)
 
@@ -51,6 +52,45 @@ def test_report_covers_full_grid(tiny_report):
     assert headline["speedup"] > 0
 
 
+def test_report_covers_worker_sweep(tiny_report):
+    cells = {
+        (case["method"], case["workload"], case["workers"])
+        for case in tiny_report["scaling"]
+    }
+    assert cells == {
+        (method, workload, workers)
+        for method in perf.METHODS
+        for workload in perf.WORKLOADS
+        for workers in (1, 2)
+    }
+    for case in tiny_report["scaling"]:
+        assert case["speedup"] > 0
+    parallel = tiny_report["headline_parallel"]
+    assert parallel["name"] == "skewed_large_transaction_parallel"
+    assert parallel["workers"] == 2
+    assert isinstance(parallel["met_target"], bool)
+    assert isinstance(parallel["workers1_within_budget"], bool)
+    assert tiny_report["cpus"] >= 1
+
+
+def test_seeds_derive_from_config_names(tiny_report):
+    """Seeds are CRC-32 of the case name: stable across runs/processes."""
+    assert perf.config_seed("grid/skewed/naive/eager") == perf.config_seed(
+        "grid/skewed/naive/eager"
+    )
+    assert perf.config_seed("a") != perf.config_seed("b")
+    for case in tiny_report["results"]:
+        expected = perf.config_seed(
+            f"grid/{case['workload']}/{case['method']}/{case['mode']}"
+        )
+        assert case["seed"] == expected
+    for case in tiny_report["scaling"]:
+        expected = perf.config_seed(
+            f"scaling/{case['workload']}/{case['method']}/w{case['workers']}"
+        )
+        assert case["seed"] == expected
+
+
 def test_render_mentions_every_method(tiny_report):
     text = perf.render(tiny_report)
     for method in perf.METHODS:
@@ -73,7 +113,7 @@ def test_validate_report_catches_problems(tiny_report):
 def test_case_result_derived_metrics():
     case = CaseResult(
         method="auxiliary", workload="skewed", mode="eager",
-        rows=100, reference_seconds=2.0, batched_seconds=0.5,
+        rows=100, reference_seconds=2.0, batched_seconds=0.5, seed=1,
     )
     assert case.reference_tps == 50.0
     assert case.batched_tps == 200.0
@@ -89,6 +129,7 @@ def test_cli_writes_report(tmp_path, capsys, monkeypatch):
         classmethod(lambda cls: cls(
             num_nodes=2, num_keys=8, fanout=2, total_rows=16,
             statement_size=8, headline_rows=16, repeats=1,
+            worker_counts=(1,),
         )),
     )
     assert perf.main(["--smoke", "--out", str(out)]) == 0
