@@ -29,6 +29,7 @@ Usage::
     PYTHONPATH=src python -m repro.bench.perf            # full run
     PYTHONPATH=src python -m repro.bench.perf --smoke    # CI-sized
     PYTHONPATH=src python -m repro.bench.perf --out /tmp/p.json
+    PYTHONPATH=src python -m repro.bench.perf --smoke --trace perf-traces
 
 Writes ``BENCH_PERF.json`` at the repo root by default.
 """
@@ -50,7 +51,7 @@ from ..core.deferred import defer_view
 from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
 from ..workloads.uniform import UniformJoinWorkload, build_cluster
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 METHODS = ("naive", "auxiliary", "global_index")
 WORKLOADS = ("uniform", "skewed")
 MODES = ("eager", "deferred")
@@ -334,9 +335,14 @@ def _time_statements(
     seed: int,
     rows_total: int,
     statement_size: Optional[int] = None,
+    observer: Optional[Callable] = None,
 ) -> float:
     """Time ``rows_total`` rows of eager statements on a fresh cluster with
-    the given worker count (``None`` = serial batched engine)."""
+    the given worker count (``None`` = serial batched engine).
+
+    ``observer(cluster, elapsed_seconds)``, if given, runs after the timed
+    region but before the cluster closes — the hook the skew report uses to
+    read per-worker busy time off the still-live engine."""
     cluster, workload = _make_cluster(
         config, workload_kind, method, True, workers=workers, seed=seed
     )
@@ -347,7 +353,10 @@ def _time_statements(
         start = time.perf_counter()
         for statement in statements:
             cluster.insert("A", statement)
-        return time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if observer is not None:
+            observer(cluster, elapsed)
+        return elapsed
     finally:
         cluster.close()
 
@@ -408,11 +417,22 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
     """
     workers = max(config.worker_counts)
     seed = config_seed(f"headline_parallel/skewed/auxiliary/w{workers}")
+    #: (elapsed, per-worker busy ns, supersteps) per parallel repeat; the
+    #: record of the best repeat feeds the skew fields below.
+    parallel_runs: List[Tuple[float, List[int], int]] = []
+
+    def observe(cluster, elapsed: float) -> None:
+        engine = cluster._parallel_engine
+        if engine is not None:
+            parallel_runs.append(
+                (elapsed, list(engine.worker_busy_ns), engine.supersteps)
+            )
 
     def once(w: Optional[int]) -> float:
         return _time_statements(
             config, "skewed", "auxiliary", w, seed,
             config.headline_rows, statement_size=config.headline_rows,
+            observer=observe if w == workers else None,
         )
 
     repeats = max(config.repeats, 3) if config.repeats > 1 else 1
@@ -423,6 +443,19 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
         one_worker = min(one_worker, once(1))
     speedup = serial / parallel
     overhead = one_worker / serial - 1.0
+    # Per-worker wall-clock variance of the best parallel repeat: with
+    # contiguous node shards, Zipf-hot keys concentrate on few nodes and the
+    # max/min busy-time ratio quantifies how unevenly the superstep work
+    # landed (the skew-diagnosis report names the keys responsible).
+    if parallel_runs:
+        _best_elapsed, busy_ns, supersteps = min(
+            parallel_runs, key=lambda record: record[0]
+        )
+    else:  # pragma: no cover - engine never armed (fork unavailable)
+        busy_ns, supersteps = [], 0
+    busy_seconds = [round(ns / 1e9, 6) for ns in busy_ns]
+    min_busy = min(busy_ns) if busy_ns else 0
+    worker_skew = round(max(busy_ns) / min_busy, 4) if min_busy > 0 else None
     return {
         "name": "skewed_large_transaction_parallel",
         "method": "auxiliary",
@@ -441,7 +474,96 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
         "workers1_overhead": round(overhead, 4),
         "workers1_overhead_budget": PARALLEL_OVERHEAD_BUDGET,
         "workers1_within_budget": overhead <= PARALLEL_OVERHEAD_BUDGET,
+        "supersteps": supersteps,
+        "worker_busy_seconds": busy_seconds,
+        "worker_skew": worker_skew,
     }
+
+
+# ---------------------------------------------------------- traced runs
+
+
+def run_traced(config: PerfConfig, out_dir: Path) -> Dict[str, object]:
+    """``--trace``: per-method traced runs of the skewed workload.
+
+    For every maintenance method, runs the skewed headline workload on the
+    parallel engine with observability attached and writes
+
+    * ``trace-<method>.json`` — Chrome-trace/Perfetto span export,
+    * ``metrics-<method>.prom`` — the Prometheus metrics of that run,
+    * ``skew_report.json`` — the skew diagnosis: per-worker probe-cache
+      counters plus the heavy-hitter join keys each worker promoted to
+      residency (hot keys are *why* one worker's supersteps run long).
+
+    Tracing never perturbs modeled costs (the equivalence suites pin
+    that), so these artifacts describe exactly the run the untraced bench
+    times.
+    """
+    from ..obs.collect import attach_observability, collect_cluster_metrics
+    from ..obs.export import to_chrome_trace
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    workers = max(config.worker_counts)
+    artifacts: List[str] = []
+    skew_report: Dict[str, object] = {
+        "workers": workers,
+        "rows": config.headline_rows,
+        "statement_size": config.statement_size,
+        "methods": {},
+    }
+    for method in METHODS:
+        seed = config_seed(f"trace/skewed/{method}/w{workers}")
+        cluster, workload = _make_cluster(
+            config, "skewed", method, True, workers=workers, seed=seed
+        )
+        obs = attach_observability(cluster)
+        rows = workload.a_rows(config.headline_rows)
+        size = config.statement_size
+        try:
+            for start in range(0, len(rows), size):
+                cluster.insert("A", rows[start : start + size])
+            engine = cluster._parallel_engine
+            heavy = engine.heavy_hitters() if engine is not None else []
+            cache_stats = engine.probe_cache_stats() if engine is not None else []
+            busy_ns = list(engine.worker_busy_ns) if engine is not None else []
+            registry = collect_cluster_metrics(cluster)
+        finally:
+            cluster.close()
+        trace_path = out_dir / f"trace-{method}.json"
+        trace_path.write_text(
+            json.dumps(
+                to_chrome_trace(obs.tracer, process_name=f"repro.perf/{method}")
+            )
+            + "\n"
+        )
+        prom_path = out_dir / f"metrics-{method}.prom"
+        prom_path.write_text(registry.to_prometheus())
+        artifacts.extend([trace_path.name, prom_path.name])
+        # Hottest keys across all workers, largest match sets first.
+        hot = sorted(
+            (entry for per_worker in heavy for entry in per_worker),
+            key=lambda entry: (-entry[4], entry),
+        )[:20]
+        skew_report["methods"][method] = {
+            "seed": seed,
+            "spans": obs.tracer.span_count(),
+            "worker_busy_seconds": [round(ns / 1e9, 6) for ns in busy_ns],
+            "probe_cache": [dict(stats) for stats in cache_stats],
+            "heavy_hitters": [
+                {
+                    "kind": kind,
+                    "node": node,
+                    "structure": structure,
+                    "key": key_repr,
+                    "matches": matches,
+                }
+                for kind, node, structure, key_repr, matches in hot
+            ],
+        }
+    skew_path = out_dir / "skew_report.json"
+    skew_path.write_text(json.dumps(skew_report, indent=2, sort_keys=True) + "\n")
+    artifacts.append(skew_path.name)
+    return {"out_dir": str(out_dir), "artifacts": artifacts}
 
 
 def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
@@ -524,9 +646,15 @@ def validate_report(report: Dict[str, object]) -> List[str]:
         "name", "target_speedup", "met_target",
         "workers1_seconds", "workers1_overhead",
         "workers1_overhead_budget", "workers1_within_budget",
+        "supersteps", "worker_busy_seconds", "worker_skew",
     }:
         if key not in parallel:
             problems.append(f"headline_parallel missing field {key!r}")
+    busy = parallel.get("worker_busy_seconds")
+    if busy is not None and len(busy) != parallel.get("workers"):
+        problems.append(
+            "headline_parallel worker_busy_seconds length != workers"
+        )
     return problems
 
 
@@ -590,6 +718,13 @@ def render(report: Dict[str, object]) -> str:
         f"(budget {parallel['workers1_overhead_budget'] * 100:.0f}%, "
         f"{'within' if parallel['workers1_within_budget'] else 'OVER'})"
     )
+    skew = parallel.get("worker_skew")
+    busy = ", ".join(f"{s:.3f}s" for s in parallel.get("worker_busy_seconds", []))
+    lines.append(
+        f"  worker busy time [{busy}] over {parallel.get('supersteps', 0)} "
+        f"supersteps, max/min skew "
+        f"{f'{skew:.2f}x' if skew is not None else 'n/a'}"
+    )
     return "\n".join(lines)
 
 
@@ -606,9 +741,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=None,
         help="output JSON path (default: BENCH_PERF.json at the repo root)",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="perf-traces", default=None, metavar="DIR",
+        help="also write per-method Chrome-trace + Prometheus artifacts and "
+        "a heavy-hitter skew-diagnosis report into DIR "
+        "(default: perf-traces/)",
+    )
     args = parser.parse_args(argv)
     config = PerfConfig.smoke() if args.smoke else PerfConfig()
     report = run(config, smoke=args.smoke)
+    if args.trace is not None:
+        report["trace"] = run_traced(config, Path(args.trace))
     problems = validate_report(report)
     if problems:  # pragma: no cover - self-check of freshly built report
         for problem in problems:
@@ -618,6 +761,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(render(report))
     print(f"\nwrote {out_path}")
+    if args.trace is not None:
+        trace_info = report["trace"]
+        print(
+            f"wrote {len(trace_info['artifacts'])} trace artifact(s) "
+            f"to {trace_info['out_dir']}"
+        )
     return 0
 
 

@@ -30,6 +30,7 @@ from typing import (
 
 from ..core.delta import Delta, PlacedRow
 from ..costs import CostLedger, CostParameters, CostSnapshot, Op, PAPER_COSTS, Tag
+from ..obs.collect import DISABLED
 from ..storage import GlobalRowId, PageLayout, Row, Schema
 from ..storage.pages import DEFAULT_LAYOUT
 from .catalog import (
@@ -102,6 +103,12 @@ class Cluster:
         self._undo_logs: List["UndoLog"] = []
         #: Lazily constructed worker-pool handle (see ``workers`` above).
         self._parallel_engine: Optional["ParallelEngine"] = None
+        #: Observability facade (tracer + metrics registry).  The shared
+        #: :data:`repro.obs.DISABLED` singleton until
+        #: :func:`repro.obs.attach_observability` arms a live one; the
+        #: no-op tracer allocates nothing, so the fault-free hot path is
+        #: unchanged (the equivalence suites pin this bit-for-bit).
+        self.obs = DISABLED
 
     # ==================================================== parallel lifecycle
 
@@ -493,16 +500,33 @@ class Cluster:
                 # A bespoke maintainer will mutate fragments outside the
                 # superstep engine: drain so workers never go stale.
                 self._drain_parallel()
-        if engine is not None:
-            info, delta = self._execute_statement_parallel(
-                engine, relation, inserts, deletes
-            )
-        else:
-            info, delta = self._execute_base_writes(relation, inserts, deletes)
-            self._co_update_auxiliaries(info, delta)
-            self._co_update_global_indexes(info, delta)
-        for view in self.catalog.views_on(relation):
-            view.maintainer.apply(delta)
+        obs = self.obs
+        with obs.span(
+            "statement",
+            relation=relation,
+            inserts=len(inserts),
+            deletes=len(deletes),
+            engine=(
+                "parallel" if engine is not None
+                else "batched" if self._bulk_ok() else "reference"
+            ),
+        ):
+            if engine is not None:
+                with obs.span("fused_superstep", relation=relation):
+                    info, delta = self._execute_statement_parallel(
+                        engine, relation, inserts, deletes
+                    )
+            else:
+                with obs.span("base_writes", relation=relation):
+                    info, delta = self._execute_base_writes(
+                        relation, inserts, deletes
+                    )
+                with obs.span("co_update_ars", relation=relation):
+                    self._co_update_auxiliaries(info, delta)
+                with obs.span("co_update_gis", relation=relation):
+                    self._co_update_global_indexes(info, delta)
+            for view in self.catalog.views_on(relation):
+                view.maintainer.apply(delta)
 
     def _execute_statement_parallel(
         self, engine, relation: str, inserts: List[Row], deletes: List[Row]
@@ -897,15 +921,37 @@ class Cluster:
         deletions must search node by node (there is no placement to
         exploit — the paper's "(b)" variants).
         """
-        partitioner = view.partitioner
         name = view.name
         if self._bulk_ok():
             engine = self._parallel_running()
             if engine is not None:
-                self._apply_view_delta_parallel(engine, view, inserts, deletes)
+                with self.obs.span(
+                    "view_write", view=name, path="parallel",
+                    inserts=len(inserts), deletes=len(deletes),
+                ):
+                    self._apply_view_delta_parallel(engine, view, inserts, deletes)
                 return
-            self._apply_view_delta_bulk(view, inserts, deletes)
+            with self.obs.span(
+                "view_write", view=name, path="bulk",
+                inserts=len(inserts), deletes=len(deletes),
+            ):
+                self._apply_view_delta_bulk(view, inserts, deletes)
             return
+        with self.obs.span(
+            "view_write", view=name, path="reference",
+            inserts=len(inserts), deletes=len(deletes),
+        ):
+            self._apply_view_delta_per_tuple(view, inserts, deletes)
+
+    def _apply_view_delta_per_tuple(
+        self,
+        view: ViewInfo,
+        inserts: Sequence[Tuple[int, Row]],
+        deletes: Sequence[Tuple[int, Row]],
+    ) -> None:
+        """The tuple-at-a-time reference path of :meth:`apply_view_delta`."""
+        partitioner = view.partitioner
+        name = view.name
         for source, row in deletes:
             if isinstance(partitioner, BoundRoundRobin):
                 self._round_robin_delete(view, source, row)

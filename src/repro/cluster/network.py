@@ -31,6 +31,7 @@ from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 from ..costs import CostLedger, Op, Tag
 from ..faults.errors import MessageLost, NodeDown
 from ..faults.injector import MessageFate
+from ..obs.collect import DISABLED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
@@ -67,7 +68,7 @@ class Network:
 
     __slots__ = (
         "num_nodes", "ledger", "stats",
-        "injector", "max_retries", "dedup", "backoff_base",
+        "injector", "max_retries", "dedup", "backoff_base", "obs",
     )
 
     def __init__(self, num_nodes: int, ledger: CostLedger) -> None:
@@ -79,6 +80,10 @@ class Network:
         self.max_retries: int = 0
         self.dedup: bool = True
         self.backoff_base: float = 2.0
+        #: Observability facade; swapped by ``attach_observability``.  The
+        #: fault-free hot path never consults it — only the unreliable
+        #: sender pushes live fault events, behind ``obs.enabled``.
+        self.obs = DISABLED
 
     def _check(self, node: int) -> None:
         if not (0 <= node < self.num_nodes):
@@ -102,6 +107,16 @@ class Network:
             return 1
         return self._send_unreliable(src, dst, tag)
 
+    def _fault_event(self, kind: str, src: int, dst: int) -> None:
+        """Push one live fault event (counter + trace instant) when armed."""
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "repro_network_fault_events_total",
+                "Live fault events observed on the unreliable send path",
+            ).inc(kind=kind, src=src, dst=dst)
+            obs.event("network.fault", kind=kind, src=src, dst=dst)
+
     def _send_unreliable(self, src: int, dst: int, tag: Tag) -> int:
         assert self.injector is not None
         attempts = 0
@@ -110,6 +125,7 @@ class Network:
             fate = self.injector.on_message(src, dst)
             if fate is MessageFate.SRC_DOWN:
                 # A dead node sends nothing: no charge, fail immediately.
+                self._fault_event("src_down", src, dst)
                 raise NodeDown(src, f"cannot send to node {dst}")
             # The attempt goes on the wire: charge the sender.
             self.ledger.charge(src, Op.SEND, tag)
@@ -117,16 +133,20 @@ class Network:
                 # Fail fast: retrying a crashed peer is pointless until the
                 # recovery layer restarts it.
                 self.stats.drops += 1
+                self._fault_event("dest_down", src, dst)
                 raise NodeDown(dst, f"message from node {src} undeliverable")
             if fate is MessageFate.DROPPED:
                 self.stats.drops += 1
                 if attempts > self.max_retries:
+                    self._fault_event("lost", src, dst)
                     raise MessageLost(src, dst, attempts)
                 # Exponential backoff before the retry: latency, not I/O.
                 self.stats.retries += 1
                 self.stats.backoff_slots += self.backoff_base ** (attempts - 1)
+                self._fault_event("retry", src, dst)
                 continue
             if fate is MessageFate.DUPLICATED:
+                self._fault_event("duplicate", src, dst)
                 self.stats.record(src, dst)
                 self.stats.record(src, dst)
                 self.stats.duplicates += 1

@@ -8,7 +8,7 @@ to bill an access path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..costs import CostLedger, Op, Tag
 from ..storage import (
@@ -286,6 +286,17 @@ class Node:
 
     def fragment_pages(self, name: str) -> int:
         return self.fragment(name).table.num_pages
+
+    def storage_profile(self) -> List[Tuple[str, int, int]]:
+        """``(name, live_tuples, heap_pages)`` for every local fragment.
+
+        Observability's pull-based collector reads this; sorted by name so
+        exports are deterministic across runs and worker counts.
+        """
+        return [
+            (name, len(fragment.table.rows()), fragment.table.num_pages)
+            for name, fragment in sorted(self._fragments.items())
+        ]
 
 
 def _any_index(fragment: IndexedHeap) -> Optional[LocalIndex]:

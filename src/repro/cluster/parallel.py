@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -93,7 +94,20 @@ def locate_victim(fragment: "IndexedHeap", row: "Row", taken) -> Optional[int]:
 # ============================================================ worker side
 
 
-def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
+def _note_event(events, node_id: int, kind: str, detail: str = "") -> None:
+    """Tally one compact worker event record.
+
+    Keys are ``(node_id, kind, detail)`` — **node**-scoped, never
+    worker-scoped — so the aggregated tally of a statement is identical for
+    any worker count (shard ownership maps each node's commands, and hence
+    its per-node cache state, to exactly one executor).  The coordinator
+    merges tallies in sorted key order, making traces bit-stable.
+    """
+    slot = (node_id, kind, detail)
+    events[slot] = events.get(slot, 0) + 1
+
+
+def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op, events=None):
     """Run one envelope command against this worker's shard.
 
     Charges go to the worker's private ledger through the normal
@@ -101,6 +115,10 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
     what the serial engine would for the same command.  Probe-cache hits
     charge through the ``charge_*`` helpers — the modeled cost of the probe
     they avoided re-executing.
+
+    ``events`` (a dict, present only on traced supersteps) accumulates
+    compact ``(node, kind, detail)`` tallies via :func:`_note_event`; the
+    fast path pays one ``is not None`` test per command when untraced.
     """
     kind = op[0]
     if kind == "probe":
@@ -109,8 +127,14 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         if cache is not None:
             rows = cache.lookup_index(node_id, fragment, column, key)
             if rows is not None:
+                if events is not None:
+                    _note_event(events, node_id, "probe", "hit")
                 node.charge_index_probe(fragment, column, len(rows), tag, times=1)
                 return rows
+        if events is not None:
+            _note_event(
+                events, node_id, "probe", "miss" if cache is not None else ""
+            )
         rows = node.index_probe(fragment, column, key, tag)
         if cache is not None:
             position = node.fragment(fragment).table.schema.index_of(column)
@@ -118,12 +142,16 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         return rows
     if kind == "ins":
         _, node_id, name, rows, tag = op
+        if events is not None:
+            _note_event(events, node_id, "ins")
         if cache is not None and cache.has_resident_rows():
             for row in rows:
                 cache.note_write(node_id, name, row)
         return nodes[node_id].insert_many(name, list(rows), tag)
     if kind == "del":
         _, node_id, name, row, tag, tolerate = op
+        if events is not None:
+            _note_event(events, node_id, "del")
         if cache is not None:
             cache.note_write(node_id, name, row)
         try:
@@ -138,8 +166,14 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         if cache is not None:
             grouped = cache.lookup_gi(node_id, gi_name, key)
             if grouped is not None:
+                if events is not None:
+                    _note_event(events, node_id, "gi_probe", "hit")
                 node.charge_gi_probe(gi_name, tag, times=1)
                 return grouped
+        if events is not None:
+            _note_event(
+                events, node_id, "gi_probe", "miss" if cache is not None else ""
+            )
         grouped = node.gi_probe(gi_name, key, tag)
         if cache is not None:
             cache.note_gi_miss(node_id, gi_name, key, grouped)
@@ -151,9 +185,15 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         if cache is not None:
             rows = cache.lookup_fetch(node_id, relation, slot)
             if rows is not None:
+                if events is not None:
+                    _note_event(events, node_id, "fetch", "hit")
                 units = 1 if clustered else len(rowids)
                 node.charge_fetch(relation, units, tag, times=1)
                 return rows
+        if events is not None:
+            _note_event(
+                events, node_id, "fetch", "miss" if cache is not None else ""
+            )
         rows = node.fetch_by_rowids(
             relation, list(rowids), tag, clustered_on_page=clustered
         )
@@ -163,6 +203,8 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
     if kind == "gi_ins":
         _, node_id, gi_name, entries, tag = op
         node = nodes[node_id]
+        if events is not None:
+            _note_event(events, node_id, "gi_ins")
         if cache is not None:
             for key, _grid in entries:
                 cache.note_gi_write(node_id, gi_name, key)
@@ -171,6 +213,8 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         return None
     if kind == "gi_del":
         _, node_id, gi_name, key, grid, tag, tolerate = op
+        if events is not None:
+            _note_event(events, node_id, "gi_del")
         if cache is not None:
             cache.note_gi_write(node_id, gi_name, key)
         try:
@@ -182,6 +226,10 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
             raise
     if kind == "merge":
         _, node_id, fragment, column, is_sorted, keys, tag = op
+        if events is not None:
+            _note_event(
+                events, node_id, "merge", "scan" if is_sorted else "sort"
+            )
         node = nodes[node_id]
         pages = node.fragment_pages(fragment)
         if pages:
@@ -202,6 +250,8 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
     if kind == "rr_del":
         _, node_id, name, rowid, tag = op
         node = nodes[node_id]
+        if events is not None:
+            _note_event(events, node_id, "rr_del")
         if cache is not None:
             cache.note_write(node_id, name, node.fragment(name).table.fetch(rowid))
         node.ledger.charge(node_id, Op.SEARCH, tag)
@@ -209,6 +259,8 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
         return None
     if kind == "charge":
         _, node_id, cost_op, tag, count = op
+        if events is not None:
+            _note_event(events, node_id, "charge", cost_op.value)
         nodes[node_id].ledger.charge(node_id, cost_op, tag, count=count)
         return None
     raise ValueError(f"unknown parallel op {kind!r}")
@@ -217,7 +269,13 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op):
 def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> None:
     """Worker process loop: owns ``cluster.nodes[lo:hi]`` for the pool's
     life; bills node-local work to a private ledger whose cell delta rides
-    back on every reply envelope."""
+    back on every reply envelope.
+
+    Reply envelope: ``("ok", results, cells, elapsed_ns, events)``.
+    ``elapsed_ns`` (always measured — two clock reads) feeds the bench's
+    per-worker skew report; ``events`` carries the compact
+    :func:`_note_event` tallies of a traced superstep (empty otherwise).
+    """
     # Neutralize the forked copy of the engine so nothing in this process
     # can ever write to the coordinator's pipes (e.g. a stray __del__).
     engine = cluster._parallel_engine
@@ -241,18 +299,25 @@ def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> 
             conn.send(("bye",))
             break
         if kind == "stats":
-            conn.send(("ok", cache.stats() if cache is not None else {}, {}))
+            conn.send((
+                "ok",
+                cache.stats() if cache is not None else {},
+                cache.heavy_hitters() if cache is not None else [],
+            ))
             continue
-        _, catalog_version, ops = message
+        _, catalog_version, ops, trace = message
         if cache is not None:
             cache.check_epoch(catalog_version)
         cells.clear()
+        events = {} if trace else None
+        start_ns = time.perf_counter_ns()
         try:
-            results = [_execute_op(nodes, cache, op) for op in ops]
+            results = [_execute_op(nodes, cache, op, events) for op in ops]
         except BaseException:
             conn.send(("err", traceback.format_exc(), {}))
             break
-        conn.send(("ok", results, dict(cells)))
+        elapsed_ns = time.perf_counter_ns() - start_ns
+        conn.send(("ok", results, dict(cells), elapsed_ns, events or {}))
     conn.close()
 
 
@@ -284,11 +349,20 @@ class ParallelEngine:
         #: poisoned by a worker failure; the cluster then stays serial
         self.broken = False
         self.supersteps = 0
+        #: Cumulative busy nanoseconds per worker slot across the engine's
+        #: whole life (survives drain/re-fork cycles).  Always maintained —
+        #: the bench's per-worker skew report needs it without tracing.
+        self.worker_busy_ns: List[int] = [0] * workers
         self._owner_pid = os.getpid()
         self._conns: List = []
         self._procs: List = []
         self._node_worker: List[int] = []
         self._inline_cache: Optional[HeavyHitterProbeCache] = None
+        #: Last probe-cache stats observed at :meth:`stop` (worker caches
+        #: die with their processes; this keeps their final counters
+        #: collectable afterwards).
+        self._final_cache_stats: List[Dict[str, int]] = []
+        self._final_heavy_hitters: List[list] = []
 
     @property
     def inline(self) -> bool:
@@ -332,7 +406,14 @@ class ParallelEngine:
     def stop(self) -> None:
         """Drain the pool.  Free: the coordinator image is already current,
         so worker state is simply discarded; a later :meth:`start` re-forks
-        from the then-current image."""
+        from the then-current image.  Worker probe-cache stats are
+        snapshotted first so their counters survive the drain."""
+        if self.running:
+            try:
+                self._final_cache_stats = self.probe_cache_stats()
+                self._final_heavy_hitters = self.heavy_hitters()
+            except (EOFError, OSError):  # pragma: no cover - dying workers
+                pass
         if self.inline:
             # Discard the inline shard's cache, exactly as a forked
             # worker's cache dies with its process.
@@ -380,30 +461,57 @@ class ParallelEngine:
     def run_ops(self, ops: Sequence[tuple]) -> List[object]:
         """One superstep: route ``ops`` to their shard owners, execute,
         merge ledger deltas deterministically, replay mutations on the
-        coordinator image, and return per-op results in op order."""
+        coordinator image, and return per-op results in op order.
+
+        When observability is enabled the superstep runs inside a
+        ``superstep`` span tagged only with its ordinal and op count —
+        deliberately **not** the worker count, so the span/event signature
+        of a statement is identical for any number of workers (the
+        determinism tests compare workers∈{1,2} byte-for-byte)."""
         if not ops:
             return []
-        if self.inline:
-            cache = self._inline_cache
-            if cache is not None:
-                cache.check_epoch(self.cluster.catalog.version)
-            nodes = self.cluster.nodes
-            self.supersteps += 1
-            # Nodes bill the real ledger directly and mutations land on the
-            # real image, so there is nothing to merge or replay.
-            return [_execute_op(nodes, cache, op) for op in ops]
+        obs = self.cluster.obs
+        runner = self._run_inline if self.inline else self._run_forked
+        if not obs.enabled:
+            return runner(ops, None, None)
+        with obs.span("superstep", index=self.supersteps, ops=len(ops)) as span:
+            return runner(ops, obs, span)
+
+    def _run_inline(self, ops: Sequence[tuple], obs, span) -> List[object]:
+        """Single-shard superstep executed in-process (``workers=1``)."""
+        cache = self._inline_cache
+        if cache is not None:
+            cache.check_epoch(self.cluster.catalog.version)
+        nodes = self.cluster.nodes
+        events: Optional[Dict] = {} if span is not None else None
+        start_ns = time.perf_counter_ns()
+        # Nodes bill the real ledger directly and mutations land on the
+        # real image, so there is nothing to merge or replay.
+        results = [_execute_op(nodes, cache, op, events) for op in ops]
+        elapsed_ns = time.perf_counter_ns() - start_ns
+        self.worker_busy_ns[0] += elapsed_ns
+        self.supersteps += 1
+        if span is not None:
+            self._emit_superstep(obs, span, [elapsed_ns], [events])
+        return results
+
+    def _run_forked(self, ops: Sequence[tuple], obs, span) -> List[object]:
+        """Fan one superstep's ops out to the forked pool and merge back."""
         owner = self._node_worker
         per_worker: Dict[int, List[Tuple[int, tuple]]] = {}
         for position, op in enumerate(ops):
             per_worker.setdefault(owner[op[1]], []).append((position, op))
         version = self.cluster.catalog.version
+        trace = span is not None
         try:
             for worker_id, pairs in per_worker.items():
                 self._conns[worker_id].send(
-                    ("step", version, [op for _, op in pairs])
+                    ("step", version, [op for _, op in pairs], trace)
                 )
             results: List[object] = [None] * len(ops)
             deltas: List[Dict] = []
+            elapsed: List[int] = []
+            event_maps: List[Dict] = []
             for worker_id in sorted(per_worker):
                 reply = self._conns[worker_id].recv()
                 if reply[0] != "ok":
@@ -413,6 +521,10 @@ class ParallelEngine:
                 for (position, _), result in zip(per_worker[worker_id], reply[1]):
                     results[position] = result
                 deltas.append(reply[2])
+                self.worker_busy_ns[worker_id] += reply[3]
+                elapsed.append(reply[3])
+                if trace:
+                    event_maps.append(reply[4])
         except (RuntimeError, EOFError, OSError) as exc:
             self.broken = True
             self.running = False
@@ -426,7 +538,44 @@ class ParallelEngine:
         replay = self._replay
         for op, result in zip(ops, results):
             replay(op, result)
+        if trace:
+            self._emit_superstep(obs, span, elapsed, event_maps)
         return results
+
+    def _emit_superstep(
+        self,
+        obs,
+        span,
+        elapsed_ns: List[int],
+        event_maps: List[Dict],
+    ) -> None:
+        """Surface one traced superstep's worker activity.
+
+        Event tallies are merged across workers and emitted in sorted
+        ``(node, kind, detail)`` order — node-scoped keys make the merged
+        tally independent of shard ownership, so traces are bit-stable
+        across worker counts.  Wall-clock only ever reaches the (signature-
+        exempt) duration histogram, never span tags or events.
+        """
+        merged: Dict[Tuple[int, str, str], int] = {}
+        for events in event_maps:
+            for slot, count in events.items():
+                merged[slot] = merged.get(slot, 0) + count
+        counter = obs.metrics.counter(
+            "repro_worker_events_total",
+            "Worker-side envelope command events per node, kind, and detail",
+        )
+        for slot in sorted(merged):
+            node_id, kind, detail = slot
+            count = merged[slot]
+            span.event("ops", node=node_id, kind=kind, detail=detail, count=count)
+            counter.inc(count, node=node_id, kind=kind, detail=detail)
+        histogram = obs.metrics.histogram(
+            "repro_superstep_seconds",
+            "Per-worker busy time of each parallel superstep",
+        )
+        for busy in elapsed_ns:
+            histogram.observe(busy / 1e9)
 
     def _merge_cells(self, deltas: List[Dict]) -> None:
         """Fold per-worker ledger deltas into the real ledger in
@@ -468,9 +617,13 @@ class ParallelEngine:
     # -------------------------------------------------------------- stats
 
     def probe_cache_stats(self) -> List[Dict[str, int]]:
-        """Per-worker heavy-hitter cache statistics (empty when stopped)."""
+        """Per-worker heavy-hitter cache statistics.
+
+        While the pool runs this is a live round trip; after a drain it
+        returns the final snapshot :meth:`stop` took, so the counters stay
+        collectable (the metrics export reads them after the statement)."""
         if not self.running:
-            return []
+            return self._final_cache_stats
         if self.inline:
             return [self._inline_cache.stats() if self._inline_cache else {}]
         for conn in self._conns:
@@ -480,3 +633,21 @@ class ParallelEngine:
             reply = conn.recv()
             stats.append(reply[1])
         return stats
+
+    def heavy_hitters(self) -> List[list]:
+        """Per-worker resident hot keys, ``(kind, node, structure,
+        key_repr, matches)`` tuples per worker — the bench's skew report.
+        Returns the :meth:`stop` snapshot once drained."""
+        if not self.running:
+            return self._final_heavy_hitters
+        if self.inline:
+            return [
+                self._inline_cache.heavy_hitters() if self._inline_cache else []
+            ]
+        for conn in self._conns:
+            conn.send(("stats",))
+        out: List[list] = []
+        for conn in self._conns:
+            reply = conn.recv()
+            out.append(reply[2])
+        return out

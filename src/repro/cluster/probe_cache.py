@@ -55,6 +55,10 @@ class HeavyHitterProbeCache:
         "hits",
         "misses",
         "invalidations",
+        "flushed_hits",
+        "flushed_misses",
+        "flushed_invalidations",
+        "epoch_flushes",
     )
 
     def __init__(self, threshold: int = 3, max_entries: int = 4096) -> None:
@@ -80,14 +84,40 @@ class HeavyHitterProbeCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Counter totals folded away by catalog-epoch clears.  Without
+        #: these, the hit/miss/invalidation history of an epoch would vanish
+        #: with the entries it described; :meth:`stats` always reports
+        #: all-time totals (live + flushed).
+        self.flushed_hits = 0
+        self.flushed_misses = 0
+        self.flushed_invalidations = 0
+        self.epoch_flushes = 0
 
     # ------------------------------------------------------------- epochs
 
     def check_epoch(self, catalog_version: int) -> None:
-        """Clear everything when the coordinator's catalog version moved."""
+        """Clear everything when the coordinator's catalog version moved.
+
+        The live hit/miss/invalidation counters are flushed into the
+        ``flushed_*`` accumulators first, so epoch clears never lose
+        statistics — they ride back to the coordinator in the next stats
+        reply and surface in the metrics export.
+        """
         if self.epoch != catalog_version:
+            if self.epoch is not None:
+                self.flush_counters()
             self.clear()
             self.epoch = catalog_version
+
+    def flush_counters(self) -> None:
+        """Fold the live counters into the flushed accumulators."""
+        self.flushed_hits += self.hits
+        self.flushed_misses += self.misses
+        self.flushed_invalidations += self.invalidations
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.epoch_flushes += 1
 
     def clear(self) -> None:
         self._freq.clear()
@@ -209,11 +239,39 @@ class HeavyHitterProbeCache:
     # -------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, int]:
+        """All-time counters (live + epoch-flushed) and resident entry counts."""
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
+            "hits": self.hits + self.flushed_hits,
+            "misses": self.misses + self.flushed_misses,
+            "invalidations": self.invalidations + self.flushed_invalidations,
+            "flushed_hits": self.flushed_hits,
+            "flushed_misses": self.flushed_misses,
+            "flushed_invalidations": self.flushed_invalidations,
+            "epoch_flushes": self.epoch_flushes,
             "resident_index_keys": len(self._index_rows),
             "resident_gi_keys": len(self._gi_groups),
             "resident_fetch_batches": len(self._fetch_rows),
         }
+
+    def heavy_hitters(self) -> List[Tuple[str, int, str, str, int]]:
+        """Resident hot keys as ``(kind, node, structure, key_repr,
+        matches)`` tuples in deterministic sorted order — the raw material
+        of the bench's skew-diagnosis report."""
+        out: List[Tuple[str, int, str, str, int]] = []
+        for (node_id, fragment, column, key), rows in self._index_rows.items():
+            out.append(
+                ("index", node_id, f"{fragment}.{column}", repr(key), len(rows))
+            )
+        for (node_id, gi_name, key), grouped in self._gi_groups.items():
+            out.append(
+                (
+                    "gi", node_id, gi_name, repr(key),
+                    sum(len(grids) for grids in grouped.values()),
+                )
+            )
+        for (node_id, relation, rowids), rows in self._fetch_rows.items():
+            out.append(
+                ("fetch", node_id, relation, f"{len(rowids)} rowids", len(rows))
+            )
+        out.sort()
+        return out

@@ -188,6 +188,19 @@ class DeferredMaintainer:
         relation = self._pending_relation
         assert relation is not None
         cluster = self.inner.cluster
+        with cluster.obs.span(
+            "deferred_refresh",
+            view=self.view_info.name,
+            relation=relation,
+            pending=self.pending_changes,
+            netted=self._netted,
+            statements=self._statements,
+        ):
+            return self._flush_pending(relation)
+
+    def _flush_pending(self, relation: str) -> RefreshReport:
+        """Materialize and apply the queue (the body of a refresh)."""
+        cluster = self.inner.cluster
         if cluster.workers is not None and type(self.inner) is JoinViewMaintainer:
             # A deferred refresh is its own "statement": give it the same
             # chance to (re)start the worker pool an eager statement gets.

@@ -119,16 +119,28 @@ class JoinViewMaintainer:
         if delta.is_empty:
             return
         try:
-            compiled = self.planner.compiled_for(delta.relation)
-            mapper = compiled.mapper
-            view_deletes = self._compute_join(compiled, delta.deletes)
-            view_inserts = self._compute_join(compiled, delta.inserts)
-            to_view_row = mapper.to_view_row
-            self.cluster.apply_view_delta(
-                self.view_info,
-                inserts=[(node, to_view_row(tup)) for node, tup in view_inserts],
-                deletes=[(node, to_view_row(tup)) for node, tup in view_deletes],
-            )
+            with self.cluster.obs.span(
+                "maintain",
+                view=self.view_info.name,
+                method=self.method.value,
+                relation=delta.relation,
+                inserts=len(delta.inserts),
+                deletes=len(delta.deletes),
+            ):
+                compiled = self.planner.compiled_for(delta.relation)
+                mapper = compiled.mapper
+                view_deletes = self._compute_join(compiled, delta.deletes)
+                view_inserts = self._compute_join(compiled, delta.inserts)
+                to_view_row = mapper.to_view_row
+                self.cluster.apply_view_delta(
+                    self.view_info,
+                    inserts=[
+                        (node, to_view_row(tup)) for node, tup in view_inserts
+                    ],
+                    deletes=[
+                        (node, to_view_row(tup)) for node, tup in view_deletes
+                    ],
+                )
         except FaultError as exc:
             exc.add_context(
                 f"maintaining view {self.view_info.name!r} "
@@ -157,6 +169,7 @@ class JoinViewMaintainer:
             return []
         batch = self._batch_mode()
         engine = self._parallel_hop_engine() if batch else None
+        obs = self.cluster.obs
         state: List[Intermediate] = [(p.node, p.row) for p in placed]
         for hop_index, chop in enumerate(compiled.hops):
             if not state:
@@ -166,19 +179,37 @@ class JoinViewMaintainer:
             key_position = chop.key_position
             filters = chop.filters
             try:
-                if use_sort_merge:
-                    state = self._hop_sort_merge(
-                        hop, state, key_position, filters, batch=batch,
-                        engine=engine,
-                    )
-                elif batch:
-                    state = self._hop_index_nested_loops_batched(
-                        hop, state, key_position, filters, engine=engine
-                    )
-                else:
-                    state = self._hop_index_nested_loops(
-                        hop, state, key_position, filters
-                    )
+                with obs.span(
+                    "hop",
+                    index=hop_index,
+                    partner=hop.partner,
+                    algo="sort_merge" if use_sort_merge else "inl",
+                    mode=(
+                        "parallel" if engine is not None
+                        else "batched" if batch else "reference"
+                    ),
+                    fanin=len(state),
+                ) as span:
+                    if obs.enabled:
+                        from ..obs.collect import key_digest
+
+                        span.tag(keys=key_digest(
+                            {prefix[key_position] for _, prefix in state}
+                        ))
+                    if use_sort_merge:
+                        state = self._hop_sort_merge(
+                            hop, state, key_position, filters, batch=batch,
+                            engine=engine,
+                        )
+                    elif batch:
+                        state = self._hop_index_nested_loops_batched(
+                            hop, state, key_position, filters, engine=engine
+                        )
+                    else:
+                        state = self._hop_index_nested_loops(
+                            hop, state, key_position, filters
+                        )
+                    span.tag(fanout=len(state))
             except FaultError as exc:
                 exc.add_context(
                     f"hop {hop_index} against {hop.partner!r} "

@@ -133,11 +133,29 @@ class MaintenancePlanner:
         else:
             key = self._signature_key(updated)
         compiled = self._compiled_cache.get(key)
+        obs = self.cluster.obs
         if compiled is None:
-            self._prune_stale(self._compiled_cache, version)
-            compiled = compile_plan(self.bound, self.plan_for(updated))
-            self._compiled_cache[key] = compiled
+            with obs.span(
+                "plan_compile",
+                view=self.bound.definition.name,
+                relation=updated,
+                method=self.method.value,
+            ):
+                self._prune_stale(self._compiled_cache, version)
+                compiled = compile_plan(self.bound, self.plan_for(updated))
+                self._compiled_cache[key] = compiled
+            if obs.enabled:
+                self._plan_cache_event(obs, updated, "miss")
+        elif obs.enabled:
+            self._plan_cache_event(obs, updated, "compiled_hit")
         return compiled
+
+    def _plan_cache_event(self, obs, updated: str, kind: str) -> None:
+        """Push one live plan-cache counter sample (traced runs only)."""
+        obs.metrics.counter(
+            "repro_plan_cache_events_total",
+            "Compiled-plan cache hits and misses per view and relation",
+        ).inc(view=self.bound.definition.name, relation=updated, kind=kind)
 
     def alternatives(self, updated: str) -> List[Tuple[MaintenancePlan, float]]:
         """Every legal plan with its estimated cost, cheapest first —

@@ -72,6 +72,20 @@ class CostSnapshot:
             by_op[op] += count
         return dict(by_op)
 
+    def diff(self, other: "CostSnapshot") -> Dict[_Cell, float]:
+        """Per-``(node, op, tag)`` cell deltas (``self - other``).
+
+        Cells equal on both sides are omitted, so an empty dict means the
+        snapshots are identical — the equivalence suites assert exactly
+        that and print :func:`format_cell_diff` of the result when not.
+        """
+        cells: Dict[_Cell, float] = {}
+        for cell in set(self.cells) | set(other.cells):
+            delta = self.cells.get(cell, 0.0) - other.cells.get(cell, 0.0)
+            if delta:
+                cells[cell] = delta
+        return cells
+
 
 class CostLedger:
     """Mutable accumulator of charged operations for one cluster."""
@@ -92,6 +106,16 @@ class CostLedger:
 
     def reset(self) -> None:
         self._cells.clear()
+
+    def diff(self, other: "CostLedger | CostSnapshot") -> Dict[_Cell, float]:
+        """Per-``(node, op, tag)`` cell deltas between two ledgers.
+
+        ``self - other``; an empty dict means bit-identical charging.  Use
+        :func:`format_cell_diff` to turn the result into an actionable
+        failure message (which cell, whose side, how far off).
+        """
+        snapshot = other if isinstance(other, CostSnapshot) else other.snapshot()
+        return self.snapshot().diff(snapshot)
 
     def diff_since(self, before: CostSnapshot) -> CostSnapshot:
         """The work charged since ``before`` was taken."""
@@ -127,3 +151,22 @@ class _Measurement:
 
     def __init__(self) -> None:
         self.snapshot = CostSnapshot(PAPER_COSTS, {})
+
+
+def format_cell_diff(diff: Dict[_Cell, float], limit: int = 40) -> str:
+    """Human-readable per-cell delta listing for equivalence failures.
+
+    Positive deltas mean the *left* ledger charged more.  Sorted by
+    (node, op, tag) so two runs of the same failure print identically.
+    """
+    if not diff:
+        return "ledgers identical"
+    lines = []
+    ordered = sorted(diff.items(), key=lambda kv: (kv[0][0], kv[0][1].name, kv[0][2].name))
+    for (node, op, tag), delta in ordered[:limit]:
+        lines.append(
+            f"  node={node} op={op.value} tag={tag.value}: {delta:+g}"
+        )
+    if len(ordered) > limit:
+        lines.append(f"  ... ({len(ordered) - limit} more cells)")
+    return "\n".join(lines)

@@ -130,6 +130,18 @@ class FaultController:
         self._needs_rebuild = False
         self._replaying = False
 
+    def _fault_event(self, kind: str, **tags: object) -> None:
+        """Push one live recovery event (counter + trace instant) when a
+        live observability facade is attached; free otherwise."""
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "repro_recovery_events_total",
+                "Recovery actions taken (rollbacks, queueing, degradation, "
+                "replays)",
+            ).inc(kind=kind)
+            obs.event(f"recovery.{kind}", **tags)
+
     # ------------------------------------------------------------- liveness
 
     def guard_node(self, node_id: int, what: str = "local operation") -> None:
@@ -177,6 +189,10 @@ class FaultController:
             )
             self.stats.rollbacks += 1
             self.stats.rollback_writes += report.writes_charged
+            self._fault_event(
+                "rollback", cause=type(exc).__name__,
+                writes=report.writes_charged,
+            )
             exc.add_context(f"rolled back: {description}")
             raise
         else:
@@ -215,6 +231,9 @@ class FaultController:
                     )
                 )
                 self.stats.queued += 1
+                self._fault_event(
+                    "queued", relation=relation, cause=type(exc).__name__
+                )
                 return
             raise StatementAborted(description, cause=exc) from exc
 
@@ -251,6 +270,7 @@ class FaultController:
             )
         self._needs_rebuild = True
         self.stats.degraded_statements += 1
+        self._fault_event("degraded", relation=relation)
 
     # -------------------------------------------------------------- recovery
 
@@ -265,23 +285,28 @@ class FaultController:
         queue, self.pending = self.pending, []
         self._replaying = True
         try:
-            for statement in queue:
-                try:
-                    with self.atomic(
-                        f"replay {statement.relation}: "
-                        f"+{len(statement.inserts)}/-{len(statement.deletes)}"
-                    ):
-                        self.cluster._execute_statement(
-                            statement.relation,
-                            list(statement.inserts),
-                            list(statement.deletes),
-                        )
-                    report.replayed += 1
-                    self.stats.replayed += 1
-                except FaultError as exc:
-                    statement.attempts += 1
-                    statement.cause = str(exc)
-                    self.pending.append(statement)
+            with self.cluster.obs.span(
+                "recovery_replay", queued=len(queue)
+            ) as span:
+                for statement in queue:
+                    try:
+                        with self.atomic(
+                            f"replay {statement.relation}: "
+                            f"+{len(statement.inserts)}/-{len(statement.deletes)}"
+                        ):
+                            self.cluster._execute_statement(
+                                statement.relation,
+                                list(statement.inserts),
+                                list(statement.deletes),
+                            )
+                        report.replayed += 1
+                        self.stats.replayed += 1
+                        self._fault_event("replayed", relation=statement.relation)
+                    except FaultError as exc:
+                        statement.attempts += 1
+                        statement.cause = str(exc)
+                        self.pending.append(statement)
+                span.tag(replayed=report.replayed, still_pending=len(self.pending))
         finally:
             self._replaying = False
         report.still_pending = len(self.pending)

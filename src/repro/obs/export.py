@@ -1,0 +1,131 @@
+"""Trace exports: Chrome-trace/Perfetto JSON (plus its schema check).
+
+The Chrome trace event format is the JSON-array-of-events flavor accepted
+by ``chrome://tracing`` and https://ui.perfetto.dev: complete spans are
+``"ph": "X"`` events with microsecond ``ts``/``dur``, instants are
+``"ph": "i"``.  We emit the object form (``{"traceEvents": [...]}``) so a
+metadata block can ride along.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tracer import Tracer
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace"]
+
+#: required keys per event phase
+_REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> Dict:
+    """Export a tracer's span forest as a Chrome-trace JSON document.
+
+    Spans whose tags carry an integer ``node`` land on that node's track
+    (``tid = node + 1``); untargeted spans (statement envelopes, planner
+    work) go to track 0.  Timestamps are microseconds relative to the
+    tracer's origin, durations likewise — exactly what Perfetto expects.
+    """
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    origin = tracer.origin_ns
+    for _depth, span in tracer.walk():
+        tid = _track_of(span.tags)
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_ns - origin) / 1000.0,
+                "dur": max(0.0, (end_ns - span.start_ns) / 1000.0),
+                "pid": 0,
+                "tid": tid,
+                "args": {key: _jsonable(value) for key, value in span.tags.items()},
+            }
+        )
+        for _seq, name, tags in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (span.start_ns - origin) / 1000.0,
+                    "pid": 0,
+                    "tid": _track_of(tags, default=tid),
+                    "args": {k: _jsonable(v) for k, v in tags.items()},
+                }
+            )
+    for _seq, name, tags in tracer.orphan_events:
+        events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "i",
+                "s": "g",
+                "ts": 0,
+                "pid": 0,
+                "tid": _track_of(tags),
+                "args": {k: _jsonable(v) for k, v in tags.items()},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": process_name, "spans": tracer.span_count()},
+    }
+
+
+def _track_of(tags: Dict[str, object], default: int = 0) -> int:
+    node = tags.get("node")
+    if isinstance(node, int) and not isinstance(node, bool) and node >= 0:
+        return node + 1
+    return default
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def validate_chrome_trace(doc: object) -> List[str]:
+    """Schema-check a Chrome-trace document; returns the problems found."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        missing = _REQUIRED - set(event)
+        if missing:
+            problems.append(f"event {index} missing keys {sorted(missing)}")
+            continue
+        phase = event["ph"]
+        if phase not in ("X", "B", "E", "i", "I", "M", "C"):
+            problems.append(f"event {index} has unknown phase {phase!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(f"event {index} has invalid ts {event['ts']!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index} ('X') has invalid dur {dur!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"event {index} has non-object args")
+    return problems

@@ -1,0 +1,372 @@
+"""A small labelled metrics registry with Prometheus text export.
+
+Counters, gauges, and histograms, each keyed by a sorted label tuple so
+exports are deterministic.  The registry is deliberately dependency-free
+(the container has no ``prometheus_client``) and covers exactly the subset
+of the Prometheus exposition format the CI schema check validates:
+
+    # HELP repro_ledger_ops_total Operations charged per ledger cell
+    # TYPE repro_ledger_ops_total counter
+    repro_ledger_ops_total{node="0",op="search",tag="maintain"} 12
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-able dicts;
+:func:`diff_snapshots` subtracts two of them so ``python -m repro.obs
+diff`` can compare runs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "validate_prometheus",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in key
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    kind = "untyped"
+
+    __slots__ = ("name", "help")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+
+class Counter(_Metric):
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._samples: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def get(self, **labels: object) -> float:
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._samples.values())
+
+    def samples(self) -> Dict[LabelKey, float]:
+        return dict(self._samples)
+
+    def render(self) -> List[str]:
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in sorted(self._samples.items())
+        ]
+
+    def snapshot_value(self) -> Dict[str, float]:
+        return {_render_labels(key): value for key, value in self._samples.items()}
+
+
+class Gauge(Counter):
+    """Point-in-time values (may go up or down, may be ``set``)."""
+
+    kind = "gauge"
+
+    __slots__ = ()
+
+    def set(self, value: float, **labels: object) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "_counts", "_sums", "_totals")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(set(buckets)))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * len(self.buckets)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def count(self, **labels: object) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines: List[str] = []
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            for bound, cumulative in zip(self.buckets, counts):
+                bucket_key = key + (("le", _format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                )
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(inf_key)} {self._totals[key]}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(self._sums[key])}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {self._totals[key]}"
+            )
+        return lines
+
+    def snapshot_value(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for key in self._counts:
+            out[_render_labels(key) + ":count"] = self._totals[key]
+            out[_render_labels(key) + ":sum"] = self._sums[key]
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families; one per traced run (or per cluster)."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # -- exports ---------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-able {metric: {label-string: value}} for diffing runs."""
+        return {
+            name: metric.snapshot_value()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+def diff_snapshots(
+    before: Dict[str, Dict[str, float]],
+    after: Dict[str, Dict[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-sample ``after - before`` deltas, omitting exact zeros."""
+    out: Dict[str, Dict[str, float]] = {}
+    names = set(before) | set(after)
+    for name in sorted(names):
+        old = before.get(name, {})
+        new = after.get(name, {})
+        deltas: Dict[str, float] = {}
+        for key in sorted(set(old) | set(new)):
+            delta = new.get(key, 0.0) - old.get(key, 0.0)
+            if delta:
+                deltas[key] = delta
+        if deltas:
+            out[name] = deltas
+    return out
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[+-]?(?:Inf|NaN|[0-9.eE+-]+))$"
+)
+_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Schema-check a text exposition; returns the problems found.
+
+    Enforced: every sample line parses, every sampled family has a
+    preceding ``# TYPE``, label pairs are well-formed, and histogram
+    families carry ``_bucket``/``_sum``/``_count`` series.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    histogram_parts: Dict[str, set] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = match.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                histogram_parts.setdefault(family, set()).add(suffix)
+        if family not in typed:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE")
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            if body:
+                for pair in _split_label_pairs(body):
+                    if not _LABEL_PAIR_RE.match(pair):
+                        problems.append(
+                            f"line {lineno}: malformed label pair {pair!r}"
+                        )
+    for family, kind in typed.items():
+        if kind == "histogram":
+            parts = histogram_parts.get(family, set())
+            missing = {"_bucket", "_sum", "_count"} - parts
+            if missing:
+                problems.append(
+                    f"histogram {family!r} missing series {sorted(missing)}"
+                )
+    return problems
+
+
+def _split_label_pairs(body: str) -> List[str]:
+    """Split ``a="x",b="y"`` respecting escaped quotes inside values."""
+    pairs: List[str] = []
+    current: List[str] = []
+    in_string = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\" and in_string:
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+            continue
+        if char == "," and not in_string:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -1,0 +1,99 @@
+"""Human-readable tree views of traces (``repro.obs.render``)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tracer import Tracer
+
+__all__ = ["render_tree", "render_chrome_trace"]
+
+_SKIP_TAGS = frozenset({"error"})
+
+
+def _format_tags(tags: Dict[str, object], limit: int = 6) -> str:
+    shown = [
+        f"{key}={value}"
+        for key, value in tags.items()
+        if key not in _SKIP_TAGS
+    ][:limit]
+    error = tags.get("error")
+    if error:
+        shown.append(f"error={error}")
+    return " ".join(shown)
+
+
+def render_tree(tracer: Tracer, max_spans: int = 400) -> str:
+    """ASCII tree of the tracer's span forest with durations and tags.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("statement", relation="A"):
+    ...     with tracer.span("hop", partner="B"):
+    ...         pass
+    >>> print(render_tree(tracer))  # doctest: +ELLIPSIS
+    statement ... relation=A
+      hop ... partner=B
+    """
+    lines: List[str] = []
+    shown = 0
+    for depth, span in tracer.walk():
+        if shown >= max_spans:
+            lines.append(f"... ({tracer.span_count() - shown} more spans)")
+            break
+        shown += 1
+        duration_ms = span.duration_ns / 1e6
+        indent = "  " * depth
+        tags = _format_tags(span.tags)
+        lines.append(
+            f"{indent}{span.name} [{duration_ms:.3f} ms]"
+            + (f" {tags}" if tags else "")
+        )
+        for _seq, name, event_tags in span.events[:20]:
+            etags = _format_tags(event_tags)
+            lines.append(
+                f"{indent}  * {name}" + (f" {etags}" if etags else "")
+            )
+        hidden = len(span.events) - 20
+        if hidden > 0:
+            lines.append(f"{indent}  * ... ({hidden} more events)")
+    return "\n".join(lines)
+
+
+def render_chrome_trace(doc: Dict, max_spans: int = 400) -> str:
+    """Rebuild a tree view from an exported Chrome-trace document.
+
+    Nesting is reconstructed per track from ``ts``/``dur`` containment,
+    which is exactly how the trace viewers draw it.
+    """
+    events = [
+        event
+        for event in doc.get("traceEvents", [])
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    events.sort(key=lambda e: (e.get("tid", 0), e["ts"], -e.get("dur", 0)))
+    lines: List[str] = []
+    stack: List[Dict] = []
+    last_tid = None
+    shown = 0
+    for event in events:
+        tid = event.get("tid", 0)
+        if tid != last_tid:
+            stack = []
+            last_tid = tid
+            lines.append(f"track {tid}:")
+        while stack and event["ts"] >= stack[-1]["ts"] + stack[-1].get("dur", 0):
+            stack.pop()
+        depth = len(stack)
+        args = event.get("args", {})
+        tags = _format_tags(args)
+        lines.append(
+            "  " * (depth + 1)
+            + f"{event['name']} [{event.get('dur', 0) / 1000.0:.3f} ms]"
+            + (f" {tags}" if tags else "")
+        )
+        stack.append(event)
+        shown += 1
+        if shown >= max_spans:
+            lines.append(f"... ({len(events) - shown} more spans)")
+            break
+    return "\n".join(lines)

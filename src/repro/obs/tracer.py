@@ -1,0 +1,216 @@
+"""Span tracing for the simulated cluster.
+
+A :class:`Span` covers one phase of a maintenance statement's lifecycle
+(plan/compile → partition → route → probe → apply → view-write, plus
+deferred refresh and recovery replay).  Spans nest: the tracer keeps an
+open-span stack, so instrumented code only ever says ``with
+tracer.span("hop", partner="B"):`` and nesting falls out of control flow.
+
+Two clocks run side by side:
+
+* a **logical sequence number** per span/event — deterministic, used by the
+  reproducibility tests (identical statements must yield identical
+  span/event sequences regardless of worker count); and
+* **wall-clock nanoseconds** (``time.perf_counter_ns``) — exported to
+  Chrome-trace/Perfetto JSON for humans.
+
+Determinism contract: :meth:`Tracer.signature` deliberately excludes every
+wall-clock field, so two runs of the same statements compare equal even
+though their timestamps differ.
+
+Zero-overhead-when-disabled contract: the disabled path goes through
+:data:`NOOP_TRACER`, whose :meth:`~NoopTracer.span` returns the shared
+:data:`NOOP_SPAN` singleton — **no Span object is ever allocated** (the
+disabled-mode test patches ``Span.__new__`` to prove it), and no tracer
+state is touched.  Instrumentation sites pay one attribute load, one call,
+and one (small, constant) kwargs dict per *statement-level* site; nothing
+is instrumented per tuple.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_SPAN", "NOOP_TRACER"]
+
+
+class Span:
+    """One timed, tagged phase.  Also its own context manager."""
+
+    __slots__ = (
+        "name", "tags", "seq", "start_ns", "end_ns", "children", "events",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.seq = tracer._next_seq()
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: Optional[int] = None
+        self.children: List["Span"] = []
+        #: (seq, name, tags) instants attached to this span
+        self.events: List[Tuple[int, str, Dict[str, object]]] = []
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    # -- enrichment ------------------------------------------------------
+    def tag(self, **tags: object) -> "Span":
+        """Add/overwrite tags after the span opened (e.g. output sizes)."""
+        self.tags.update(tags)
+        return self
+
+    def event(self, name: str, **tags: object) -> None:
+        """Attach an instant event to this span."""
+        self.events.append((self._tracer._next_seq(), name, tags))
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None else time.perf_counter_ns()
+        return end - self.start_ns
+
+
+class Tracer:
+    """Collects a forest of spans for one traced run."""
+
+    enabled = True
+
+    __slots__ = ("roots", "orphan_events", "_stack", "_seq", "origin_ns")
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        #: events emitted with no span open (rare: e.g. fault notices
+        #: between statements)
+        self.orphan_events: List[Tuple[int, str, Dict[str, object]]] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        self.origin_ns = time.perf_counter_ns()
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- span lifecycle --------------------------------------------------
+    def span(self, name: str, **tags: object) -> Span:
+        """Open a span (use as ``with tracer.span(...) as sp:``)."""
+        span = Span(self, name, tags)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        # Pop up to and including the span (robust to missed exits under
+        # exceptions that skipped inner __exit__ calls).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end_ns is None:
+                top.end_ns = span.end_ns
+
+    def event(self, name: str, **tags: object) -> None:
+        """Attach an instant event to the innermost open span."""
+        if self._stack:
+            self._stack[-1].events.append((self._next_seq(), name, tags))
+        else:
+            self.orphan_events.append((self._next_seq(), name, tags))
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        self.roots = []
+        self.orphan_events = []
+        self._stack = []
+        self._seq = 0
+        self.origin_ns = time.perf_counter_ns()
+
+    # -- introspection ---------------------------------------------------
+    def walk(self) -> Iterator[Tuple[int, Span]]:
+        """Depth-first (depth, span) over the whole forest."""
+        stack: List[Tuple[int, Span]] = [(0, root) for root in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def signature(self) -> List[Tuple]:
+        """A deterministic, timestamp-free digest of the span/event forest.
+
+        Two traced runs of the same statements — across worker counts,
+        across processes — must produce equal signatures; that is the
+        reproducibility bar the determinism tests enforce.
+        """
+        out: List[Tuple] = []
+        for depth, span in self.walk():
+            out.append((depth, "span", span.name, _freeze(span.tags)))
+            for _seq, name, tags in span.events:
+                out.append((depth + 1, "event", name, _freeze(tags)))
+        for _seq, name, tags in self.orphan_events:
+            out.append((0, "event", name, _freeze(tags)))
+        return out
+
+
+def _freeze(tags: Dict[str, object]) -> Tuple:
+    return tuple(sorted((key, repr(value)) for key, value in tags.items()))
+
+
+class _NoopSpan:
+    """Shared do-nothing span: context manager + tag/event sinks."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: object) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **tags: object) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: a stateless singleton that allocates nothing."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **tags: object) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def event(self, name: str, **tags: object) -> None:
+        return None
+
+    @property
+    def current(self) -> None:
+        return None
+
+
+NOOP_TRACER = NoopTracer()

@@ -19,14 +19,11 @@ from repro import Cluster, HashPartitioning, Schema, two_way_view
 from repro.cluster.partitioning import RoundRobinPartitioning
 from repro.core.deferred import defer_view
 from repro.core.view import JoinCondition, JoinViewDefinition
+from repro.costs.ledger import format_cell_diff
 from repro.faults import FaultPlan, attach_faults
 
 METHODS = ("naive", "auxiliary", "global_index", "hybrid")
 STRATEGIES = ("inl", "sort_merge", "auto")
-
-
-def _ledger_cells(cluster):
-    return dict(cluster.ledger._cells)
 
 
 def _network_state(cluster):
@@ -53,7 +50,11 @@ def _fragment_contents(cluster, name):
 
 
 def assert_equivalent(batched, reference, names):
-    assert _ledger_cells(batched) == _ledger_cells(reference)
+    cell_diff = batched.ledger.diff(reference.ledger)
+    assert not cell_diff, (
+        "batched vs reference ledger cells diverge "
+        f"(batched - reference):\n{format_cell_diff(cell_diff)}"
+    )
     assert _network_state(batched) == _network_state(reference)
     for name in names:
         assert _fragment_contents(batched, name) == _fragment_contents(

@@ -22,6 +22,7 @@ from repro.cluster.parallel import fork_available, shard_ranges
 from repro.cluster.partitioning import RoundRobinPartitioning
 from repro.core.deferred import defer_view
 from repro.core.view import JoinCondition, JoinViewDefinition
+from repro.costs.ledger import format_cell_diff
 
 WORKER_COUNTS = tuple(
     int(token)
@@ -34,10 +35,6 @@ STRATEGIES = ("inl", "sort_merge", "auto")
 pytestmark = pytest.mark.skipif(
     not fork_available(), reason="fork start method unavailable on this platform"
 )
-
-
-def _ledger_cells(cluster):
-    return dict(cluster.ledger._cells)
 
 
 def _network_state(cluster):
@@ -64,7 +61,11 @@ def _fragment_contents(cluster, name):
 
 
 def assert_equivalent(parallel, serial, names):
-    assert _ledger_cells(parallel) == _ledger_cells(serial)
+    cell_diff = parallel.ledger.diff(serial.ledger)
+    assert not cell_diff, (
+        "parallel vs serial ledger cells diverge "
+        f"(parallel - serial):\n{format_cell_diff(cell_diff)}"
+    )
     assert _network_state(parallel) == _network_state(serial)
     for name in names:
         assert _fragment_contents(parallel, name) == _fragment_contents(
