@@ -3,7 +3,7 @@
 On Teradata the authors found naive and AR "became comparable" for large
 updates and blamed buffering.  The SQLite partitions are fully
 memory-resident — the extreme of that buffering — so the measured
-naive/AR ratio sits far below the L× the index-regime model predicts.
+naive/AR ratio sits far below the Lx the index-regime model predicts.
 """
 
 from repro.bench import experiments

@@ -1,0 +1,123 @@
+"""``python -m repro.analysis`` — the reprolint CLI.
+
+Usage::
+
+    python -m repro.analysis src/                      # text report
+    python -m repro.analysis --format=json src/        # CI artifact
+    python -m repro.analysis --baseline=analysis-baseline.json src/
+    python -m repro.analysis --write-baseline src/     # grandfather current
+    python -m repro.analysis --rules=REP001,REP002 src/
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when clean, 1 when findings (or stale baseline entries)
+remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import Baseline, load_baseline, save_baseline
+from .engine import analyze_paths
+from .reporters import exit_code, render_json, render_text
+from .rules import RULES
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Domain-aware static checks for the repro engine "
+        "(charged sends, determinism, obs purity, cost constants, "
+        "envelope vocabulary, undo logging).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="files or directories to analyze (default: src/ if present, "
+        "else the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="JSON baseline of accepted findings; matching findings are "
+        "dropped, stale entries are reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline (default analysis-baseline.json) to accept "
+        "every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and their annotation keys, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            info = RULES[rule_id]
+            suffix = (
+                f"  [annotation: # repro: {info.annotation}=<reason>]"
+                if info.annotation
+                else ""
+            )
+            print(f"{rule_id}  {info.summary}{suffix}")
+        return 0
+
+    targets = args.targets or (["src"] if os.path.isdir("src") else ["."])
+    only_rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+
+    baseline: Optional[Baseline] = None
+    baseline_path = args.baseline
+    if args.write_baseline and baseline_path is None:
+        baseline_path = "analysis-baseline.json"
+    if baseline_path and not args.write_baseline:
+        if not os.path.exists(baseline_path):
+            print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+        baseline = load_baseline(baseline_path)
+
+    try:
+        result = analyze_paths(targets, baseline=baseline, only_rules=only_rules)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        save_baseline(baseline_path, Baseline.from_findings(result.findings))
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(result))
+    return exit_code(result)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Baseline files: accepted findings that do not fail the build.
+
+A baseline is a JSON document listing finding fingerprints (see
+:mod:`repro.analysis.findings` — fingerprints are line-number free, so
+unrelated edits do not churn the file).  The engine drops baselined
+findings from its report and, symmetrically, reports baseline entries
+that no longer match anything as **stale**, so fixed violations must be
+removed from the baseline — it can only ever shrink silently, never grow.
+
+The repo ships an *empty* baseline (``analysis-baseline.json``): every
+pre-existing violation was fixed or annotated instead of grandfathered.
+The mechanism exists for downstream forks and for staging large sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted fingerprints plus enough context to keep the file legible."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+    #: fingerprint -> descriptive entry, preserved on rewrite
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def covers(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    @staticmethod
+    def from_findings(findings: List[Finding]) -> "Baseline":
+        baseline = Baseline()
+        for finding in findings:
+            baseline.fingerprints.add(finding.fingerprint)
+            baseline.entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+        return baseline
+
+    def to_json(self) -> str:
+        entries = [
+            self.entries.get(fp, {"fingerprint": fp})
+            for fp in sorted(self.fingerprints)
+        ]
+        return json.dumps(
+            {"version": _VERSION, "findings": entries}, indent=2, sort_keys=True
+        ) + "\n"
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path!r} has version {payload.get('version')!r}; "
+            f"this tool writes version {_VERSION}"
+        )
+    baseline = Baseline()
+    for entry in payload.get("findings", []):
+        fingerprint = str(entry["fingerprint"])
+        baseline.fingerprints.add(fingerprint)
+        baseline.entries[fingerprint] = dict(entry)
+    return baseline
+
+
+def save_baseline(path: str, baseline: Baseline) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(baseline.to_json())

@@ -1,0 +1,160 @@
+"""The analysis engine: file discovery, rule dispatch, noqa, baseline.
+
+``analyze_paths`` is the one entry point (the CLI and the tests both call
+it).  Per file it parses the AST once, extracts ``# repro:`` comments with
+:mod:`tokenize`, builds one :class:`RuleContext`, and runs every enabled
+rule in id order, so reports are deterministic.  Framework-level problems
+(syntax errors, malformed suppression comments) are reported under the
+reserved id ``REP000`` — they cannot be noqa'd, because a file that cannot
+be parsed cannot be trusted to suppress anything.
+
+Paths are **module-relative**: rules address files as
+``cluster/network.py``, never by filesystem location.  Discovery anchors
+at the last ``repro`` component of each file's path when present (the real
+package), else at the analysis root (the fixture trees the tests build).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .baseline import Baseline
+from .findings import AnalysisResult, Finding, fingerprint_findings
+from .rules import RULES, RuleInfo
+from .rules.base import RuleContext, compute_scopes
+from .suppressions import parse_suppressions
+
+#: Directories never analyzed (caches, VCS internals).
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+
+
+def discover_files(targets: Sequence[str]) -> List[Tuple[str, str]]:
+    """Resolve ``targets`` (files or directories) to a sorted list of
+    ``(absolute_path, module_relative_path)`` pairs."""
+    out: Dict[str, str] = {}
+    for target in targets:
+        target = os.path.abspath(target)
+        if os.path.isfile(target):
+            if target.endswith(".py"):
+                out[target] = _module_relative(target, os.path.dirname(target))
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    absolute = os.path.join(dirpath, filename)
+                    out[absolute] = _module_relative(absolute, target)
+    return sorted(out.items())
+
+
+def _module_relative(absolute: str, root: str) -> str:
+    """Path relative to the ``repro`` package when the file lives in one,
+    else relative to the analysis root."""
+    parts = absolute.split(os.sep)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        relative = parts[anchor + 1 :]
+        if relative:
+            return "/".join(relative)
+    return os.path.relpath(absolute, root).replace(os.sep, "/")
+
+
+def analyze_paths(
+    targets: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Run every enabled rule over ``targets`` and fold in the baseline."""
+    enabled = _enabled_rules(only_rules)
+    result = AnalysisResult()
+    raw: List[Finding] = []
+    source_lines: Dict[str, List[str]] = {}
+    for absolute, relative in discover_files(targets):
+        result.files_analyzed += 1
+        file_findings, suppressed, lines = _analyze_file(
+            absolute, relative, enabled
+        )
+        raw.extend(file_findings)
+        result.suppressed += suppressed
+        source_lines[relative] = lines
+    fingerprinted = fingerprint_findings(raw, source_lines)
+    if baseline is not None:
+        kept: List[Finding] = []
+        matched: Set[str] = set()
+        for finding in fingerprinted:
+            if baseline.covers(finding.fingerprint):
+                matched.add(finding.fingerprint)
+                result.baselined += 1
+            else:
+                kept.append(finding)
+        result.stale_baseline = sorted(baseline.fingerprints - matched)
+        fingerprinted = kept
+    result.findings = sorted(
+        fingerprinted, key=lambda f: (f.path, f.line, f.column, f.rule)
+    )
+    return result
+
+
+def _enabled_rules(only_rules: Optional[Iterable[str]]) -> List[RuleInfo]:
+    if only_rules is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    wanted = set(only_rules)
+    unknown = wanted - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    return [RULES[rule_id] for rule_id in sorted(wanted)]
+
+
+def _analyze_file(
+    absolute: str, relative: str, rules: List[RuleInfo]
+) -> Tuple[List[Finding], int, List[str]]:
+    with open(absolute, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=absolute)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    rule="REP000",
+                    path=relative,
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+            lines,
+        )
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = [
+        Finding(
+            rule="REP000",
+            path=relative,
+            line=line,
+            column=0,
+            message=message,
+        )
+        for line, message in suppressions.errors
+    ]
+    context = RuleContext(
+        path=relative,
+        source=source,
+        tree=tree,
+        lines=lines,
+        suppressions=suppressions,
+        scopes=compute_scopes(tree),
+    )
+    suppressed = 0
+    for info in rules:
+        for finding in info.fn(context):
+            if suppressions.is_noqa(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed, lines

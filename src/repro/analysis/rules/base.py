@@ -1,0 +1,129 @@
+"""Rule plumbing: the per-file context handed to every rule, and helpers.
+
+A rule is a function ``(RuleContext) -> Iterable[Finding]`` registered
+with :func:`repro.analysis.rules.register`.  Rules are *syntactic and
+domain-aware*: they know this repo's layout (``cluster/``, ``core/``,
+``costs/``…) and its idioms (the charging ``Network`` wrapper, the
+``DISABLED`` obs facade, the undo log), and they trade generality for
+precision on exactly those invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..suppressions import Suppressions
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may look at for one file."""
+
+    path: str                     # module-relative, e.g. "cluster/network.py"
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Suppressions
+    #: (start, end, def_line) spans of every function/class, for def-level
+    #: annotations; filled by the engine.
+    scopes: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def in_dirs(self, prefixes: Sequence[str]) -> bool:
+        return any(self.path.startswith(prefix) for prefix in prefixes)
+
+    def annotated(self, key: str, line: int) -> bool:
+        """Whether annotation ``key`` covers ``line`` — on the line itself
+        or on the ``def``/``class`` line of an enclosing scope."""
+        if self.suppressions.annotation_on(key, line):
+            return True
+        for start, end, def_line in self.scopes:
+            if start <= line <= end and self.suppressions.annotation_on(
+                key, def_line
+            ):
+                return True
+        return False
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+def compute_scopes(tree: ast.Module) -> List[Tuple[int, int, int]]:
+    """(start, end, def_line) for every function/class definition."""
+    spans: List[Tuple[int, int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            spans.append((node.lineno, end, node.lineno))
+    return spans
+
+
+def dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def trailing_name(node: ast.expr) -> Optional[str]:
+    """The last identifier of an expression: ``x.network`` -> "network",
+    ``self.nodes[i]`` -> "nodes", ``name`` -> "name"."""
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            return current.attr
+        if isinstance(current, ast.Name):
+            return current.id
+        if isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            return None
+
+
+def expr_text(node: ast.expr) -> str:
+    """Source-ish text of an expression (for messages and heuristics)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all real exprs
+        return "<expr>"
+
+
+def is_set_expression(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically produces a set/frozenset: a set
+    literal, a set comprehension, a ``set(...)``/``frozenset(...)`` call,
+    or a set-operator combination of such expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expression(node.left) or is_set_expression(node.right)
+    return False
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called attribute/function name: ``x.y.send(...)`` -> "send"."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None

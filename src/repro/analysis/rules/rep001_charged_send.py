@@ -1,0 +1,94 @@
+"""REP001 — every modeled network message must be charged.
+
+Luo et al.'s cost formulas bill one SEND per cross-node message; the repo
+funnels all of them through the accounting wrapper
+:class:`repro.cluster.network.Network`, which charges the ledger *and*
+counts the message in ``NetworkStats``.  Two ways to break that contract:
+
+1. calling something named ``send``/``send_many``/``broadcast``/
+   ``broadcast_many`` on an object that is **not** the network wrapper
+   (e.g. a pipe, a socket, a hand-rolled helper) inside the modeled
+   engine — the message then exists without a ledger charge;
+2. charging ``Op.SEND`` directly on a ledger outside the wrapper — the
+   charge then exists without a message count, silently skewing
+   charged-vs-counted cross-checks.
+
+Call sites that really are *not* modeled messages (the worker pool's IPC
+pipes, whose envelopes mirror already-charged work) must say so:
+``# repro: uncharged-mirror=<why this is not a modeled message>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from . import register
+from .base import RuleContext, call_name, expr_text, trailing_name
+
+SCOPE = ("core/", "cluster/", "faults/", "query/")
+#: The wrapper itself is the one legitimate home of SEND charging.
+WRAPPER = "cluster/network.py"
+SEND_NAMES = {"send", "send_many", "broadcast", "broadcast_many"}
+
+
+@register(
+    "REP001",
+    "network sends must flow through the charging Network wrapper",
+    annotation="uncharged-mirror",
+)
+def check_charged_send(ctx: RuleContext) -> Iterable[Finding]:
+    if not ctx.in_dirs(SCOPE) or ctx.path == WRAPPER:
+        return []
+    findings: List[Finding] = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name in SEND_NAMES and isinstance(node.func, ast.Attribute):
+            receiver = trailing_name(node.func.value)
+            if receiver == "network":
+                continue  # the charging wrapper
+            if ctx.annotated("uncharged-mirror", node.lineno):
+                continue
+            findings.append(
+                Finding(
+                    rule="REP001",
+                    path=ctx.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=(
+                        f"'{expr_text(node.func)}' looks like a network send "
+                        "that bypasses the charging Network wrapper; route it "
+                        "through cluster.network or annotate the site with "
+                        "'# repro: uncharged-mirror=<reason>'"
+                    ),
+                )
+            )
+        elif name == "charge":
+            # ledger.charge(node, Op.SEND, ...): SEND billing outside the
+            # wrapper desynchronizes the ledger from NetworkStats.
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and arg.attr == "SEND"
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "Op"
+                ):
+                    if not ctx.annotated("uncharged-mirror", node.lineno):
+                        findings.append(
+                            Finding(
+                                rule="REP001",
+                                path=ctx.path,
+                                line=node.lineno,
+                                column=node.col_offset,
+                                message=(
+                                    "Op.SEND charged outside the Network "
+                                    "wrapper: the message count and the "
+                                    "ledger would diverge"
+                                ),
+                            )
+                        )
+                    break
+    return findings

@@ -1,0 +1,129 @@
+"""REP002 — cost paths must be deterministic.
+
+Every engine variant (reference / batched / parallel) must produce
+bit-identical ledgers, and worker merges must be reproducible across
+processes.  That dies the moment a cost path consults wall-clock time, an
+unseeded RNG, or iterates a set in hash order.  Three checks, scoped to
+the modeled engine (``core/``, ``cluster/``, ``costs/``, ``storage/``,
+``joins/``, ``model/``, ``query/``, ``faults/`` — benches and the
+observability clocks are exempt by construction):
+
+1. calls to ``time.time``/``perf_counter``/``monotonic``,
+   ``datetime.now``/``utcnow``/``today``, ``os.urandom``, ``uuid.uuid4``;
+   telemetry that genuinely needs a clock (worker busy-time) annotates
+   ``# repro: wall-clock=<reason>``;
+2. module-level ``random.<fn>()`` (the shared unseeded RNG) and
+   zero-argument ``random.Random()``/``random.SystemRandom`` — only
+   explicitly seeded generators are reproducible;
+3. ``for``/comprehension iteration directly over a set expression
+   (literal, ``set(...)``, set ops like ``set(a) | set(b)``) that is not
+   wrapped in ``sorted(...)`` — set order is salted per process, so
+   anything derived from the walk (merged ledger deltas, report rows)
+   differs between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..findings import Finding
+from . import register
+from .base import RuleContext, dotted, is_set_expression
+
+SCOPE = (
+    "core/", "cluster/", "costs/", "storage/", "joins/", "model/",
+    "query/", "faults/",
+)
+
+BANNED_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.monotonic": "wall-clock time",
+    "time.monotonic_ns": "wall-clock time",
+    "time.perf_counter": "wall-clock time",
+    "time.perf_counter_ns": "wall-clock time",
+    "datetime.now": "wall-clock time",
+    "datetime.utcnow": "wall-clock time",
+    "datetime.today": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid4": "random UUIDs",
+}
+
+SEEDED_RNG_FACTORIES = {"Random"}
+RANDOM_MODULE_BAN_EXEMPT = SEEDED_RNG_FACTORIES | {"seed"}
+
+
+def _banned_call(node: ast.Call) -> Optional[str]:
+    name = dotted(node.func)
+    if name is None:
+        return None
+    if name in BANNED_CALLS:
+        return BANNED_CALLS[name]
+    parts = name.split(".")
+    if parts[0] == "random":
+        if len(parts) == 2 and parts[1] not in RANDOM_MODULE_BAN_EXEMPT:
+            return "the shared unseeded RNG"
+        if (
+            len(parts) == 2
+            and parts[1] in SEEDED_RNG_FACTORIES
+            and not node.args
+            and not node.keywords
+        ):
+            return "an unseeded RNG (pass an explicit seed)"
+        if parts[-1] == "SystemRandom":
+            return "OS entropy"
+    return None
+
+
+@register(
+    "REP002",
+    "cost paths may not consult clocks, unseeded RNGs, or raw set order",
+    annotation="wall-clock",
+)
+def check_determinism(ctx: RuleContext) -> Iterable[Finding]:
+    if not ctx.in_dirs(SCOPE):
+        return []
+    findings: List[Finding] = []
+
+    def report(line: int, column: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule="REP002",
+                path=ctx.path,
+                line=line,
+                column=column,
+                message=message,
+            )
+        )
+
+    for node in ctx.walk():
+        if isinstance(node, ast.Call):
+            why = _banned_call(node)
+            if why is not None and not ctx.annotated("wall-clock", node.lineno):
+                report(
+                    node.lineno,
+                    node.col_offset,
+                    f"cost path consults {why}: engines could no longer be "
+                    "bit-identical; annotate telemetry with "
+                    "'# repro: wall-clock=<reason>'",
+                )
+        iterables: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if is_set_expression(iterable) and not ctx.annotated(
+                "wall-clock", iterable.lineno
+            ):
+                report(
+                    iterable.lineno,
+                    iterable.col_offset,
+                    "iteration over a raw set expression: set order is "
+                    "salted per process — wrap it in sorted(...) so derived "
+                    "state (merged deltas, reports) is reproducible",
+                )
+    return findings

@@ -1,0 +1,129 @@
+"""REP003 — the observability facade stays pure when disabled.
+
+The equivalence suites pin that disabled-mode tracing allocates nothing
+and perturbs nothing.  That holds only while engine code (a) never
+constructs a live ``Tracer`` itself, (b) never mutates facade internals,
+and (c) only touches the *live* halves of the facade (``obs.metrics``,
+``obs.event``, ``obs.tracer``) behind an ``obs.enabled`` guard —
+otherwise the shared ``DISABLED`` singleton's registry would silently
+accumulate state.  ``obs.span(...)`` is exempt: the no-op tracer returns
+the shared ``NOOP_SPAN`` without allocating.
+
+Sites whose guard lives at the caller (helpers invoked only from guarded
+code) annotate ``# repro: obs-guarded=<where the guard is>`` — usually on
+the ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from . import register
+from .base import RuleContext, expr_text, trailing_name
+
+SCOPE = (
+    "core/", "cluster/", "costs/", "storage/", "joins/", "model/",
+    "query/", "faults/",
+)
+LIVE_ATTRS = {"metrics", "tracer", "event"}
+
+
+def _is_obs_base(node: ast.expr) -> bool:
+    """Whether an expression names the facade: ``obs``, ``self.obs``,
+    ``cluster.obs``, ``self.cluster.obs``…"""
+    return trailing_name(node) == "obs"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: RuleContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._guard_depth = 0
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="REP003",
+                path=self.ctx.path,
+                line=node.lineno,  # type: ignore[attr-defined]
+                column=node.col_offset,  # type: ignore[attr-defined]
+                message=message,
+            )
+        )
+
+    # -- guards ----------------------------------------------------------
+
+    def _test_mentions_enabled(self, test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        guarded = self._test_mentions_enabled(node.test)
+        for child in node.test, *node.body:
+            if guarded and child is not node.test:
+                self._guard_depth += 1
+                self.visit(child)
+                self._guard_depth -= 1
+            else:
+                self.visit(child)
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        if self._test_mentions_enabled(node.test):
+            self._guard_depth += 1
+            self.generic_visit(node)
+            self._guard_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    # -- the three checks ------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "Tracer":
+            self.report(
+                node,
+                "direct Tracer construction outside repro.obs: attach a "
+                "facade via attach_observability instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Store):
+            if _is_obs_base(node.value) and node.attr != "obs":
+                self.report(
+                    node,
+                    f"attribute write '{expr_text(node)} = ...' mutates the "
+                    "observability facade; facades are swapped whole, never "
+                    "mutated (the DISABLED singleton is shared)",
+                )
+        elif (
+            node.attr in LIVE_ATTRS
+            and _is_obs_base(node.value)
+            and self._guard_depth == 0
+            and not self.ctx.annotated("obs-guarded", node.lineno)
+        ):
+            self.report(
+                node,
+                f"'{expr_text(node)}' touches the live half of the obs "
+                "facade without an obs.enabled guard; guard it or annotate "
+                "'# repro: obs-guarded=<where the guard is>'",
+            )
+        self.generic_visit(node)
+
+
+@register(
+    "REP003",
+    "obs facade: no direct Tracer, no facade mutation, live access guarded",
+    annotation="obs-guarded",
+)
+def check_obs_purity(ctx: RuleContext) -> Iterable[Finding]:
+    if not ctx.in_dirs(SCOPE):
+        return []
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.findings

@@ -1,0 +1,97 @@
+"""REP004 — no magic I/O cost constants outside the model layer.
+
+The paper's weights (SEARCH=1, FETCH=1, INSERT=2, SEND≈0) and scenario
+constants (|B|=6,400, M=100, N=10) live in ``costs/model.py`` and
+``model/params.py``; every figure re-derives from them.  An engine file
+that hard-codes its own ``CostParameters(insert_ios=2.0)`` — or passes a
+bare ``*_ios=`` literal anywhere — forks the cost model: the figure would
+keep "working" while silently disagreeing with the model layer.
+
+Flags, outside the model layer (and outside ``bench/``, whose sensitivity
+studies sweep weights *by design*):
+
+* ``CostParameters(...)`` constructed with any numeric-literal argument;
+* any call passing a numeric literal to a keyword ending in ``_ios``.
+
+Deliberate exceptions annotate ``# repro: cost-literal=<reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from . import register
+from .base import RuleContext, call_name
+
+SCOPE = (
+    "core/", "cluster/", "costs/", "storage/", "joins/", "query/",
+    "faults/", "obs/", "model/",
+)
+#: Where cost literals are *defined* rather than smuggled.
+MODEL_LAYER = ("costs/model.py", "model/params.py")
+
+
+def _is_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_number(node.operand)
+    return False
+
+
+@register(
+    "REP004",
+    "I/O cost literals must come from the model layer, not call sites",
+    annotation="cost-literal",
+)
+def check_cost_constants(ctx: RuleContext) -> Iterable[Finding]:
+    if not ctx.in_dirs(SCOPE) or ctx.path in MODEL_LAYER:
+        return []
+    findings: List[Finding] = []
+
+    def report(node: ast.Call, message: str) -> None:
+        findings.append(
+            Finding(
+                rule="REP004",
+                path=ctx.path,
+                line=node.lineno,
+                column=node.col_offset,
+                message=message,
+            )
+        )
+
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.annotated("cost-literal", node.lineno):
+            continue
+        if call_name(node) == "CostParameters":
+            literal_args = [a for a in node.args if _is_number(a)]
+            literal_kwargs = [
+                k for k in node.keywords if k.arg and _is_number(k.value)
+            ]
+            if literal_args or literal_kwargs:
+                report(
+                    node,
+                    "CostParameters built from literal weights outside the "
+                    "model layer: import PAPER_COSTS / NETWORK_AWARE_COSTS "
+                    "(or add the variant to costs/model.py), or annotate "
+                    "'# repro: cost-literal=<reason>'",
+                )
+                continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg
+                and keyword.arg.endswith("_ios")
+                and _is_number(keyword.value)
+            ):
+                report(
+                    node,
+                    f"literal I/O weight '{keyword.arg}={ast.unparse(keyword.value)}' "
+                    "outside the model layer; cost weights belong in "
+                    "costs/model.py / model/params.py",
+                )
+                break
+    return findings

@@ -1,0 +1,166 @@
+"""REP005 — the envelope op vocabulary stays bijective.
+
+The parallel engine's protocol is stringly typed: coordinators build
+``("ins", node, ...)`` tuples, workers dispatch on ``op[0]`` in
+``_execute_op``, and the coordinator mirrors mutations in ``_replay``.
+``repro.cluster.parallel`` therefore publishes the vocabulary once —
+``COMMAND_KINDS`` / ``READ_ONLY_KINDS`` — and everything else must agree
+with it:
+
+1. ``_execute_op`` must have a ``kind == "..."`` branch for **exactly**
+   ``COMMAND_KINDS`` (a missing branch drops commands at runtime; an extra
+   branch is dead protocol the registry doesn't know about);
+2. ``_replay`` must cover exactly the mutating kinds
+   (``COMMAND_KINDS - READ_ONLY_KINDS``) — replaying a read corrupts the
+   coordinator image, skipping a mutation forks it from the shards;
+3. every envelope construction site — a tuple literal whose head is a
+   string constant, appended to an ``*ops`` list or passed (in a list) to
+   ``run_ops`` — must use a registered kind.
+
+The registry is imported from the live module, not re-parsed, so the rule
+can never drift from the engine.  No annotation key: a vocabulary mismatch
+has no legitimate exception (extend the registry instead); ``noqa=REP005``
+remains for emergencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..findings import Finding
+from . import register
+from .base import RuleContext, trailing_name
+
+SCOPE = ("core/", "cluster/", "query/", "faults/")
+ENGINE = "cluster/parallel.py"
+#: Functions in the engine whose ``kind == ...`` branches are checked, and
+#: the registry expression naming the kind set each must cover.
+HANDLERS = {
+    "_execute_op": "COMMAND_KINDS",
+    "_replay": "COMMAND_KINDS - READ_ONLY_KINDS",
+}
+
+
+def _registry() -> tuple[frozenset, frozenset]:
+    from repro.cluster.parallel import COMMAND_KINDS, READ_ONLY_KINDS
+
+    return COMMAND_KINDS, READ_ONLY_KINDS
+
+
+def _kind_comparisons(fn: ast.AST) -> Set[str]:
+    """String constants compared against a name ``kind`` inside ``fn`` —
+    both ``kind == "ins"`` equality and ``kind in ("ins", "del")``
+    membership forms."""
+    kinds: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        if not any(
+            isinstance(o, ast.Name) and o.id == "kind" for o in operands
+        ):
+            continue
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and isinstance(
+                operand.value, str
+            ):
+                kinds.add(operand.value)
+            elif isinstance(operand, (ast.Tuple, ast.List, ast.Set)):
+                for element in operand.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        kinds.add(element.value)
+    return kinds
+
+
+def _head_string(node: ast.expr) -> Optional[tuple[str, ast.expr]]:
+    """``("ins", ...)`` -> ("ins", head-node); None for anything else."""
+    if (
+        isinstance(node, ast.Tuple)
+        and node.elts
+        and isinstance(node.elts[0], ast.Constant)
+        and isinstance(node.elts[0].value, str)
+    ):
+        return node.elts[0].value, node.elts[0]
+    return None
+
+
+def _constructed_ops(call: ast.Call) -> Sequence[ast.expr]:
+    """Envelope tuple candidates constructed by ``call``."""
+    name = call.func.attr if isinstance(call.func, ast.Attribute) else None
+    if name == "append":
+        receiver = trailing_name(call.func.value)  # type: ignore[union-attr]
+        if receiver and receiver.endswith("ops") and call.args:
+            return call.args[:1]
+        return []
+    if name == "run_ops" and call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.List):
+            return arg.elts
+        if isinstance(arg, ast.ListComp):
+            return [arg.elt]
+    return []
+
+
+@register("REP005", "envelope kinds, handlers, and replay set must biject")
+def check_envelopes(ctx: RuleContext) -> Iterable[Finding]:
+    if not ctx.in_dirs(SCOPE):
+        return []
+    command_kinds, read_only = _registry()
+    mutating = command_kinds - read_only
+    findings: List[Finding] = []
+
+    def report(line: int, column: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule="REP005",
+                path=ctx.path,
+                line=line,
+                column=column,
+                message=message,
+            )
+        )
+
+    if ctx.path == ENGINE:
+        expected = {"_execute_op": command_kinds, "_replay": mutating}
+        for fn in ctx.functions():
+            want = expected.get(fn.name)
+            if want is None:
+                continue
+            have = _kind_comparisons(fn)
+            for kind in sorted(want - have):
+                report(
+                    fn.lineno,
+                    fn.col_offset,
+                    f"{fn.name} has no branch for envelope kind {kind!r} "
+                    f"(registry says it must cover {HANDLERS[fn.name]})",
+                )
+            for kind in sorted(have - want):
+                report(
+                    fn.lineno,
+                    fn.col_offset,
+                    f"{fn.name} handles kind {kind!r} which is outside "
+                    f"{HANDLERS[fn.name]}; extend the registry in "
+                    "cluster/parallel.py or drop the branch",
+                )
+
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        for candidate in _constructed_ops(node):
+            head = _head_string(candidate)
+            if head is None:
+                continue
+            kind, head_node = head
+            if kind not in command_kinds:
+                report(
+                    head_node.lineno,
+                    head_node.col_offset,
+                    f"envelope constructed with unregistered kind {kind!r}; "
+                    "workers would raise at dispatch — add it to "
+                    "COMMAND_KINDS in cluster/parallel.py (and to "
+                    "READ_ONLY_KINDS if it never mutates)",
+                )
+    return findings

@@ -362,7 +362,7 @@ def _time_statements(
 
 
 def run_scaling(config: PerfConfig) -> List[ScalingResult]:
-    """Worker sweep: methods × workloads × ``config.worker_counts``.
+    """Worker sweep: methods x workloads x ``config.worker_counts``.
 
     Both sides run the *batched* engine on identical statements; the only
     difference is where node-local work executes (coordinator vs forked

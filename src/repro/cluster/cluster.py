@@ -17,6 +17,8 @@ the paper models.
 
 from __future__ import annotations
 
+import os
+
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -66,6 +68,7 @@ class Cluster:
         batch_execution: bool = True,
         workers: Optional[int] = None,
         probe_cache_threshold: int = 3,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -109,6 +112,20 @@ class Cluster:
         #: no-op tracer allocates nothing, so the fault-free hot path is
         #: unchanged (the equivalence suites pin this bit-for-bit).
         self.obs = DISABLED
+        #: Runtime sanitizer mode (``sanitize=True`` or ``REPRO_SANITIZE=1``
+        #: in the environment): swaps in a send-accounting network and runs
+        #: the :mod:`repro.analysis.sanitizer` invariant checks after every
+        #: statement.  Never charges the ledger — a sanitized run is
+        #: bit-identical to an unsanitized one — but the per-statement
+        #: checks cost real time; keep it off on the measurement path.
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self.sanitize = bool(sanitize)
+        self._sanitizer = None
+        if self.sanitize:
+            from ..analysis.sanitizer import install
+
+            self._sanitizer = install(self)
 
     # ==================================================== parallel lifecycle
 
@@ -297,7 +314,7 @@ class Cluster:
                     if image is None:
                         continue
                     dest = partitioner.node_of_row(image)
-                    self.nodes[dest].fragment(ar_name).insert(image)
+                    self.nodes[dest].fragment(ar_name).insert(image)  # repro: no-undo=DDL backfill; create_auxiliary_relation is not a transactional statement
         return info
 
     def create_global_index(
@@ -346,7 +363,7 @@ class Cluster:
                 for rowid, row in node.fragment(base).table.scan():
                     key = row[info.key_position]
                     dest = info.home_node(key)
-                    self.nodes[dest].gi_partition(gi_name).insert(
+                    self.nodes[dest].gi_partition(gi_name).insert(  # repro: no-undo=DDL backfill; create_global_index is not a transactional statement
                         key, GlobalRowId(node.node_id, rowid)
                     )
         return info
@@ -527,6 +544,8 @@ class Cluster:
                     self._co_update_global_indexes(info, delta)
             for view in self.catalog.views_on(relation):
                 view.maintainer.apply(delta)
+        if self._sanitizer is not None:
+            self._sanitizer.check(f"statement on {relation!r}")
 
     def _execute_statement_parallel(
         self, engine, relation: str, inserts: List[Row], deletes: List[Row]
@@ -798,7 +817,7 @@ class Cluster:
                         description=f"undo {aux.name} insert",
                     )
 
-    def _co_update_auxiliaries_bulk(self, info: RelationInfo, delta: Delta) -> None:
+    def _co_update_auxiliaries_bulk(self, info: RelationInfo, delta: Delta) -> None:  # repro: no-undo=_bulk_ok gates this path to run only with no open undo scope
         """Bulk AR co-update: coalesced sends, one insert_many per node.
 
         Charge-identical to the per-tuple loop (fault-free deliveries are
@@ -873,7 +892,7 @@ class Cluster:
                         description=f"undo {gi.name} entry",
                     )
 
-    def _co_update_global_indexes_bulk(self, info: RelationInfo, delta: Delta) -> None:
+    def _co_update_global_indexes_bulk(self, info: RelationInfo, delta: Delta) -> None:  # repro: no-undo=_bulk_ok gates this path to run only with no open undo scope
         """Bulk GI co-update: coalesced sends, one entry-batch per home node."""
         for gi in self.catalog.global_indexes_of(info.name):
             send_counts: Dict[Tuple[int, int], int] = {}
@@ -990,7 +1009,7 @@ class Cluster:
                 description=f"restore {name} row_count",
             )
 
-    def _apply_view_delta_bulk(
+    def _apply_view_delta_bulk(  # repro: no-undo=_bulk_ok gates this path to run only with no open undo scope
         self,
         view: ViewInfo,
         inserts: Sequence[Tuple[int, Row]],

@@ -56,6 +56,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import Cluster
 
 
+#: Every envelope command kind a worker can execute.  This frozenset is the
+#: single source of truth for the op vocabulary: ``_execute_op`` must handle
+#: exactly these kinds, coordinators may only construct these kinds, and the
+#: REP005 static rule plus the runtime sanitizer both validate against it.
+COMMAND_KINDS = frozenset(
+    {
+        "probe", "ins", "del", "gi_probe", "fetch",
+        "gi_ins", "gi_del", "merge", "rr_del", "charge",
+    }
+)
+
+#: Kinds that never mutate worker shards; ``_replay`` must handle exactly
+#: ``COMMAND_KINDS - READ_ONLY_KINDS`` (mutations need a coordinator mirror,
+#: reads and bare charges do not).
+READ_ONLY_KINDS = frozenset({"probe", "gi_probe", "fetch", "merge", "charge"})
+
+#: The kinds ``_replay`` mirrors onto the coordinator image.
+MUTATING_KINDS = COMMAND_KINDS - READ_ONLY_KINDS
+
+
+def validate_op(op: tuple) -> None:
+    """Sanitizer hook: reject malformed envelope commands before dispatch."""
+    if not isinstance(op, tuple) or not op:
+        raise AssertionError(f"sanitize: envelope op must be a non-empty tuple, got {op!r}")
+    if op[0] not in COMMAND_KINDS:
+        raise AssertionError(
+            f"sanitize: unknown envelope op kind {op[0]!r}; "
+            f"known kinds: {sorted(COMMAND_KINDS)}"
+        )
+
+
 def fork_available() -> bool:
     """Whether this platform supports the fork start method (POSIX)."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -296,10 +327,10 @@ def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> 
             break
         kind = message[0]
         if kind == "stop":
-            conn.send(("bye",))
+            conn.send(("bye",))  # repro: uncharged-mirror=worker IPC control reply, not a modeled message
             break
         if kind == "stats":
-            conn.send((
+            conn.send((  # repro: uncharged-mirror=worker IPC stats reply, not a modeled message
                 "ok",
                 cache.stats() if cache is not None else {},
                 cache.heavy_hitters() if cache is not None else [],
@@ -310,14 +341,14 @@ def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> 
             cache.check_epoch(catalog_version)
         cells.clear()
         events = {} if trace else None
-        start_ns = time.perf_counter_ns()
+        start_ns = time.perf_counter_ns()  # repro: wall-clock=worker busy-time telemetry; never reaches the ledger
         try:
             results = [_execute_op(nodes, cache, op, events) for op in ops]
         except BaseException:
-            conn.send(("err", traceback.format_exc(), {}))
+            conn.send(("err", traceback.format_exc(), {}))  # repro: uncharged-mirror=worker IPC failure reply, not a modeled message
             break
-        elapsed_ns = time.perf_counter_ns() - start_ns
-        conn.send(("ok", results, dict(cells), elapsed_ns, events or {}))
+        elapsed_ns = time.perf_counter_ns() - start_ns  # repro: wall-clock=worker busy-time telemetry; never reaches the ledger
+        conn.send(("ok", results, dict(cells), elapsed_ns, events or {}))  # repro: uncharged-mirror=worker IPC reply envelope; the work it mirrors is already charged
     conn.close()
 
 
@@ -425,7 +456,7 @@ class ParallelEngine:
             return
         for conn in self._conns:
             try:
-                conn.send(("stop",))
+                conn.send(("stop",))  # repro: uncharged-mirror=pool shutdown IPC, not a modeled message
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
         for conn in self._conns:
@@ -470,6 +501,9 @@ class ParallelEngine:
         determinism tests compare workers∈{1,2} byte-for-byte)."""
         if not ops:
             return []
+        if self.cluster.sanitize:
+            for op in ops:
+                validate_op(op)
         obs = self.cluster.obs
         runner = self._run_inline if self.inline else self._run_forked
         if not obs.enabled:
@@ -484,11 +518,11 @@ class ParallelEngine:
             cache.check_epoch(self.cluster.catalog.version)
         nodes = self.cluster.nodes
         events: Optional[Dict] = {} if span is not None else None
-        start_ns = time.perf_counter_ns()
+        start_ns = time.perf_counter_ns()  # repro: wall-clock=inline busy-time telemetry; never reaches the ledger
         # Nodes bill the real ledger directly and mutations land on the
         # real image, so there is nothing to merge or replay.
         results = [_execute_op(nodes, cache, op, events) for op in ops]
-        elapsed_ns = time.perf_counter_ns() - start_ns
+        elapsed_ns = time.perf_counter_ns() - start_ns  # repro: wall-clock=inline busy-time telemetry; never reaches the ledger
         self.worker_busy_ns[0] += elapsed_ns
         self.supersteps += 1
         if span is not None:
@@ -505,7 +539,7 @@ class ParallelEngine:
         trace = span is not None
         try:
             for worker_id, pairs in per_worker.items():
-                self._conns[worker_id].send(
+                self._conns[worker_id].send(  # repro: uncharged-mirror=superstep IPC envelope; modeled sends are charged by the coordinator's routing
                     ("step", version, [op for _, op in pairs], trace)
                 )
             results: List[object] = [None] * len(ops)
@@ -542,7 +576,7 @@ class ParallelEngine:
             self._emit_superstep(obs, span, elapsed, event_maps)
         return results
 
-    def _emit_superstep(
+    def _emit_superstep(  # repro: obs-guarded=run_ops only passes a non-None span when obs.enabled
         self,
         obs,
         span,
@@ -627,7 +661,7 @@ class ParallelEngine:
         if self.inline:
             return [self._inline_cache.stats() if self._inline_cache else {}]
         for conn in self._conns:
-            conn.send(("stats",))
+            conn.send(("stats",))  # repro: uncharged-mirror=stats-collection IPC, not a modeled message
         stats = []
         for conn in self._conns:
             reply = conn.recv()
@@ -645,7 +679,7 @@ class ParallelEngine:
                 self._inline_cache.heavy_hitters() if self._inline_cache else []
             ]
         for conn in self._conns:
-            conn.send(("stats",))
+            conn.send(("stats",))  # repro: uncharged-mirror=stats-collection IPC, not a modeled message
         out: List[list] = []
         for conn in self._conns:
             reply = conn.recv()

@@ -146,7 +146,7 @@ class AggregateViewMaintainer(JoinViewMaintainer):
                 group = tuple(tup[i] for i in group_positions)
                 sums = [float(tup[i]) for i in sum_positions]
                 per_node = contributions.setdefault(node, {})
-                entry = per_node.setdefault(group, [0] + [0.0] * len(sums))
+                entry = per_node.setdefault(group, [0, *([0.0] * len(sums))])
                 entry[0] += sign
                 for offset, value in enumerate(sums):
                     entry[1 + offset] += sign * value
@@ -159,10 +159,18 @@ class AggregateViewMaintainer(JoinViewMaintainer):
         self, contributions: Dict[int, Dict[Row, List[float]]]
     ) -> None:
         """Route each group's net contribution to its home node and fold it
-        into the stored row there (probe + rewrite, tagged VIEW)."""
+        into the stored row there (probe + rewrite, tagged VIEW).
+
+        Every fragment mutation records its inverse through the cluster's
+        undo log: a transaction rollback (or an injected fault mid-
+        statement) must restore the *aggregate* rows along with the base
+        relations, or the folded counts/sums silently diverge from the
+        data they summarize.
+        """
         view = self.view_info
         name = view.name
         arity = len(self.spec.group_by)
+        record_undo = self.cluster._record_undo
         for source_node, groups in contributions.items():
             for group, entry in groups.items():
                 count_delta, sums_delta = int(entry[0]), entry[1:]
@@ -184,10 +192,26 @@ class AggregateViewMaintainer(JoinViewMaintainer):
                         for i in range(len(sums_delta))
                     ]
                     fragment.delete(rowid)
+                    record_undo(
+                        lambda f=fragment, r=rowid, t=stored: f.restore(r, t),
+                        node=home, tag=Tag.VIEW, writes=1,
+                        description=f"restore {name} aggregate row",
+                    )
                     if new_count > 0:
-                        fragment.insert(group + (new_count,) + tuple(new_sums))
+                        new_rowid = fragment.insert(
+                            group + (new_count,) + tuple(new_sums)
+                        )
+                        record_undo(
+                            lambda f=fragment, r=new_rowid: f.delete(r),
+                            node=home, tag=Tag.VIEW, writes=1,
+                            description=f"undo {name} aggregate rewrite",
+                        )
                     else:
                         view.row_count -= 1
+                        record_undo(
+                            lambda v=view: setattr(v, "row_count", v.row_count + 1),
+                            description=f"restore {name} row_count",
+                        )
                     node.ledger.charge(home, Op.INSERT, Tag.VIEW)
                 else:
                     if count_delta < 0:  # pragma: no cover - guarded upstream
@@ -195,9 +219,20 @@ class AggregateViewMaintainer(JoinViewMaintainer):
                             f"aggregate group {group!r} underflow in {name!r}"
                         )
                     if count_delta > 0:
-                        fragment.insert(group + (count_delta,) + tuple(sums_delta))
+                        new_rowid = fragment.insert(
+                            group + (count_delta,) + tuple(sums_delta)
+                        )
+                        record_undo(
+                            lambda f=fragment, r=new_rowid: f.delete(r),
+                            node=home, tag=Tag.VIEW, writes=1,
+                            description=f"undo {name} aggregate insert",
+                        )
                         node.ledger.charge(home, Op.INSERT, Tag.VIEW)
                         view.row_count += 1
+                        record_undo(
+                            lambda v=view: setattr(v, "row_count", v.row_count - 1),
+                            description=f"restore {name} row_count",
+                        )
 
     # -------------------------------------------------------------- reads
 
@@ -326,13 +361,13 @@ def define_aggregate_join_view(
     )
     for row, multiplicity in counter.items():
         group = tuple(row[i] for i in group_positions)
-        entry = boot.setdefault(group, [0] + [0.0] * len(sum_positions))
+        entry = boot.setdefault(group, [0, *([0.0] * len(sum_positions))])
         entry[0] += multiplicity
         for offset, position in enumerate(sum_positions):
             entry[1 + offset] += multiplicity * float(row[position])
     for group, entry in boot.items():
         home = partitioner.node_of_key(group)
-        cluster.nodes[home].fragment(definition.name).insert(
+        cluster.nodes[home].fragment(definition.name).insert(  # repro: no-undo=DDL backfill; view creation is not a transactional statement
             group + (int(entry[0]),) + tuple(entry[1:])
         )
         view_info.row_count += 1

@@ -668,8 +668,8 @@ class JoinViewMaintainer:
         charged *per node* whether or not its delta slice is empty, exactly
         like the serial loop — carrying the distinct join keys of that
         node's slice.  Workers return matches grouped by key in fragment
-        scan order; the assembly below then walks (node order × slice order
-        × scan order), the same nesting as
+        scan order; the assembly below then walks (node order x slice order
+        x scan order), the same nesting as
         :meth:`_merge_against_fragment`.
         """
         num_nodes = self.cluster.num_nodes

@@ -150,7 +150,7 @@ class MaintenancePlanner:
             self._plan_cache_event(obs, updated, "compiled_hit")
         return compiled
 
-    def _plan_cache_event(self, obs, updated: str, kind: str) -> None:
+    def _plan_cache_event(self, obs, updated: str, kind: str) -> None:  # repro: obs-guarded=both call sites test obs.enabled first
         """Push one live plan-cache counter sample (traced runs only)."""
         obs.metrics.counter(
             "repro_plan_cache_events_total",

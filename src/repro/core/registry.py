@@ -99,7 +99,7 @@ def define_join_view(
     return view_info
 
 
-def _materialize(cluster: "Cluster", view_info: ViewInfo, bound: BoundView) -> None:
+def _materialize(cluster: "Cluster", view_info: ViewInfo, bound: BoundView) -> None:  # repro: no-undo=DDL backfill; view creation is not a transactional statement
     """Load the view's current contents without charging the ledger."""
     contents = {
         name: cluster.scan_relation(name) for name in bound.definition.relations

@@ -31,7 +31,7 @@ def requirement_for(bound: BoundView, base: str, column: str) -> AuxiliaryRequir
     """The trimmed column set view ``bound`` needs from AR_base(column)."""
     needed = bound.columns_needed_from(base)
     if column not in needed:
-        needed = [column] + needed
+        needed = [column, *needed]
     return AuxiliaryRequirement(
         base=base,
         column=column,

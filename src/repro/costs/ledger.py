@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .model import CostParameters, Op, PAPER_COSTS, Tag
 
@@ -28,7 +28,9 @@ class CostSnapshot:
     params: CostParameters
     cells: Dict[_Cell, float] = field(default_factory=dict)
 
-    def _selected(self, tags: Optional[Iterable[Tag]], ops: Optional[Iterable[Op]]):
+    def _selected(
+        self, tags: Optional[Iterable[Tag]], ops: Optional[Iterable[Op]]
+    ) -> Iterator[Tuple[int, Op, Tag, float]]:
         tag_set = set(tags) if tags is not None else None
         op_set = set(ops) if ops is not None else None
         for (node, op, tag), count in self.cells.items():
@@ -78,9 +80,16 @@ class CostSnapshot:
         Cells equal on both sides are omitted, so an empty dict means the
         snapshots are identical — the equivalence suites assert exactly
         that and print :func:`format_cell_diff` of the result when not.
+
+        Iteration runs in sorted ``(node, op, tag)`` order: set order is
+        hash-salted per process, so an unsorted walk would make the
+        *insertion order* of the returned dict differ between runs —
+        breaking byte-identical failure reports and any consumer that
+        serializes the dict as-is (REP002).
         """
         cells: Dict[_Cell, float] = {}
-        for cell in set(self.cells) | set(other.cells):
+        universe = set(self.cells) | set(other.cells)
+        for cell in sorted(universe, key=lambda c: (c[0], c[1].name, c[2].name)):
             delta = self.cells.get(cell, 0.0) - other.cells.get(cell, 0.0)
             if delta:
                 cells[cell] = delta
@@ -127,7 +136,7 @@ class CostLedger:
         return CostSnapshot(self.params, cells)
 
     @contextmanager
-    def measure(self):
+    def measure(self) -> Iterator["_Measurement"]:
         """Context manager yielding a snapshot holder for the enclosed work.
 
         >>> ledger = CostLedger()
@@ -161,8 +170,10 @@ def format_cell_diff(diff: Dict[_Cell, float], limit: int = 40) -> str:
     """
     if not diff:
         return "ledgers identical"
-    lines = []
-    ordered = sorted(diff.items(), key=lambda kv: (kv[0][0], kv[0][1].name, kv[0][2].name))
+    lines: List[str] = []
+    ordered = sorted(
+        diff.items(), key=lambda kv: (kv[0][0], kv[0][1].name, kv[0][2].name)
+    )
     for (node, op, tag), delta in ordered[:limit]:
         lines.append(
             f"  node={node} op={op.value} tag={tag.value}: {delta:+g}"

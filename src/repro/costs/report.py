@@ -37,7 +37,7 @@ def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str
         max(len(line[i]) for line in materialized)
         for i in range(len(materialized[0]))
     ]
-    out_lines = []
+    out_lines: List[str] = []
     for line_no, line in enumerate(materialized):
         out_lines.append(
             "  ".join(cell.rjust(width) for cell, width in zip(line, widths))

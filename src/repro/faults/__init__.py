@@ -16,7 +16,7 @@ shared-nothing cluster.  This package drops that assumption:
   the base relations and diffs it against what the cluster stores.
 
 With faults disabled (or none firing), every ledger charge is
-bit-identical to the fault-free engine — the paper's Figure 7–14
+bit-identical to the fault-free engine — the paper's Figure 7-14
 reproductions are unchanged.  See DESIGN.md § Fault model and atomicity.
 """
 

@@ -215,7 +215,7 @@ class ConsistencyAuditor:
 
     # --------------------------------------------------------------- repair
 
-    def repair(self) -> RepairReport:
+    def repair(self) -> RepairReport:  # repro: no-undo=repair IS the recovery path; it rebuilds derived state outside any undo scope
         """Naive-recomputation fallback: rebuild every derived structure
         from the base relations.
 

@@ -193,3 +193,43 @@ def test_property_random_stream_stays_consistent():
         if step % 10 == 0:
             check(cluster, "AGG")
     check(cluster, "AGG")
+
+
+# ---------------------------------------------------- rollback (REP006 bug)
+
+
+def test_rollback_restores_aggregate_view():
+    """Regression: aggregate folding used to mutate view fragments without
+    recording undo actions, so a transaction rollback restored the base
+    relations but left the folded counts/sums corrupted (found by REP006)."""
+    cluster = fresh()
+    cluster.insert("A", [(0, 0, "seed"), (1, 1, "seed")])
+    before = agg_counter(aggregate_rows(cluster, "AGG"))
+    txn = cluster.transaction()
+    with txn:
+        txn.insert("A", [(2, 0, "x"), (3, 2, "y")])
+        txn.delete("A", [(0, 0, "seed")])
+        txn.rollback()
+    assert agg_counter(aggregate_rows(cluster, "AGG")) == before
+    check(cluster, "AGG")
+
+
+def test_rollback_restores_aggregate_row_count():
+    cluster = fresh()
+    view = cluster.catalog.views["AGG"]
+    cluster.insert("A", [(0, 0, "seed")])
+    count_before = view.row_count
+    txn = cluster.transaction()
+    with txn:
+        # New group rows appear (group 2 unseen) and existing rows rewrite.
+        txn.insert("A", [(2, 2, "x")])
+        txn.delete("A", [(0, 0, "seed")])
+        txn.rollback()
+    assert view.row_count == count_before
+    stored = sum(
+        len(node.fragment("AGG").table)
+        for node in cluster.nodes
+        if node.has_fragment("AGG")
+    )
+    assert stored == count_before
+    check(cluster, "AGG")

@@ -1,0 +1,148 @@
+"""CLI, reporter, and baseline tests for ``python -m repro.analysis``."""
+
+import json
+import textwrap
+
+from repro.analysis import Finding, load_baseline
+from repro.analysis.__main__ import main
+
+VIOLATION = textwrap.dedent(
+    """
+    def go(pipe, payload):
+        pipe.send(payload)
+    """
+)
+
+
+def seed(tmp_path, source=VIOLATION):
+    path = tmp_path / "cluster" / "engine.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+# ----------------------------------------------------------------- reports
+
+
+def test_json_report_round_trips(tmp_path, capsys):
+    seed(tmp_path)
+    code = main(["--format=json", str(tmp_path)])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["findings"] == 1
+    assert payload["summary"]["files_analyzed"] == 1
+    (entry,) = payload["findings"]
+    finding = Finding.from_dict(entry)
+    assert finding.rule == "REP001"
+    assert finding.path == "cluster/engine.py"
+    assert finding.line == 3
+    assert finding.snippet == "pipe.send(payload)"
+    assert finding.fingerprint
+    assert finding.to_dict() == entry
+
+
+def test_text_report_and_exit_codes(tmp_path, capsys):
+    seed(tmp_path)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "cluster/engine.py:3:" in out
+    assert "REP001" in out
+
+    clean = tmp_path / "cluster" / "engine.py"
+    clean.write_text("def go():\n    return 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_rules_filter_and_unknown_rule(tmp_path, capsys):
+    seed(tmp_path)
+    assert main(["--rules=REP002", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["--rules=REP999", str(tmp_path)]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        assert rule_id in out
+    assert "uncharged-mirror" in out
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_add_then_expire(tmp_path, capsys):
+    seed(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    # Grandfather the current finding.
+    assert main([
+        "--write-baseline", "--baseline", str(baseline_path), str(tmp_path)
+    ]) == 0
+    baseline = load_baseline(str(baseline_path))
+    assert len(baseline.fingerprints) == 1
+    capsys.readouterr()
+
+    # The baselined finding no longer fails the run.
+    assert main(["--baseline", str(baseline_path), str(tmp_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Fixing the violation makes the baseline entry stale -> exit 1.
+    (tmp_path / "cluster" / "engine.py").write_text(
+        "def go(self, src, dst, tag):\n    self.network.send(src, dst, tag)\n"
+    )
+    assert main(["--baseline", str(baseline_path), str(tmp_path)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_baseline_fingerprint_survives_unrelated_edits(tmp_path, capsys):
+    seed(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    assert main([
+        "--write-baseline", "--baseline", str(baseline_path), str(tmp_path)
+    ]) == 0
+    capsys.readouterr()
+
+    # Prepend code above the violation: the line number moves, the
+    # fingerprint (and hence the baseline match) must not.
+    original = (tmp_path / "cluster" / "engine.py").read_text()
+    (tmp_path / "cluster" / "engine.py").write_text(
+        "import os\n\n\ndef unrelated():\n    return os.sep\n\n" + original
+    )
+    assert main(["--baseline", str(baseline_path), str(tmp_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_baseline_missing_file_is_usage_error(tmp_path, capsys):
+    seed(tmp_path)
+    assert main(["--baseline", str(tmp_path / "nope.json"), str(tmp_path)]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path, capsys):
+    seed(
+        tmp_path,
+        "def go(pipe, a, b):\n    pipe.send(a)\n    pipe.send(a)\n",
+    )
+    assert main(["--format=json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    fingerprints = [entry["fingerprint"] for entry in payload["findings"]]
+    assert len(fingerprints) == 2
+    assert len(set(fingerprints)) == 2
+
+
+# ------------------------------------------------------- repo-level config
+
+
+def test_shipped_baseline_is_empty():
+    """The repo's own baseline grandfathers nothing: every violation was
+    fixed or annotated instead."""
+    import os
+
+    import repro
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
+    baseline = load_baseline(os.path.join(repo_root, "analysis-baseline.json"))
+    assert baseline.fingerprints == set()

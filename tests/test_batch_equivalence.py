@@ -131,7 +131,7 @@ def test_two_way_equivalence(method, strategy):
     reference = _build(method, strategy, batch=False)
     _run(batched, ops)
     _run(reference, ops)
-    names = ["A", "B", "JV"] + list(batched.catalog.auxiliaries)
+    names = ["A", "B", "JV", *batched.catalog.auxiliaries]
     assert_equivalent(batched, reference, names)
 
 
@@ -181,7 +181,7 @@ def test_triangle_multiway_equivalence(method):
     batched, reference = build(True), build(False)
     _run(batched, ops)
     _run(reference, ops)
-    names = ["A", "B", "C", "TRI"] + list(batched.catalog.auxiliaries)
+    names = ["A", "B", "C", "TRI", *batched.catalog.auxiliaries]
     assert_equivalent(batched, reference, names)
 
 
@@ -234,7 +234,7 @@ def test_fault_plan_equivalence(plan_name):
 
     batched = run(True)
     reference = run(False)
-    names = ["A", "B", "JV"] + list(batched.catalog.auxiliaries)
+    names = ["A", "B", "JV", *batched.catalog.auxiliaries]
     assert_equivalent(batched, reference, names)
 
 
@@ -278,7 +278,7 @@ def test_ddl_invalidates_compiled_plans():
         return cluster
 
     batched, reference = run(True), run(False)
-    names = ["A", "B", "JV"] + list(batched.catalog.auxiliaries)
+    names = ["A", "B", "JV", *batched.catalog.auxiliaries]
     assert_equivalent(batched, reference, names)
 
 
@@ -292,5 +292,5 @@ def test_large_skewed_transaction_equivalence():
         reference = _build(method, "inl", False)
         batched.insert("A", rows)
         reference.insert("A", rows)
-        names = ["A", "B", "JV"] + list(batched.catalog.auxiliaries)
+        names = ["A", "B", "JV", *batched.catalog.auxiliaries]
         assert_equivalent(batched, reference, names)

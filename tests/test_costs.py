@@ -128,3 +128,21 @@ def test_tags_legend_lists_all_tags():
     legend = tags_legend()
     for tag in Tag:
         assert tag.value in legend
+
+
+def test_diff_insertion_order_is_sorted():
+    """Regression: CostSnapshot.diff iterated a raw set union, so the
+    returned dict's insertion order depended on the per-process hash seed
+    (found by REP002).  The order must be sorted (node, op, tag)."""
+    left = CostLedger()
+    right = CostLedger()
+    left.charge(3, Op.INSERT, Tag.VIEW, 2)
+    left.charge(0, Op.SEND, Tag.MAINTAIN, 5)
+    left.charge(1, Op.SEARCH, Tag.BASE, 1)
+    right.charge(2, Op.FETCH, Tag.QUERY, 4)
+    right.charge(0, Op.SEND, Tag.MAINTAIN, 1)
+    diff = left.diff(right)
+    keys = list(diff)
+    assert keys == sorted(keys, key=lambda c: (c[0], c[1].name, c[2].name))
+    assert diff[(0, Op.SEND, Tag.MAINTAIN)] == 4.0
+    assert diff[(2, Op.FETCH, Tag.QUERY)] == -4.0

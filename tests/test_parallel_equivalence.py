@@ -172,7 +172,7 @@ def test_two_way_equivalence(method, strategy, workers):
     try:
         _run(parallel, ops)
         _run(serial, ops)
-        names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, serial, names)
     finally:
         parallel.close()
@@ -189,7 +189,7 @@ def test_reference_engine_equivalence(method, workers):
     try:
         _run(parallel, ops)
         _run(reference, ops)
-        names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, reference, names)
     finally:
         parallel.close()
@@ -247,7 +247,7 @@ def test_triangle_multiway_equivalence(method, workers):
     try:
         _run(parallel, ops)
         _run(serial, ops)
-        names = ["A", "B", "C", "TRI"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "C", "TRI", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, serial, names)
     finally:
         parallel.close()
@@ -313,7 +313,7 @@ def test_mid_stream_ddl_equivalence(workers):
 
     parallel, serial = run(workers), run(None)
     try:
-        names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, serial, names)
     finally:
         parallel.close()
@@ -331,7 +331,7 @@ def test_large_skewed_transaction_equivalence(workers):
         try:
             parallel.insert("A", rows)
             serial.insert("A", rows)
-            names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+            names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
             assert_equivalent(parallel, serial, names)
         finally:
             parallel.close()
@@ -354,7 +354,7 @@ def test_probe_cache_hits_charge_exactly_probe_cost():
         assert engine is not None and engine.running
         stats = engine.probe_cache_stats()
         assert sum(worker.get("hits", 0) for worker in stats) > 0
-        names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, serial, names)
     finally:
         parallel.close()
@@ -382,7 +382,7 @@ def test_probe_cache_invalidation_on_partner_write(method):
 
     parallel, serial = run(1), run(None)
     try:
-        names = ["A", "B", "JV"] + list(parallel.catalog.auxiliaries)
+        names = ["A", "B", "JV", *parallel.catalog.auxiliaries]
         assert_equivalent(parallel, serial, names)
         # The view really reflects the partner writes (not vacuous).
         jv_rows = [
