@@ -37,3 +37,23 @@ def test_fault_overhead(benchmark, save_result):
     assert by_cell[("naive", "message duplication")]["duplicates"] > 0
     assert by_cell[("naive", "crash + recovery")]["rollbacks"] > 0
     assert by_cell[("global_index", "crash + recovery")]["rollbacks"] > 0
+
+
+def test_failover_overhead(benchmark, save_result):
+    result = run_once(benchmark, lambda: experiments.ext_failover_overhead())
+    save_result(result)
+    rows = result.as_dicts()
+    assert all(row["consistent"] == "yes" for row in rows)
+    by_cell = {(row["method"], row["scenario"]): row for row in rows}
+    for method in ("naive", "auxiliary", "global_index"):
+        assert by_cell[(method, "bare")]["vs bare"] == 1.0
+        # Replica upkeep costs something but only ships replica traffic.
+        upkeep = by_cell[(method, "k=2 upkeep")]
+        assert upkeep["vs bare"] > 1.0
+        assert upkeep["replica TW"] > 0
+        assert upkeep["migrate TW"] == 0
+        # Failover adds migration + replay on top of the upkeep premium.
+        failover = by_cell[(method, "k=2 + failover")]
+        assert failover["vs bare"] > upkeep["vs bare"]
+        assert failover["migrate TW"] > 0
+        assert failover["replayed"] > 0

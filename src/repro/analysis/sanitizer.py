@@ -131,7 +131,12 @@ class StatementSanitizer:
         raise SanitizeError(f"sanitize[{where}]: {message}")
 
     def _check_ledger_cells(self, where: str) -> None:
-        num_nodes = self.cluster.num_nodes
+        # Ledger cells are historical: a node retired by remove_node /
+        # fail_over keeps the charges it accrued, so the legal id range is
+        # the lifetime peak, not the current count.
+        num_nodes = getattr(
+            self.cluster, "peak_num_nodes", self.cluster.num_nodes
+        )
         for (node, op, tag), count in self.cluster.ledger._cells.items():
             if not (0 <= node < num_nodes):
                 self._fail(

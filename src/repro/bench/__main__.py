@@ -42,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ext-aggregates": experiments.ext_aggregate_views,
     "ext-cost-sensitivity": experiments.ext_cost_sensitivity,
     "ext-fault-overhead": experiments.ext_fault_overhead,
+    "ext-failover-overhead": experiments.ext_failover_overhead,
     "validation": validation_grid,
 }
 

@@ -1,6 +1,7 @@
 """The shared-nothing parallel RDBMS substrate."""
 
 from .partitioning import (
+    ConsistentHashPartitioning,
     HashPartitioning,
     RoundRobinPartitioning,
     PartitioningSpec,
@@ -16,6 +17,14 @@ from .catalog import (
     ViewInfo,
 )
 from .cluster import Cluster
+from .membership import (
+    ClusterMembership,
+    MembershipEvent,
+    MigrationReport,
+    Replicator,
+    available_rows,
+)
+from .rebalance import RebalanceProposal, RebalanceReport, Rebalancer
 from .transactions import Transaction, TransactionReport
 
 __all__ = [
@@ -28,10 +37,19 @@ __all__ = [
     "AuxiliaryRelationInfo",
     "GlobalIndexInfo",
     "ViewInfo",
+    "ConsistentHashPartitioning",
     "HashPartitioning",
     "RoundRobinPartitioning",
     "PartitioningSpec",
     "stable_hash",
+    "ClusterMembership",
+    "MembershipEvent",
+    "MigrationReport",
+    "Replicator",
+    "available_rows",
+    "Rebalancer",
+    "RebalanceProposal",
+    "RebalanceReport",
     "Transaction",
     "TransactionReport",
 ]

@@ -42,10 +42,12 @@ from .catalog import (
     RelationInfo,
     ViewInfo,
 )
+from .membership import ClusterMembership, MigrationReport, Replicator
 from .network import Network
 from .node import Node
 from .partitioning import (
     BoundRoundRobin,
+    ConsistentHashPartitioning,
     HashPartitioning,
     PartitioningSpec,
     RoundRobinPartitioning,
@@ -97,6 +99,17 @@ class Cluster:
             Node(node_id, self.ledger, layout) for node_id in range(num_nodes)
         ]
         self.catalog = Catalog()
+        #: Token registry + topology history (see :mod:`.membership`).
+        #: Fixed-topology runs never touch it beyond construction.
+        self.membership = ClusterMembership(num_nodes)
+        #: High-water mark of ``num_nodes`` over the cluster's lifetime.
+        #: Ledger cells are historical: a retired node id keeps its charges,
+        #: so range checks bound against the peak, not the present.
+        self.peak_num_nodes = num_nodes
+        #: K-copy replication hooks; installed by
+        #: :meth:`enable_replication`.  ``None`` (the default) costs one
+        #: predicate per write and charges nothing — seed behavior exact.
+        self.replicator: Optional["Replicator"] = None
         #: Fault injection + recovery; installed by
         #: :func:`repro.faults.attach_faults`.  ``None`` on the fault-free
         #: path, where every charge is bit-identical to the seed engine.
@@ -135,11 +148,14 @@ class Cluster:
         Same conditions as :meth:`_bulk_ok` (the superstep engine is built
         on the bulk paths) plus a configured worker count.  Faults and undo
         scopes route to the serial reference engine, exactly like PR 2.
+        Replication also drains: its write hooks mutate coordinator-side
+        replica bags and must observe every primary write in-process.
         """
         return (
             self.workers is not None
             and self.batch_execution
             and self.faults is None
+            and self.replicator is None
             and not self._undo_logs
         )
 
@@ -220,15 +236,26 @@ class Cluster:
         schema: Schema,
         partitioned_on: str,
         indexes: Sequence[Tuple[str, bool]] = (),
+        spec: Optional[PartitioningSpec] = None,
     ) -> RelationInfo:
         """Create a hash-partitioned base relation on every node.
 
         ``indexes`` lists (column, clustered) local indexes to build on each
         fragment; a fragment may be clustered on at most one column.
+        ``spec`` overrides the placement scheme: pass
+        :class:`ConsistentHashPartitioning` (on the same column) to place
+        rows on the membership token ring, making later ``add_node`` /
+        ``remove_node`` calls relocate only the minimal key share.
         """
         self._drain_parallel()  # DDL reshapes shards: rebuild workers after
-        spec = HashPartitioning(partitioned_on)
-        partitioner = spec.bind(schema, self.num_nodes)
+        if spec is None:
+            spec = HashPartitioning(partitioned_on)
+        elif getattr(spec, "column", partitioned_on) != partitioned_on:
+            raise ValueError(
+                f"spec partitions on {spec.column!r} but partitioned_on "
+                f"says {partitioned_on!r}"
+            )
+        partitioner = self._bind_spec(spec, schema)
         info = RelationInfo(schema=schema, spec=spec, partitioner=partitioner)
         self.catalog.add_relation(info)
         for node in self.nodes:
@@ -315,6 +342,7 @@ class Cluster:
                         continue
                     dest = partitioner.node_of_row(image)
                     self.nodes[dest].fragment(ar_name).insert(image)  # repro: no-undo=DDL backfill; create_auxiliary_relation is not a transactional statement
+        self._sync_replicas()
         return info
 
     def create_global_index(
@@ -368,17 +396,30 @@ class Cluster:
                     )
         return info
 
+    def _bind_spec(self, spec: PartitioningSpec, schema: Schema):
+        """Bind a partitioning spec against the current topology; consistent
+        hashing binds to the membership's stable tokens (and any rebalancer
+        weight overrides), everything else to the dense node count."""
+        if isinstance(spec, ConsistentHashPartitioning):
+            return spec.bind(
+                schema,
+                self.num_nodes,
+                tokens=self.membership.tokens,
+                weights=dict(self.membership.weights),
+            )
+        return spec.bind(schema, self.num_nodes)
+
     def create_view_storage(
         self, schema: Schema, spec: PartitioningSpec
     ) -> BoundRoundRobin:
         """Create the view's fragments on every node; returns the bound
-        partitioner.  Hash-partitioned views get an index on the partitioning
-        column (paper assumption 3)."""
+        partitioner.  Hash-partitioned views (modulo or ring) get an index
+        on the partitioning column (paper assumption 3)."""
         self._drain_parallel()
-        partitioner = spec.bind(schema, self.num_nodes)
+        partitioner = self._bind_spec(spec, schema)
         for node in self.nodes:
             node.create_fragment(schema)
-        if isinstance(spec, HashPartitioning):
+        if isinstance(spec, (HashPartitioning, ConsistentHashPartitioning)):
             for node in self.nodes:
                 node.create_local_index(schema.name, spec.column, clustered=False)
         return partitioner
@@ -395,7 +436,9 @@ class Cluster:
         """
         from ..core import define_join_view
 
-        return define_join_view(self, definition, method=method, **kwargs)
+        info = define_join_view(self, definition, method=method, **kwargs)
+        self._sync_replicas()
+        return info
 
     def create_view_from_sql(self, sql: str, method="auxiliary", **kwargs) -> ViewInfo:
         """CREATE VIEW in the paper's SQL dialect (see :mod:`repro.sql`).
@@ -424,6 +467,7 @@ class Cluster:
         for node in self.nodes:
             if node.has_fragment(name):
                 node.drop_fragment(name)
+        self._sync_replicas()
 
     def drop_auxiliary_relation(self, name: str, force: bool = False) -> None:
         """Drop an auxiliary relation.  Refuses while views still rely on
@@ -435,6 +479,7 @@ class Cluster:
         for node in self.nodes:
             if node.has_fragment(name):
                 node.drop_fragment(name)
+        self._sync_replicas()
 
     def drop_global_index(self, name: str, force: bool = False) -> None:
         """Drop a global index (same safety rule as auxiliary relations)."""
@@ -442,6 +487,74 @@ class Cluster:
         self.catalog.remove_global_index(name, force=force)
         for node in self.nodes:
             node.drop_gi_partition(name)
+
+    # ==================================================== elastic membership
+
+    def add_node(self) -> MigrationReport:
+        """Grow the cluster online (see :func:`repro.cluster.membership.add_node`)."""
+        from .membership import add_node
+
+        return add_node(self)
+
+    def remove_node(self, node_id: int) -> MigrationReport:
+        """Gracefully shrink the cluster online (charged migration off the
+        departing node, dense renumbering of the survivors)."""
+        from .membership import remove_node
+
+        return remove_node(self, node_id)
+
+    def fail_over(self, node_id: int) -> MigrationReport:
+        """Decommission a crashed node, restoring its data from replicas."""
+        from .membership import fail_over
+
+        return fail_over(self, node_id)
+
+    def enable_replication(self, k: int = 2) -> Replicator:
+        """Keep ``k - 1`` charged replica copies of every fragment on each
+        owner's ring successors.
+
+        The initial copies are built uncharged (an offline build, like the
+        catalog's DDL backfills); from then on every primary write ships
+        its rows to the targets as modeled SENDs plus INSERT-weight replica
+        writes, all tagged :attr:`~repro.costs.Tag.REPLICA`.  Replication
+        keeps execution serial (the worker-pool gate closes) so the hooks
+        observe every write in-process.
+        """
+        if self.replicator is not None:
+            raise RuntimeError("replication is already enabled")
+        self._drain_parallel()
+        replicator = Replicator(self, k)
+        self.replicator = replicator
+        self.membership.replication = k
+        for node in self.nodes:
+            node.replicator = replicator
+        replicator.sync(charged=False)
+        return replicator
+
+    def disable_replication(self) -> None:
+        """Drop every replica bag and detach the write hooks (uncharged
+        bookkeeping; the bags were never part of the primary state)."""
+        if self.replicator is None:
+            return
+        self.replicator = None
+        self.membership.replication = 1
+        for node in self.nodes:
+            node.replicator = None
+            for owner, name in node.replica_slots():
+                node.drop_replica(owner, name)
+
+    def _sync_replicas(self) -> None:
+        """Re-converge replica bags after a DDL reshapes fragments
+        (uncharged, mirroring the uncharged DDL backfills)."""
+        if self.replicator is not None:
+            self.replicator.sync(charged=False)
+
+    def available_rows(self, name: str) -> List[Row]:
+        """Every reachable row of ``name``; crashed nodes' shares are served
+        from their replicas (charged FETCHes at the serving holder)."""
+        from .membership import available_rows
+
+        return available_rows(self, name)
 
     # ================================================================= DML
 

@@ -11,11 +11,13 @@ one message per delta tuple).
 Unreliable mode (departure from the paper's fault-free assumption): when a
 :class:`~repro.faults.injector.FaultInjector` is attached, every
 cross-node message consults it.  Dropped messages are retried with
-exponential backoff up to ``max_retries`` times; *every* attempt — the
-lost original and each retry — is charged to the ledger as a SEND, so
-robustness overhead shows up in the paper's TW/RT metrics.  Backoff
-itself is latency, not I/O, and is tracked in
-:attr:`NetworkStats.backoff_slots` instead of the ledger.  Duplicated
+seeded, capped, jittered exponential backoff (a
+:class:`~repro.faults.backoff.BackoffState`) up to ``max_retries`` times;
+*every* attempt — the lost original and each retry — is charged to the
+ledger as a SEND, so robustness overhead shows up in the paper's TW/RT
+metrics.  The backoff slots themselves are tracked in
+:attr:`NetworkStats.backoff_slots` *and* charged as ``Op.BACKOFF`` at the
+sender (weight 0.0 under the paper's parameters).  Duplicated
 messages charge two SENDs; receiver-side dedup (``dedup=True``) discards
 the copy, otherwise :meth:`Network.send` reports two deliveries and the
 caller applies twice.  Messages to a crashed node fail fast.  Without an
@@ -29,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 from ..costs import CostLedger, Op, Tag
+from ..faults.backoff import BackoffState
 from ..faults.errors import MessageLost, NodeDown
 from ..faults.injector import MessageFate
 from ..obs.collect import DISABLED
@@ -44,7 +47,7 @@ class NetworkStats:
     ``messages``/``by_link`` count *delivered* copies (a duplicated
     message counts twice); ``drops``/``retries``/``duplicates`` count
     fault events; ``backoff_slots`` accumulates the exponential-backoff
-    wait slots retries spent (latency, never charged to the ledger).
+    wait slots retries spent (also charged as ``Op.BACKOFF`` cells).
     """
 
     messages: int = 0            # delivered copies that crossed the interconnect
@@ -68,7 +71,7 @@ class Network:
 
     __slots__ = (
         "num_nodes", "ledger", "stats",
-        "injector", "max_retries", "dedup", "backoff_base", "obs",
+        "injector", "max_retries", "dedup", "backoff", "obs",
     )
 
     def __init__(self, num_nodes: int, ledger: CostLedger) -> None:
@@ -79,7 +82,7 @@ class Network:
         self.injector: Optional["FaultInjector"] = None
         self.max_retries: int = 0
         self.dedup: bool = True
-        self.backoff_base: float = 2.0
+        self.backoff: BackoffState = BackoffState()
         #: Observability facade; swapped by ``attach_observability``.  The
         #: fault-free hot path never consults it — only the unreliable
         #: sender pushes live fault events, behind ``obs.enabled``.
@@ -140,9 +143,12 @@ class Network:
                 if attempts > self.max_retries:
                     self._fault_event("lost", src, dst)
                     raise MessageLost(src, dst, attempts)
-                # Exponential backoff before the retry: latency, not I/O.
+                # Seeded, capped, jittered exponential backoff before the
+                # retry; the wait is charged as BACKOFF slots at the sender.
                 self.stats.retries += 1
-                self.stats.backoff_slots += self.backoff_base ** (attempts - 1)
+                slots = self.backoff.slots(attempts)
+                self.stats.backoff_slots += slots
+                self.ledger.charge(src, Op.BACKOFF, tag, count=slots)
                 self._fault_event("retry", src, dst)
                 continue
             if fate is MessageFate.DUPLICATED:

@@ -8,6 +8,7 @@ to bill an access path.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..costs import CostLedger, Op, Tag
@@ -24,6 +25,7 @@ from ..storage import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.recovery import FaultController
+    from .membership import Replicator
 
 
 class Node:
@@ -31,6 +33,7 @@ class Node:
 
     __slots__ = (
         "node_id", "ledger", "layout", "_fragments", "_gi_partitions", "faults",
+        "_replicas", "replicator",
     )
 
     def __init__(self, node_id: int, ledger: CostLedger, layout: PageLayout) -> None:
@@ -43,6 +46,13 @@ class Node:
         #: ``None`` on the fault-free path — the guards below then cost one
         #: predicate each and charge nothing, keeping seed behavior exact.
         self.faults: Optional["FaultController"] = None
+        #: Replica copies of *other* nodes' fragments hosted here, keyed
+        #: ``(owner_node_id, fragment_name)``.  Content bags, not heaps: a
+        #: replica serves reads and failover restores, never index probes.
+        self._replicas: Dict[Tuple[int, str], Counter] = {}
+        #: Replication hooks; installed by ``Cluster.enable_replication``.
+        #: ``None`` (one predicate per write, charging nothing) otherwise.
+        self.replicator: Optional["Replicator"] = None
 
     # ---------------------------------------------------------- fault hooks
 
@@ -122,6 +132,8 @@ class Node:
         self._guard(f"insert into {name!r}")
         rowid = self.fragment(name).insert(row)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
+        if self.replicator is not None:
+            self.replicator.on_write(self.node_id, name, "ins", [row], tag)
         return rowid
 
     def insert_many(self, name: str, rows: List[Row], tag: Tag) -> List[int]:
@@ -135,6 +147,8 @@ class Node:
         self._guard(f"insert into {name!r}")
         rowids = self.fragment(name).insert_many(rows)
         self.ledger.charge(self.node_id, Op.INSERT, tag, count=len(rows))
+        if self.replicator is not None:
+            self.replicator.on_write(self.node_id, name, "ins", list(rows), tag)
         return rowids
 
     def delete_matching(self, name: str, row: Row, tag: Tag) -> int:
@@ -153,17 +167,88 @@ class Node:
                 if fragment.table.fetch(rowid) == row:
                     fragment.delete(rowid)
                     self.ledger.charge(self.node_id, Op.INSERT, tag)
+                    if self.replicator is not None:
+                        self.replicator.on_write(
+                            self.node_id, name, "del", [row], tag
+                        )
                     return rowid
             raise KeyError(f"no tuple equal to {row!r} in {name!r} at node {self.node_id}")
         rowid = fragment.delete_matching(row)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
+        if self.replicator is not None:
+            self.replicator.on_write(self.node_id, name, "del", [row], tag)
         return rowid
 
     def delete_by_rowid(self, name: str, rowid: int, tag: Tag) -> Row:
         self._guard(f"delete from {name!r}")
         row = self.fragment(name).delete(rowid)
         self.ledger.charge(self.node_id, Op.INSERT, tag)
+        if self.replicator is not None:
+            self.replicator.on_write(self.node_id, name, "del", [row], tag)
         return row
+
+    # ------------------------------------------------------------- replicas
+
+    def replica_bag(self, owner: int, name: str) -> Counter:
+        """The (live) content bag replicating ``owner``'s ``name`` fragment
+        here; created empty on first touch."""
+        slot = (owner, name)
+        bag = self._replicas.get(slot)
+        if bag is None:
+            bag = self._replicas[slot] = Counter()
+        return bag
+
+    def has_replica(self, owner: int, name: str) -> bool:
+        return (owner, name) in self._replicas
+
+    def drop_replica(self, owner: int, name: str) -> None:
+        self._replicas.pop((owner, name), None)
+
+    def replica_slots(self) -> List[Tuple[int, str]]:
+        return sorted(self._replicas)
+
+    def replica_rows(self, owner: int, name: str) -> List[Row]:
+        """The replicated rows, expanded from the bag in deterministic
+        (repr-sorted) order — failover restores iterate this."""
+        bag = self._replicas.get((owner, name))
+        if bag is None:
+            return []
+        return sorted(bag.elements(), key=repr)
+
+    def replica_mirror(self, owner: int, name: str, action: str, rows: List[Row]) -> None:
+        """Apply a replica mutation without guard or charge (bookkeeping:
+        the coordinator's replay mirror and undo reversal use this)."""
+        bag = self.replica_bag(owner, name)
+        if action == "ins":
+            for row in rows:
+                bag[row] += 1
+        elif action == "del":
+            for row in rows:
+                bag[row] -= 1
+                if bag[row] <= 0:
+                    del bag[row]
+        else:
+            raise ValueError(f"unknown replica action {action!r}")
+
+    def replica_apply(
+        self, owner: int, name: str, action: str, rows: List[Row], tag: Tag
+    ) -> None:
+        """Apply a replica mutation here; bills one INSERT-weight write per
+        row (the replica copy is a real table write in the model)."""
+        if not rows:
+            return
+        self._guard(f"replica apply for {name!r} (owner {owner})")
+        self.replica_mirror(owner, name, action, rows)
+        self.ledger.charge(self.node_id, Op.INSERT, tag, count=len(rows))
+
+    def remap_replica_owners(self, mapping: Dict[int, int]) -> None:
+        """Renumber replica owner ids after a membership change; replicas
+        of owners absent from ``mapping`` (the departed node) are dropped."""
+        self._replicas = {
+            (mapping[owner], name): bag
+            for (owner, name), bag in self._replicas.items()
+            if owner in mapping
+        }
 
     # -------------------------------------------------------- access paths
 

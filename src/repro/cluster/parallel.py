@@ -64,6 +64,7 @@ COMMAND_KINDS = frozenset(
     {
         "probe", "ins", "del", "gi_probe", "fetch",
         "gi_ins", "gi_del", "merge", "rr_del", "charge",
+        "migrate", "handoff", "replica_apply",
     }
 )
 
@@ -294,7 +295,51 @@ def _execute_op(nodes, cache: Optional[HeavyHitterProbeCache], op, events=None):
             _note_event(events, node_id, "charge", cost_op.value)
         nodes[node_id].ledger.charge(node_id, cost_op, tag, count=count)
         return None
+    if kind == "migrate":
+        # Topology-change arrival: rows land in the destination fragment,
+        # billed like any insert (their SENDs are charged by the planner).
+        _, node_id, name, rows, tag = op
+        if events is not None:
+            _note_event(events, node_id, "migrate")
+        if cache is not None and cache.has_resident_rows():
+            for row in rows:
+                cache.note_write(node_id, name, row)
+        return nodes[node_id].insert_many(name, list(rows), tag)
+    if kind == "handoff":
+        # Topology-change departure: the planner already located the rowids,
+        # so no SEARCH — just the physical removal, one write I/O per row.
+        _, node_id, name, rowids, tag = op
+        node = nodes[node_id]
+        if events is not None:
+            _note_event(events, node_id, "handoff")
+        for rowid in rowids:
+            if cache is not None:
+                cache.note_write(node_id, name, node.fragment(name).table.fetch(rowid))
+            node.delete_by_rowid(name, rowid, tag)
+        return None
+    if kind == "replica_apply":
+        _, node_id, owner, name, action, rows, tag = op
+        if events is not None:
+            _note_event(events, node_id, "replica_apply", action)
+        nodes[node_id].replica_apply(owner, name, action, list(rows), tag)
+        return None
     raise ValueError(f"unknown parallel op {kind!r}")
+
+
+def run_ops_serial(cluster: "Cluster", ops: Sequence[tuple]) -> List[object]:
+    """Execute envelope ops directly against the coordinator image.
+
+    The membership/rebalance planners speak the same stringly-typed op
+    vocabulary as the parallel engine but always run with the pool drained
+    (a topology change reshapes the shards), so their envelopes execute
+    in-process: nodes bill the real ledger and mutations land on the real
+    image, exactly like the engine's ``workers=1`` inline shard.
+    """
+    if cluster.sanitize:
+        for op in ops:
+            validate_op(op)
+    nodes = cluster.nodes
+    return [_execute_op(nodes, None, op) for op in ops]
 
 
 def _worker_main(cluster: "Cluster", lo: int, hi: int, conn, threshold: int) -> None:
@@ -646,6 +691,17 @@ class ParallelEngine:
         elif kind == "gi_del":
             if result:
                 nodes[op[1]].gi_partition(op[2]).delete(op[3], op[4])
+        elif kind == "migrate":
+            rowids = nodes[op[1]].fragment(op[2]).insert_many(op[3])
+            if rowids != result:  # pragma: no cover - invariant guard
+                raise RuntimeError(
+                    f"replay rowid divergence on {op[2]!r} at node {op[1]}"
+                )
+        elif kind == "handoff":
+            for rowid in op[3]:
+                nodes[op[1]].fragment(op[2]).delete(rowid)
+        elif kind == "replica_apply":
+            nodes[op[1]].replica_mirror(op[2], op[3], op[4], op[5])
         # probe / gi_probe / fetch / merge / charge are read-or-charge only.
 
     # -------------------------------------------------------------- stats

@@ -251,6 +251,23 @@ class DeferredMaintainer:
             return self.refresh()
         return None
 
+    def remap_nodes(self, mapping: Dict[int, int], fallback: int) -> None:
+        """Rehome queued placements after a membership change.
+
+        ``mapping`` sends surviving old node ids to their new dense ids;
+        placements at an id absent from the mapping (the failed node) move
+        to ``fallback`` — the promoted replica successor, which holds a
+        copy of everything the lost producer stored.  Pure bookkeeping:
+        placements only feed SEND-source accounting at flush time.
+        """
+        for placements in self._placed.values():
+            placements[:] = [
+                placed
+                if mapping.get(placed.node, -1) == placed.node
+                else PlacedRow(mapping.get(placed.node, fallback), -1, placed.row)
+                for placed in placements
+            ]
+
     def discard_pending(self) -> int:
         """Drop the queue without applying it; returns the changes dropped.
 

@@ -29,6 +29,7 @@ class Op(enum.Enum):
     INSERT = "insert"
     SCAN_PAGE = "scan_page"  # one page of a sequential scan (sort-merge regime)
     SORT_PAGE = "sort_page"  # one page-I/O of external sorting
+    BACKOFF = "backoff"  # one retry backoff slot waited at the sender
 
 
 class Tag(enum.Enum):
@@ -44,6 +45,8 @@ class Tag(enum.Enum):
     MAINTAIN = "maintain"  # the differential work the paper's TW measures
     VIEW = "view"          # applying the computed delta to the view
     QUERY = "query"        # ad-hoc reads outside maintenance
+    MIGRATE = "migrate"    # topology-change data movement (join/leave/failover)
+    REPLICA = "replica"    # keeping K-1 fragment replicas in sync
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,7 @@ class CostParameters:
     insert_ios: float = 2.0
     scan_page_ios: float = 1.0
     sort_page_ios: float = 1.0
+    backoff_slot_ios: float = 0.0
 
     def weight(self, op: Op) -> float:
         return {
@@ -65,6 +69,7 @@ class CostParameters:
             Op.INSERT: self.insert_ios,
             Op.SCAN_PAGE: self.scan_page_ios,
             Op.SORT_PAGE: self.sort_page_ios,
+            Op.BACKOFF: self.backoff_slot_ios,
         }[op]
 
 

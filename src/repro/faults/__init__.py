@@ -29,6 +29,7 @@ from .errors import (
 )
 from .plan import FaultEvent, FaultKind, FaultPlan
 from .injector import FaultInjector, InjectorStats, MessageFate
+from .backoff import BackoffPolicy, BackoffState
 from .undo import RollbackReport, UndoEntry, UndoLog
 from .recovery import (
     ControllerStats,
@@ -58,6 +59,8 @@ __all__ = [
     "FaultInjector",
     "InjectorStats",
     "MessageFate",
+    "BackoffPolicy",
+    "BackoffState",
     "UndoLog",
     "UndoEntry",
     "RollbackReport",

@@ -117,7 +117,32 @@ class ConsistencyAuditor:
         for name in list(self.cluster.catalog.relations):
             report.findings.extend(self.audit_placement(name))
             report.relations_checked += 1
+        report.findings.extend(self.audit_replicas())
         return report
+
+    def audit_replicas(self) -> List[Discrepancy]:
+        """Bag-compare every replica copy against its primary fragment.
+
+        Replicas are derived state too: each bag must hold exactly the
+        owner's live fragment contents.  Skipped (empty list) when
+        replication is disabled.
+        """
+        replicator = getattr(self.cluster, "replicator", None)
+        if replicator is None:
+            return []
+        findings: List[Discrepancy] = []
+        for owner, target, name in replicator._desired_slots():
+            expected = Counter(self.cluster.nodes[owner].scan(name))
+            actual = Counter(
+                dict(self.cluster.nodes[target].replica_bag(owner, name))
+            )
+            findings.extend(
+                self._diff(
+                    "replica", f"{name}@{target} (owner {owner})",
+                    expected, actual,
+                )
+            )
+        return findings
 
     def audit_view(self, name: str) -> List[Discrepancy]:
         from ..core.deferred import DeferredMaintainer
@@ -283,4 +308,7 @@ class ConsistencyAuditor:
                     cluster.nodes[dest].fragment(name).insert(row)
                     info.row_count += 1
             report.views_rebuilt.append(name)
+        # Rebuilt fragments bypassed the replication hooks: re-converge the
+        # replica bags (uncharged, like the rebuild itself).
+        cluster._sync_replicas()
         return report

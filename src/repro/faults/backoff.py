@@ -1,0 +1,69 @@
+"""Deterministic, seeded, capped exponential backoff with jitter.
+
+The unreliable-network retry path used to retry immediately, tracking only a
+latency statistic (``NetworkStats.backoff_slots``).  Real senders back off —
+and a cost model that charges every SEND attempt should also account for the
+slots a sender spends waiting, or fault runs under-report response time at
+the hot link.  :class:`BackoffPolicy` is the declarative schedule; a
+:class:`BackoffState` draws jitter from its own ``random.Random(seed)`` so
+the slot sequence is a pure function of (policy, seed, retry sequence) and
+ledger merges stay bit-stable across runs.
+
+Slots for retry attempt *n* (1-based):
+
+    ``raw = min(cap, base ** (n - 1))``
+    ``slots = raw * (1 - jitter) + raw * jitter * rng.random()``
+
+i.e. uniform in ``[raw * (1 - jitter), raw]`` — "equal jitter" truncated at
+``cap`` so a long drop streak cannot explode the modeled wait.  Each slot is
+charged as one :data:`Op.BACKOFF` at the sender (weight
+``backoff_slot_ios``, 0.0 under the paper's weights, so TW figures are
+unchanged unless a sensitivity study prices waiting).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy", "BackoffState"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Declarative retry-backoff schedule."""
+
+    base: float = 2.0
+    cap: float = 16.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base < 1.0:
+            raise ValueError("backoff base must be >= 1")
+        if self.cap < 1.0:
+            raise ValueError("backoff cap must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+class BackoffState:
+    """A policy plus its seeded jitter stream (one per network)."""
+
+    __slots__ = ("policy", "seed", "rng")
+
+    def __init__(self, policy: BackoffPolicy | None = None, seed: int = 0) -> None:
+        self.policy = policy or BackoffPolicy()
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def slots(self, attempt: int) -> float:
+        """Backoff slots to wait after failed attempt ``attempt`` (1-based)."""
+        policy = self.policy
+        raw = min(policy.cap, policy.base ** max(0, attempt - 1))
+        if policy.jitter == 0.0:
+            return raw
+        return raw * (1.0 - policy.jitter) + raw * policy.jitter * self.rng.random()
+
+    def reset(self) -> None:
+        """Rewind the jitter stream (used when fault state is re-armed)."""
+        self.rng = random.Random(self.seed)

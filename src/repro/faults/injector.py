@@ -95,6 +95,22 @@ class FaultInjector:
             self.restart(node)
         return revived
 
+    def forget(self, node: int) -> None:
+        """Drop a crashed node from the down set *without* counting a
+        restart — failover decommissions the node instead of reviving it."""
+        self._down.discard(node)
+
+    def remap_nodes(self, mapping: Dict[int, int]) -> None:
+        """Renumber the down set after a membership change.
+
+        ``mapping`` sends surviving old node ids to their new dense ids;
+        ids absent from the mapping (the departed node) are dropped.
+        Planned events keep their literal node ids and are interpreted in
+        the *new* id space from here on — elastic tests should schedule at
+        most one topology change per plan.
+        """
+        self._down = {mapping[n] for n in self._down if n in mapping}
+
     def _apply_due_triggers(self) -> None:
         """Fire crash/restart events whose message-count gate has passed."""
         for event in self.plan.events:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from .audit import ConsistencyAuditor, RepairReport
+from .backoff import BackoffPolicy, BackoffState
 from .errors import FaultError, NodeDown, ProbeFailure, StatementAborted
 from .injector import FaultInjector
 from .plan import FaultPlan
@@ -51,10 +52,12 @@ class RecoveryPolicy:
     statements for replay instead of raising; ``degrade_when_down``
     applies base writes even when a derived-structure node is down,
     repaying with a naive recomputation at recovery; ``charge_rollback``
-    bills one write I/O per undone physical write; ``backoff_base`` is the
-    exponential backoff multiplier (latency-only, tracked in
-    ``NetworkStats.backoff_slots`` — the paper's I/O model prices no wall
-    clock).
+    bills one write I/O per undone physical write; ``backoff_base`` /
+    ``backoff_cap`` / ``backoff_jitter`` shape the seeded exponential
+    backoff between send retries (slots are tracked in
+    ``NetworkStats.backoff_slots`` and charged as ``Op.BACKOFF`` cells —
+    weight 0.0 under the paper's parameters, so TW is unchanged unless a
+    sensitivity study prices waiting).
     """
 
     max_send_retries: int = 3
@@ -65,6 +68,8 @@ class RecoveryPolicy:
     degrade_when_down: bool = False
     charge_rollback: bool = True
     backoff_base: float = 2.0
+    backoff_cap: float = 16.0
+    backoff_jitter: float = 0.25
 
     @classmethod
     def protected(cls) -> "RecoveryPolicy":
@@ -369,7 +374,16 @@ def attach_faults(
     network.injector = injector
     network.max_retries = policy.max_send_retries
     network.dedup = policy.dedup
-    network.backoff_base = policy.backoff_base
+    # Jitter is seeded from the injector so the whole fault run — fates and
+    # backoff slots alike — is a function of one seed.
+    network.backoff = BackoffState(
+        BackoffPolicy(
+            base=policy.backoff_base,
+            cap=policy.backoff_cap,
+            jitter=policy.backoff_jitter,
+        ),
+        seed=injector.seed,
+    )
     for node in cluster.nodes:
         node.faults = controller
     return controller
@@ -382,5 +396,6 @@ def detach_faults(cluster: "Cluster") -> None:
     network.injector = None
     network.max_retries = 0
     network.dedup = True
+    network.backoff = BackoffState()
     for node in cluster.nodes:
         node.faults = None

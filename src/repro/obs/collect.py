@@ -177,9 +177,48 @@ def collect_cluster_metrics(
             fragment_tuples.set(tuples, node=node.node_id, name=name)
             fragment_pages.set(pages, node=node.node_id, name=name)
 
+    # -- membership / replication ---------------------------------------
+    membership = getattr(cluster, "membership", None)
+    if membership is not None:
+        topology = registry.gauge(
+            "repro_membership", "Cluster topology state (nodes, epoch, K)"
+        )
+        topology.set(cluster.num_nodes, kind="nodes")
+        topology.set(
+            getattr(cluster, "peak_num_nodes", cluster.num_nodes),
+            kind="peak_nodes",
+        )
+        topology.set(membership.epoch, kind="epoch")
+        topology.set(membership.replication, kind="replication")
+        replica_tuples = registry.gauge(
+            "repro_replica_tuples",
+            "Replicated tuples held per (target node, owner, fragment)",
+        )
+        for node in cluster.nodes:
+            for owner, name in node.replica_slots():
+                replica_tuples.set(
+                    sum(node.replica_bag(owner, name).values()),
+                    node=node.node_id, owner=owner, name=name,
+                )
+    node_load = registry.gauge(
+        "repro_node_load_ios",
+        "Weighted I/Os charged per node over the cluster's lifetime — the "
+        "rebalancer's primary load signal",
+    )
+    per_node = snapshot.per_node_ios()
+    for node_id in range(cluster.num_nodes):
+        node_load.set(per_node.get(node_id, 0.0), node=node_id)
+
     # -- probe cache -----------------------------------------------------
     engine = cluster._parallel_engine
     if engine is not None:
+        busy = registry.gauge(
+            "repro_worker_busy_ns",
+            "Cumulative busy nanoseconds per pool worker (skew feeds the "
+            "rebalancer's secondary signal)",
+        )
+        for worker_id, busy_ns in enumerate(engine.worker_busy_ns):
+            busy.set(busy_ns, worker=worker_id)
         # Live when the pool runs; the final drain snapshot otherwise —
         # either way the flushed_* accumulators keep epoch-cleared history.
         worker_stats_list = engine.probe_cache_stats()

@@ -278,6 +278,8 @@ def test_rep005_handler_exhaustiveness(tmp_path):
                     return None
                 if kind == "gi_ins" or kind == "gi_del":
                     return None
+                if kind in ("migrate", "handoff", "replica_apply"):
+                    return None
                 raise ValueError(kind)
 
             def _replay(op, result):
@@ -285,6 +287,8 @@ def test_rep005_handler_exhaustiveness(tmp_path):
                 if kind == "ins" or kind == "del" or kind == "rr_del":
                     return
                 if kind == "gi_ins" or kind == "gi_del" or kind == "fetch":
+                    return
+                if kind in ("migrate", "handoff", "replica_apply"):
                     return
         """,
     }, only=["REP005"])

@@ -1,0 +1,206 @@
+"""Fault-injected failover: kill a node mid-transaction, promote its
+replica, replay, and prove convergence.
+
+ISSUE 6's acceptance scenario: with K=2 replication, a node crash in the
+middle of a maintained transaction must end — after ``fail_over`` — in a
+cluster whose views, auxiliary relations, global indexes, placements, and
+replica bags all audit clean, for every maintenance method and for eager
+and deferred views alike.  A fixed-topology fault-free equivalence check
+pins that none of this costs anything until it is used, at workers 1 and 2.
+"""
+
+import pytest
+
+from repro import Cluster, Schema
+from repro.cluster.parallel import fork_available
+from repro.core.deferred import defer_view
+from repro.costs import Tag
+from repro.costs.ledger import format_cell_diff
+from repro.faults import ConsistencyAuditor, FaultPlan, attach_faults
+from tests.conftest import make_view
+
+METHODS = ("naive", "auxiliary", "global_index")
+
+
+def build(method, deferred=False, num_nodes=4, workers=None):
+    cluster = Cluster(
+        num_nodes=num_nodes,
+        sanitize=True,
+        workers=workers,
+    )
+    cluster.create_relation(Schema.of("A", "a", "c", "e"), partitioned_on="a")
+    cluster.create_relation(Schema.of("B", "b", "d", "f"), partitioned_on="b")
+    cluster.insert("B", [(i, i % 5, f"f{i}") for i in range(20)])
+    cluster.insert("A", [(i, i % 5, f"e{i}") for i in range(10)])
+    make_view(cluster, method, strategy="inl")
+    if deferred:
+        defer_view(cluster, "JV")
+    return cluster
+
+
+MID_ROWS = [(50 + i, i % 5, "mid") for i in range(8)]
+
+
+def crash_mid_transaction(cluster, node=2, after_messages=2, seed=11):
+    """Arm a crash gate and run a statement broad enough to trip it.
+
+    The gate fires during the statement's base redistribution (a phase
+    every method shares), so a *primary* write at the dead node faults the
+    statement.  Under the protected recovery policy the statement does not
+    raise: it is rolled back and parked on ``controller.pending`` — that
+    queue is exactly what ``fail_over`` replays.
+    """
+    attach_faults(
+        cluster,
+        plan=FaultPlan().crash(node=node, after_messages=after_messages),
+        seed=seed,
+    )
+    cluster.insert("A", MID_ROWS)
+    controller = cluster.faults
+    assert controller.injector.is_down(node)
+    assert len(controller.pending) == 1  # rolled back and queued, not raised
+    stored = {row[0] for row in cluster.scan_relation("A")}
+    assert stored.isdisjoint({key for key, _c, _e in MID_ROWS})
+
+
+def assert_consistent(cluster):
+    report = ConsistencyAuditor(cluster).audit()
+    assert report.ok, report.summary()
+
+
+# -------------------------------------------------------------- the matrix
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("deferred", [False, True], ids=["eager", "deferred"])
+def test_crash_mid_transaction_failover_converges(method, deferred):
+    cluster = build(method, deferred=deferred)
+    cluster.enable_replication(k=2)
+    crash_mid_transaction(cluster)
+
+    report = cluster.fail_over(2)
+    assert report.kind == "failover"
+    assert report.restored_rows > 0  # the lost fragments came from replicas
+    assert report.promoted is not None
+    assert cluster.num_nodes == 3
+    # The aborted statement was queued and replayed during failover, so the
+    # mid-transaction rows are all present.
+    assert report.replayed_statements >= 1
+    stored = {row[0] for row in cluster.scan_relation("A")}
+    assert {50 + i for i in range(8)} <= stored
+    assert_consistent(cluster)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_failover_charges_migration_and_replica_traffic(method):
+    cluster = build(method)
+    cluster.enable_replication(k=2)
+    crash_mid_transaction(cluster)
+    cluster.fail_over(2)
+    snap = cluster.ledger.snapshot()
+    assert snap.total_workload(tags=[Tag.MIGRATE]) > 0
+    assert snap.total_workload(tags=[Tag.REPLICA]) > 0
+
+
+def test_failover_promotes_deterministic_successor():
+    cluster = build("auxiliary")
+    cluster.enable_replication(k=2)
+    crash_mid_transaction(cluster)
+    # Ring successor of node 2 is node 3 — which renumbers to id 2.
+    assert cluster.replicator.elect_successor(2) == 3
+    report = cluster.fail_over(2)
+    assert report.promoted == 2
+    assert [event.kind for event in cluster.membership.events] == ["failover"]
+    assert cluster.membership.tokens == [0, 1, 3]
+
+
+def test_failover_requires_replication():
+    cluster = build("auxiliary")
+    crash_mid_transaction(cluster)
+    with pytest.raises(RuntimeError, match="repl"):
+        cluster.fail_over(2)
+
+
+def test_failover_requires_a_down_node():
+    cluster = build("auxiliary")
+    cluster.enable_replication(k=2)
+    attach_faults(cluster, plan=FaultPlan())
+    with pytest.raises(ValueError):
+        cluster.fail_over(2)
+
+
+def test_remove_node_refuses_a_down_node():
+    cluster = build("auxiliary")
+    cluster.enable_replication(k=2)
+    crash_mid_transaction(cluster)
+    with pytest.raises(ValueError, match="fail_over"):
+        cluster.remove_node(2)
+
+
+def test_cluster_survives_repeated_failovers():
+    cluster = build("auxiliary", num_nodes=5)
+    cluster.enable_replication(k=2)
+    crash_mid_transaction(cluster, node=2)
+    cluster.fail_over(2)
+    assert_consistent(cluster)
+    cluster.insert("A", [(90, 0, "again")])
+    # Crash another node (post-renumber id space) and fail over again.
+    cluster.faults.injector.crash(1)
+    cluster.insert("A", [(91 + i, i % 5, "more") for i in range(6)])
+    assert len(cluster.faults.pending) == 1
+    cluster.fail_over(1)
+    assert cluster.num_nodes == 3
+    assert len(cluster.faults.pending) == 0
+    stored = {row[0] for row in cluster.scan_relation("A")}
+    assert {90, 91, 92, 93, 94, 95, 96} <= stored
+    assert_consistent(cluster)
+
+
+def test_degraded_replica_writes_never_abort_statements():
+    """A dead replica target silently degrades redundancy (the primary
+    write stands); failover's charged sync restores the copies."""
+    cluster = build("auxiliary")
+    # A view-free relation isolates the replica hook: no maintenance
+    # traffic can touch the dead node on C's behalf.
+    cluster.create_relation(Schema.of("C", "g", "h"), partitioned_on="g")
+    cluster.enable_replication(k=2)
+    attach_faults(cluster, plan=FaultPlan().crash(node=3, after_messages=0))
+    assert cluster.faults.injector.is_down(3)
+    # Key 50 homes at node 2, whose replica target — its ring successor —
+    # is the dead node 3.  The primary write must stand; the replica copy
+    # is silently skipped (degraded redundancy) rather than faulting.
+    cluster.insert("C", [(50, "live"), (49, "live")])
+    assert len(cluster.faults.pending) == 0
+    stored = {row[0] for row in cluster.scan_relation("C")}
+    assert stored == {49, 50}
+    assert cluster.nodes[3].replica_rows(2, "C") == []  # nothing shipped
+    cluster.fail_over(3)
+    assert_consistent(cluster)
+
+
+# ----------------------------------------- fixed-topology ledger identity
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+@pytest.mark.parametrize("workers", [1, 2])
+def test_fault_free_fixed_topology_parallel_identity(workers):
+    """With no membership change and no replication, a workers=W run's
+    ledger, network stats, and fragments are bit-identical to the serial
+    reference — the elastic layer never touches the fault-free path."""
+
+    def run(w):
+        cluster = build("auxiliary", workers=w)
+        cluster.insert("A", [(30 + i, i % 5, "w") for i in range(12)])
+        cluster.delete("B", [(4, 4, "f4")])
+        cluster.close()
+        return cluster
+
+    parallel, serial = run(workers), run(None)
+    diff = parallel.ledger.diff(serial.ledger)
+    assert not diff, format_cell_diff(diff)
+    assert parallel.network.stats.messages == serial.network.stats.messages
+    for name in ("A", "B", "JV"):
+        for node_p, node_s in zip(parallel.nodes, serial.nodes):
+            if node_s.has_fragment(name):
+                assert node_p.scan(name) == node_s.scan(name)
+    assert parallel.membership.epoch == serial.membership.epoch == 0

@@ -92,8 +92,34 @@ def test_dropped_message_retries_and_charges_every_attempt(network):
     # Two lost attempts + the successful third: three SENDs on the wire.
     assert network.ledger.snapshot().op_count(Op.SEND) == 3
     assert network.stats.retries == 2
-    # Exponential backoff: 1 + 2 slots for the two retries.
-    assert network.stats.backoff_slots == pytest.approx(3.0)
+    # Seeded jittered backoff: raw slots are 1 then 2, each drawn down into
+    # [raw * (1 - jitter), raw] by the same deterministic stream.
+    from repro.faults import BackoffState
+
+    reference = BackoffState()
+    expected = reference.slots(1) + reference.slots(2)
+    assert network.stats.backoff_slots == pytest.approx(expected)
+    assert 3.0 * (1 - network.backoff.policy.jitter) <= expected <= 3.0
+    # The wait is charged to the ledger as BACKOFF slots at the sender.
+    assert network.ledger.snapshot().op_count(Op.BACKOFF) == pytest.approx(expected)
+
+
+def test_backoff_deterministic_capped_and_seeded():
+    from repro.faults import BackoffPolicy, BackoffState
+
+    policy = BackoffPolicy(base=2.0, cap=4.0, jitter=0.5)
+    first = BackoffState(policy, seed=7)
+    second = BackoffState(policy, seed=7)
+    slots_a = [first.slots(n) for n in range(1, 8)]
+    slots_b = [second.slots(n) for n in range(1, 8)]
+    assert slots_a == slots_b  # same seed, same stream
+    for attempt, slot in enumerate(slots_a, start=1):
+        raw = min(policy.cap, policy.base ** (attempt - 1))
+        assert raw * (1 - policy.jitter) <= slot <= raw
+    # Deep retries saturate at the cap instead of exploding.
+    assert all(slot <= policy.cap for slot in slots_a)
+    other_seed = BackoffState(policy, seed=8)
+    assert [other_seed.slots(n) for n in range(1, 8)] != slots_a
 
 
 def test_drops_beyond_budget_raise_message_lost(network):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster.partitioning import (
+    ConsistentHashPartitioning,
     HashPartitioning,
     RoundRobinPartitioning,
     spread_evenly,
@@ -87,3 +88,101 @@ def test_spread_evenly_uniform_sequential_keys():
 def test_describe():
     assert HashPartitioning("c").describe() == "hash(c)"
     assert RoundRobinPartitioning().describe() == "round-robin"
+
+
+# ------------------------------------------------------- consistent hashing
+
+
+def _ring(num_nodes, tokens=None, weights=None, vnodes=64):
+    schema = Schema.of("R", "k", "v")
+    return ConsistentHashPartitioning("k", vnodes=vnodes).bind(
+        schema, num_nodes, tokens=tokens, weights=weights
+    )
+
+
+KEYS = list(range(4000))
+
+
+def test_consistent_hash_routes_and_describes():
+    bound = _ring(4)
+    assert bound.is_hash
+    assert bound.column == "k"
+    assert 0 <= bound.node_of_key(17) < 4
+    assert bound.node_of_row((17, "x")) == bound.node_of_key(17)
+    assert ConsistentHashPartitioning("k").describe() == "consistent(k)"
+
+
+def test_consistent_hash_spreads_sequential_keys():
+    from collections import Counter
+
+    counts = Counter(_ring(4).node_of_key(k) for k in KEYS)
+    assert set(counts) == {0, 1, 2, 3}
+    # Every node holds a reasonable share (ring variance, not modulo
+    # exactness: the bound is loose but rules out the degenerate piles).
+    assert min(counts.values()) > len(KEYS) / 4 / 2
+    assert max(counts.values()) < len(KEYS) / 4 * 2
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 8])
+def test_consistent_hash_join_minimal_movement(n):
+    """Growing N -> N+1 relocates ~1/(N+1) of the keys — and every key
+    that moves, moves TO the new node (nothing shuffles between
+    survivors)."""
+    before = _ring(n, tokens=list(range(n)))
+    after = _ring(n + 1, tokens=list(range(n + 1)))
+    moved = [k for k in KEYS if before.node_of_key(k) != after.node_of_key(k)]
+    assert all(after.node_of_key(k) == n for k in moved)
+    ideal = len(KEYS) / (n + 1)
+    assert 0.5 * ideal < len(moved) < 2.0 * ideal
+
+
+def test_consistent_hash_leave_moves_only_departed_keys():
+    """Retiring one token relocates exactly that token's keys; surviving
+    nodes keep every key they had (stable-token property)."""
+    before = _ring(4, tokens=[0, 1, 2, 3])
+    # Node id 1 departs; ids renumber densely but tokens survive.
+    after = _ring(3, tokens=[0, 2, 3])
+    for k in KEYS:
+        old = before.node_of_key(k)
+        if old == 1:
+            continue  # departed node: key must land somewhere live
+        expected_new_id = old if old < 1 else old - 1
+        assert after.node_of_key(k) == expected_new_id
+
+
+def test_consistent_hash_split_deterministic_across_rebinds():
+    bound = _ring(4)
+    rows = [(k, f"v{k}") for k in range(200)]
+    first = bound.split(rows)
+    again = bound.split(rows)
+    rebound = bound.rebind(4, tokens=bound.tokens).split(rows)
+    assert first == again == rebound
+
+
+def test_consistent_hash_rebind_keeps_weights():
+    bound = _ring(4, weights={2: 80})
+    rebound = bound.rebind(4, tokens=bound.tokens)
+    assert rebound.weights == {2: 80}
+    assert rebound.split([(k, "") for k in KEYS]) == bound.split(
+        [(k, "") for k in KEYS]
+    )
+
+
+def test_consistent_hash_weights_shift_load():
+    from collections import Counter
+
+    even = Counter(_ring(4).node_of_key(k) for k in KEYS)
+    heavy = Counter(
+        _ring(4, weights={0: 128}).node_of_key(k) for k in KEYS
+    )
+    assert heavy[0] > even[0]  # doubling token 0's vnodes attracts keys
+
+
+def test_consistent_hash_tokens_must_be_unique():
+    with pytest.raises(ValueError):
+        _ring(2, tokens=[7, 7])
+
+
+def test_consistent_hash_rebind_validates_token_count():
+    with pytest.raises(ValueError):
+        _ring(2).rebind(3, tokens=[0, 1])
