@@ -1,26 +1,30 @@
-"""REP005 — the envelope op vocabulary stays bijective.
+"""REP005 — the envelope op and refresh-block vocabularies stay bijective.
 
-The parallel engine's protocol is stringly typed: coordinators build
-``("ins", node, ...)`` tuples, workers dispatch on ``op[0]`` in
-``_execute_op``, and the coordinator mirrors mutations in ``_replay``.
-``repro.cluster.parallel`` therefore publishes the vocabulary once —
-``COMMAND_KINDS`` / ``READ_ONLY_KINDS`` — and everything else must agree
-with it:
+The parallel engine's protocol is stringly typed on two axes: coordinators
+build ``("ins", node, ...)`` command tuples which workers dispatch on
+``op[0]`` in ``_execute_op``, and the refresh journal ships columnar
+``DeltaBlock`` payloads which workers dispatch on ``block.kind`` in
+``_apply_block``.  ``repro.cluster.parallel`` therefore publishes both
+vocabularies once — ``COMMAND_KINDS`` / ``READ_ONLY_KINDS`` /
+``BLOCK_KINDS`` — and everything else must agree with them:
 
 1. ``_execute_op`` must have a ``kind == "..."`` branch for **exactly**
    ``COMMAND_KINDS`` (a missing branch drops commands at runtime; an extra
    branch is dead protocol the registry doesn't know about);
-2. ``_replay`` must cover exactly the mutating kinds
-   (``COMMAND_KINDS - READ_ONLY_KINDS``) — replaying a read corrupts the
-   coordinator image, skipping a mutation forks it from the shards;
+2. ``_apply_block`` must cover exactly ``BLOCK_KINDS`` — skipping a block
+   kind forks worker images from the coordinator, an extra branch is
+   unreachable wire format;
 3. every envelope construction site — a tuple literal whose head is a
    string constant, appended to an ``*ops`` list or passed (in a list) to
-   ``run_ops`` — must use a registered kind.
+   ``run_ops`` — must use a registered command kind;
+4. every ``DeltaBlock("...", ...)`` construction site whose kind argument
+   is a string literal must use a registered block kind (named-constant
+   kinds resolve through the registry module itself and are exempt).
 
-The registry is imported from the live module, not re-parsed, so the rule
-can never drift from the engine.  No annotation key: a vocabulary mismatch
-has no legitimate exception (extend the registry instead); ``noqa=REP005``
-remains for emergencies.
+The registries are imported from the live module, not re-parsed, so the
+rule can never drift from the engine.  No annotation key: a vocabulary
+mismatch has no legitimate exception (extend the registry instead);
+``noqa=REP005`` remains for emergencies.
 """
 
 from __future__ import annotations
@@ -38,14 +42,18 @@ ENGINE = "cluster/parallel.py"
 #: the registry expression naming the kind set each must cover.
 HANDLERS = {
     "_execute_op": "COMMAND_KINDS",
-    "_replay": "COMMAND_KINDS - READ_ONLY_KINDS",
+    "_apply_block": "BLOCK_KINDS",
 }
 
 
-def _registry() -> tuple[frozenset, frozenset]:
-    from repro.cluster.parallel import COMMAND_KINDS, READ_ONLY_KINDS
+def _registry() -> tuple[frozenset, frozenset, frozenset]:
+    from repro.cluster.parallel import (
+        BLOCK_KINDS,
+        COMMAND_KINDS,
+        READ_ONLY_KINDS,
+    )
 
-    return COMMAND_KINDS, READ_ONLY_KINDS
+    return COMMAND_KINDS, READ_ONLY_KINDS, BLOCK_KINDS
 
 
 def _kind_comparisons(fn: ast.AST) -> Set[str]:
@@ -104,12 +112,30 @@ def _constructed_ops(call: ast.Call) -> Sequence[ast.expr]:
     return []
 
 
-@register("REP005", "envelope kinds, handlers, and replay set must biject")
+def _block_kind_literal(call: ast.Call) -> Optional[ast.Constant]:
+    """The string-literal kind of a ``DeltaBlock(...)`` construction, or
+    ``None`` (not a DeltaBlock call / kind passed as a named constant)."""
+    name = trailing_name(call.func)
+    if name != "DeltaBlock":
+        return None
+    kind_arg: Optional[ast.expr] = None
+    if call.args:
+        kind_arg = call.args[0]
+    else:
+        for keyword in call.keywords:
+            if keyword.arg == "kind":
+                kind_arg = keyword.value
+                break
+    if isinstance(kind_arg, ast.Constant) and isinstance(kind_arg.value, str):
+        return kind_arg
+    return None
+
+
+@register("REP005", "envelope kinds, handlers, and block kinds must biject")
 def check_envelopes(ctx: RuleContext) -> Iterable[Finding]:
     if not ctx.in_dirs(SCOPE):
         return []
-    command_kinds, read_only = _registry()
-    mutating = command_kinds - read_only
+    command_kinds, read_only, block_kinds = _registry()
     findings: List[Finding] = []
 
     def report(line: int, column: int, message: str) -> None:
@@ -124,7 +150,7 @@ def check_envelopes(ctx: RuleContext) -> Iterable[Finding]:
         )
 
     if ctx.path == ENGINE:
-        expected = {"_execute_op": command_kinds, "_replay": mutating}
+        expected = {"_execute_op": command_kinds, "_apply_block": block_kinds}
         for fn in ctx.functions():
             want = expected.get(fn.name)
             if want is None:
@@ -163,4 +189,13 @@ def check_envelopes(ctx: RuleContext) -> Iterable[Finding]:
                     "COMMAND_KINDS in cluster/parallel.py (and to "
                     "READ_ONLY_KINDS if it never mutates)",
                 )
+        literal = _block_kind_literal(node)
+        if literal is not None and literal.value not in block_kinds:
+            report(
+                literal.lineno,
+                literal.col_offset,
+                f"DeltaBlock constructed with unregistered kind "
+                f"{literal.value!r}; workers would raise in _apply_block — "
+                "add it to BLOCK_KINDS in cluster/parallel.py",
+            )
     return findings

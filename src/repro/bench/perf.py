@@ -51,7 +51,7 @@ from ..core.deferred import defer_view
 from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
 from ..workloads.uniform import UniformJoinWorkload, build_cluster
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 METHODS = ("naive", "auxiliary", "global_index")
 WORKLOADS = ("uniform", "skewed")
 MODES = ("eager", "deferred")
@@ -62,6 +62,11 @@ HEADLINE_TARGET_SPEEDUP = 3.0
 HEADLINE_PARALLEL_TARGET_SPEEDUP = 2.0
 #: Acceptance bound for the workers=1 pool (pure engine overhead).
 PARALLEL_OVERHEAD_BUDGET = 0.10
+#: Overheads below this fraction are indistinguishable from run-to-run
+#: timing noise on a shared box; ``workers1_overhead`` is clamped at zero
+#: and carries the raw signed measurement alongside, so CI asserts against
+#: ``max(0, raw) <= budget`` instead of a noise sign-flip.
+PARALLEL_OVERHEAD_NOISE_FLOOR = 0.02
 
 
 def config_seed(name: str) -> int:
@@ -417,22 +422,30 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
     """
     workers = max(config.worker_counts)
     seed = config_seed(f"headline_parallel/skewed/auxiliary/w{workers}")
-    #: (elapsed, per-worker busy ns, supersteps) per parallel repeat; the
-    #: record of the best repeat feeds the skew fields below.
-    parallel_runs: List[Tuple[float, List[int], int]] = []
+    #: Engine telemetry snapshots (busy ns, supersteps, statements, per-
+    #: worker IPC bytes, per-worker envelopes); the timing runs record one
+    #: per repeat, and a dedicated statement-stream run (below) records the
+    #: snapshot the transport/skew fields are built from.
+    parallel_runs: List[Tuple[List[int], int, int, List[int], List[int]]] = []
 
-    def observe(cluster, elapsed: float) -> None:
+    def observe(cluster, _elapsed: float) -> None:
         engine = cluster._parallel_engine
         if engine is not None:
-            parallel_runs.append(
-                (elapsed, list(engine.worker_busy_ns), engine.supersteps)
-            )
+            parallel_runs.append((
+                list(engine.worker_busy_ns),
+                engine.supersteps,
+                engine.statements,
+                [
+                    tx + rx
+                    for tx, rx in zip(engine.ipc_tx_bytes, engine.ipc_rx_bytes)
+                ],
+                list(engine.envelopes),
+            ))
 
     def once(w: Optional[int]) -> float:
         return _time_statements(
             config, "skewed", "auxiliary", w, seed,
             config.headline_rows, statement_size=config.headline_rows,
-            observer=observe if w == workers else None,
         )
 
     repeats = max(config.repeats, 3) if config.repeats > 1 else 1
@@ -441,18 +454,31 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
         serial = min(serial, once(None))
         parallel = min(parallel, once(workers))
         one_worker = min(one_worker, once(1))
+    # Transport + skew measurement: the same workload as a *stream* of
+    # ``statement_size``-row statements.  One giant statement finishes in a
+    # single superstep whose per-worker CPU time is microseconds — pure
+    # timer noise; the stream accumulates hundreds of supersteps of sticky-
+    # routed probes, which is what the skew-aware router actually balances,
+    # and gives the per-statement envelope/barrier normalization meaning.
+    _time_statements(
+        config, "skewed", "auxiliary", workers, seed,
+        config.headline_rows, observer=observe,
+    )
     speedup = serial / parallel
-    overhead = one_worker / serial - 1.0
-    # Per-worker wall-clock variance of the best parallel repeat: with
-    # contiguous node shards, Zipf-hot keys concentrate on few nodes and the
-    # max/min busy-time ratio quantifies how unevenly the superstep work
-    # landed (the skew-diagnosis report names the keys responsible).
+    raw_overhead = one_worker / serial - 1.0
+    # A negative measured overhead means the workers=1 engine timed *under*
+    # serial — pure noise (it runs a strict superset of the serial work).
+    # Report max(0, raw) so CI can assert against the budget meaningfully,
+    # with the signed raw value and the noise floor alongside.
+    overhead = max(0.0, raw_overhead)
+    # Per-worker busy-CPU variance of the statement-stream run: slot-sticky
+    # skew-aware routing spreads Zipf-hot keys by observed match counts, so
+    # the max/min busy ratio measures how well that worked (the
+    # skew-diagnosis report names the keys responsible).
     if parallel_runs:
-        _best_elapsed, busy_ns, supersteps = min(
-            parallel_runs, key=lambda record: record[0]
-        )
+        busy_ns, supersteps, statements, ipc_bytes, envelopes = parallel_runs[-1]
     else:  # pragma: no cover - engine never armed (fork unavailable)
-        busy_ns, supersteps = [], 0
+        busy_ns, supersteps, statements, ipc_bytes, envelopes = [], 0, 0, [], []
     busy_seconds = [round(ns / 1e9, 6) for ns in busy_ns]
     min_busy = min(busy_ns) if busy_ns else 0
     worker_skew = round(max(busy_ns) / min_busy, 4) if min_busy > 0 else None
@@ -472,9 +498,29 @@ def run_headline_parallel(config: PerfConfig) -> Dict[str, object]:
         "met_target": speedup >= HEADLINE_PARALLEL_TARGET_SPEEDUP,
         "workers1_seconds": round(one_worker, 6),
         "workers1_overhead": round(overhead, 4),
+        "workers1_overhead_raw": round(raw_overhead, 4),
+        "noise_floor": PARALLEL_OVERHEAD_NOISE_FLOOR,
         "workers1_overhead_budget": PARALLEL_OVERHEAD_BUDGET,
         "workers1_within_budget": overhead <= PARALLEL_OVERHEAD_BUDGET,
+        # Transport/skew fields below come from the statement-stream
+        # measurement run (this size), not the single-statement timing runs.
+        "measurement_statement_size": config.statement_size,
         "supersteps": supersteps,
+        "statements": statements,
+        # Framed step-envelope bytes (tx+rx) per worker over the whole
+        # measurement stream — the wire no longer carries mutations or view
+        # rows.
+        "ipc_bytes_per_worker": ipc_bytes,
+        # Envelopes per statement across the pool; <= workers means at most
+        # one envelope per worker per transaction statement.
+        "envelopes_per_statement": (
+            round(sum(envelopes) / statements, 4) if statements else None
+        ),
+        # Reply barriers per transaction statement (was 3 pre-refactor:
+        # fused mutations, probe hop, view writes — now just the read hop).
+        "barriers_per_transaction": (
+            round(supersteps / statements, 4) if statements else None
+        ),
         "worker_busy_seconds": busy_seconds,
         "worker_skew": worker_skew,
     }
@@ -644,9 +690,12 @@ def validate_report(report: Dict[str, object]) -> List[str]:
     parallel = report.get("headline_parallel", {})
     for key in scaling_required | {
         "name", "target_speedup", "met_target",
-        "workers1_seconds", "workers1_overhead",
-        "workers1_overhead_budget", "workers1_within_budget",
-        "supersteps", "worker_busy_seconds", "worker_skew",
+        "workers1_seconds", "workers1_overhead", "workers1_overhead_raw",
+        "noise_floor", "workers1_overhead_budget", "workers1_within_budget",
+        "measurement_statement_size", "supersteps", "statements",
+        "ipc_bytes_per_worker",
+        "envelopes_per_statement", "barriers_per_transaction",
+        "worker_busy_seconds", "worker_skew",
     }:
         if key not in parallel:
             problems.append(f"headline_parallel missing field {key!r}")
@@ -655,6 +704,14 @@ def validate_report(report: Dict[str, object]) -> List[str]:
         problems.append(
             "headline_parallel worker_busy_seconds length != workers"
         )
+    ipc = parallel.get("ipc_bytes_per_worker")
+    if ipc is not None and len(ipc) != parallel.get("workers"):
+        problems.append(
+            "headline_parallel ipc_bytes_per_worker length != workers"
+        )
+    overhead = parallel.get("workers1_overhead")
+    if overhead is not None and overhead < 0:
+        problems.append("workers1_overhead must be clamped at zero")
     return problems
 
 
@@ -721,9 +778,20 @@ def render(report: Dict[str, object]) -> str:
     skew = parallel.get("worker_skew")
     busy = ", ".join(f"{s:.3f}s" for s in parallel.get("worker_busy_seconds", []))
     lines.append(
-        f"  worker busy time [{busy}] over {parallel.get('supersteps', 0)} "
+        f"  worker busy CPU time [{busy}] over {parallel.get('supersteps', 0)} "
         f"supersteps, max/min skew "
         f"{f'{skew:.2f}x' if skew is not None else 'n/a'}"
+    )
+    envelopes = parallel.get("envelopes_per_statement")
+    barriers = parallel.get("barriers_per_transaction")
+    ipc = parallel.get("ipc_bytes_per_worker") or []
+    lines.append(
+        f"  transport: {parallel.get('statements', 0)} statement(s), "
+        f"{f'{envelopes:.1f}' if envelopes is not None else 'n/a'} "
+        f"envelope(s)/statement across the pool, "
+        f"{f'{barriers:.1f}' if barriers is not None else 'n/a'} "
+        f"barrier(s)/transaction, "
+        f"{sum(ipc):,} framed IPC byte(s) total"
     )
     return "\n".join(lines)
 

@@ -85,10 +85,11 @@ class Cluster:
         #: equivalence tests compare the two).
         self.batch_execution = batch_execution
         #: ``None`` (default) keeps execution serial.  An integer forks a
-        #: persistent pool of that many node workers (see
-        #: :mod:`repro.cluster.parallel`), each owning a contiguous shard of
-        #: nodes; fault-free statements then run as BSP supersteps with
-        #: bit-identical ledgers, stats, and fragment contents.
+        #: persistent pool of that many **read servers** (see
+        #: :mod:`repro.cluster.parallel`): mutations stay coordinator-side
+        #: on the bulk paths and reach workers lazily as columnar refresh
+        #: blocks, while read hops fan out slot-sticky across the pool —
+        #: with bit-identical ledgers, stats, and fragment contents.
         self.workers = workers
         #: Probe frequency at which a worker promotes a join key to its
         #: resident heavy-hitter cache; ``0`` disables the cache.
@@ -642,143 +643,36 @@ class Cluster:
             ),
         ):
             if engine is not None:
-                with obs.span("fused_superstep", relation=relation):
-                    info, delta = self._execute_statement_parallel(
-                        engine, relation, inserts, deletes
-                    )
-            else:
-                with obs.span("base_writes", relation=relation):
-                    info, delta = self._execute_base_writes(
-                        relation, inserts, deletes
-                    )
-                with obs.span("co_update_ars", relation=relation):
-                    self._co_update_auxiliaries(info, delta)
-                with obs.span("co_update_gis", relation=relation):
-                    self._co_update_global_indexes(info, delta)
+                # Mutations run coordinator-side on the very same bulk
+                # paths as the serial batched engine (charge-identical by
+                # construction); the engine only accelerates the read hops
+                # and collects per-statement transport telemetry here.
+                engine.statements += 1
+            with obs.span("base_writes", relation=relation):
+                info, delta = self._execute_base_writes(
+                    relation, inserts, deletes
+                )
+            with obs.span("co_update_ars", relation=relation):
+                self._co_update_auxiliaries(info, delta)
+            with obs.span("co_update_gis", relation=relation):
+                self._co_update_global_indexes(info, delta)
             for view in self.catalog.views_on(relation):
                 view.maintainer.apply(delta)
         if self._sanitizer is not None:
             self._sanitizer.check(f"statement on {relation!r}")
 
-    def _execute_statement_parallel(
-        self, engine, relation: str, inserts: List[Row], deletes: List[Row]
-    ) -> Tuple[RelationInfo, Delta]:
-        """Base writes + AR/GI co-updates as **one fused superstep**.
+    def _parallel_journal(self):
+        """The running engine's refresh journal, or ``None`` (serial run).
 
-        The coordinator precomputes every placement — delete victims via
-        :func:`~repro.cluster.parallel.locate_victim` with per-fragment
-        exclusion sets (replicating the serial engine's mutate-between-
-        searches victim choice), insert rowids from each mirror fragment's
-        ``next_rowid`` — so the AR images and GI entries derived from the
-        delta can ship in the *same* envelope as the base writes.  Network
-        sends are charged here (routing is coordinator work); node-local
-        charges ride back in the workers' ledger deltas.  Per-node command
-        order equals the serial bulk engine's order (base deletes, base
-        inserts, AR deletes/inserts, GI deletes/inserts), so fragment
-        contents and rowids match bit-for-bit — the workers' returned
-        rowids are asserted against the precomputed ones.
+        The bulk mutation paths append every physical base/AR/GI write here
+        so worker read servers can lazily catch up (see
+        :class:`~repro.cluster.parallel.RefreshJournal`).  View-fragment
+        writes are deliberately not journaled: no read op targets them.
         """
-        from .parallel import locate_victim
-
-        info = self.catalog.relation(relation)
-        self._validate_deletes(info, deletes)
-        for row in inserts:
-            info.schema.check_row(row)
-        delta = Delta(relation=relation)
-        ops: List[tuple] = []
-        del_positions: List[int] = []
-        expected_rowids: List[int] = []
-        # --- base deletes (statement order; victims precomputed) ---------
-        taken: Dict[int, set] = {}
-        for row in deletes:
-            home = info.partitioner.node_of_row(row)
-            exclusion = taken.setdefault(home, set())
-            rowid = locate_victim(
-                self.nodes[home].fragment(relation), row, exclusion
-            )
-            if rowid is None:  # pragma: no cover - _validate_deletes bars it
-                raise KeyError(
-                    f"no tuple equal to {row!r} in {relation!r} at node {home}"
-                )
-            exclusion.add(rowid)
-            delta.deletes.append(PlacedRow(home, rowid, row))
-            del_positions.append(len(ops))
-            expected_rowids.append(rowid)
-            ops.append(("del", home, relation, row, Tag.BASE, False))
-        # --- base inserts (grouped by home, per-home order preserved) ----
-        if inserts:
-            homes = [info.partitioner.node_of_row(row) for row in inserts]
-            grouped: Dict[int, List[Row]] = {}
-            for home, row in zip(homes, inserts):
-                grouped.setdefault(home, []).append(row)
-            rowid_iters = {}
-            for home, rows in grouped.items():
-                start = self.nodes[home].fragment(relation).table.next_rowid
-                rowid_iters[home] = iter(range(start, start + len(rows)))
-                ops.append(("ins", home, relation, rows, Tag.BASE))
-            for home, row in zip(homes, inserts):
-                delta.inserts.append(PlacedRow(home, next(rowid_iters[home]), row))
-        # --- AR co-updates (same routing as the serial bulk path) --------
-        for aux in self.catalog.auxiliaries_of(info.name):
-            send_counts: Dict[Tuple[int, int], int] = {}
-            for placed in delta.deletes:
-                image = aux.image_of(placed.row)
-                if image is None:
-                    continue
-                dest = aux.partitioner.node_of_row(image)
-                link = (placed.node, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                ops.append(("del", dest, aux.name, image, Tag.MAINTAIN, True))
-            grouped_images: Dict[int, List[Row]] = {}
-            for placed in delta.inserts:
-                image = aux.image_of(placed.row)
-                if image is None:
-                    continue
-                dest = aux.partitioner.node_of_row(image)
-                link = (placed.node, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                grouped_images.setdefault(dest, []).append(image)
-            for (src, dst), count in send_counts.items():
-                self.network.send_many(src, dst, count, Tag.MAINTAIN)
-            for dest, images in grouped_images.items():
-                ops.append(("ins", dest, aux.name, images, Tag.MAINTAIN))
-        # --- GI co-updates -----------------------------------------------
-        for gi in self.catalog.global_indexes_of(info.name):
-            send_counts = {}
-            for placed in delta.deletes:
-                key = placed.row[gi.key_position]
-                dest = gi.home_node(key)
-                link = (placed.node, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                ops.append((
-                    "gi_del", dest, gi.name, key,
-                    GlobalRowId(placed.node, placed.rowid), Tag.MAINTAIN, True,
-                ))
-            grouped_entries: Dict[int, List[Tuple[object, GlobalRowId]]] = {}
-            for placed in delta.inserts:
-                key = placed.row[gi.key_position]
-                dest = gi.home_node(key)
-                link = (placed.node, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                grouped_entries.setdefault(dest, []).append(
-                    (key, GlobalRowId(placed.node, placed.rowid))
-                )
-            for (src, dst), count in send_counts.items():
-                self.network.send_many(src, dst, count, Tag.MAINTAIN)
-            for dest, entries in grouped_entries.items():
-                ops.append(("gi_ins", dest, gi.name, entries, Tag.MAINTAIN))
-        results = engine.run_ops(ops)
-        for position, rowid in zip(del_positions, expected_rowids):
-            if results[position] != rowid:  # pragma: no cover - invariant
-                raise RuntimeError(
-                    f"parallel delete victim divergence on {relation!r}: "
-                    f"coordinator chose rowid {rowid}, worker chose "
-                    f"{results[position]}"
-                )
-        applied = len(inserts) - len(deletes)
-        if applied:
-            info.row_count += applied
-        return info, delta
+        engine = self._parallel_engine
+        if engine is not None and engine.running:
+            return engine.journal
+        return None
 
     def _execute_base_writes(
         self, relation: str, inserts: List[Row], deletes: List[Row]
@@ -794,12 +688,15 @@ class Cluster:
         for row in inserts:
             info.schema.check_row(row)
         delta = Delta(relation=relation)
+        journal = self._parallel_journal()
         # Deletes first so an update whose new row equals another stored row
         # cannot delete the row it just inserted.
         for row in deletes:
             home = info.partitioner.node_of_row(row)
             rowid = self.nodes[home].delete_matching(relation, row, Tag.BASE)
             delta.deletes.append(PlacedRow(home, rowid, row))
+            if journal is not None:
+                journal.log_delete(home, relation, rowid, row, Tag.BASE)
             self._record_undo(
                 lambda f=self.nodes[home].fragment(relation), r=rowid, t=row: (
                     f.restore(r, t)
@@ -815,9 +712,17 @@ class Cluster:
             grouped: Dict[int, List[Row]] = {}
             for home, row in zip(homes, inserts):
                 grouped.setdefault(home, []).append(row)
-            rowid_iters = {
-                home: iter(self.nodes[home].insert_many(relation, rows, Tag.BASE))
+            rowid_lists = {
+                home: self.nodes[home].insert_many(relation, rows, Tag.BASE)
                 for home, rows in grouped.items()
+            }
+            if journal is not None:
+                for home, rows in grouped.items():
+                    journal.log_insert_run(
+                        home, relation, rowid_lists[home], rows, Tag.BASE
+                    )
+            rowid_iters = {
+                home: iter(rowids) for home, rowids in rowid_lists.items()
             }
             for home, row in zip(homes, inserts):
                 delta.inserts.append(PlacedRow(home, next(rowid_iters[home]), row))
@@ -959,15 +864,26 @@ class Cluster:
                 grouped_inserts.setdefault(dest, []).append(image)
             for (src, dst), count in send_counts.items():
                 self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            journal = self._parallel_journal()
             for dest, image in routed_deletes:
                 try:
-                    self.nodes[dest].delete_matching(aux.name, image, Tag.MAINTAIN)
+                    rowid = self.nodes[dest].delete_matching(
+                        aux.name, image, Tag.MAINTAIN
+                    )
                 except KeyError:
                     # A duplicated (un-deduped) delete found nothing: the
                     # first copy already removed the row.
-                    pass
+                    continue
+                if journal is not None:
+                    journal.log_delete(dest, aux.name, rowid, image, Tag.MAINTAIN)
             for dest, images in grouped_inserts.items():
-                self.nodes[dest].insert_many(aux.name, images, Tag.MAINTAIN)
+                rowids = self.nodes[dest].insert_many(
+                    aux.name, images, Tag.MAINTAIN
+                )
+                if journal is not None:
+                    journal.log_insert_run(
+                        dest, aux.name, rowids, images, Tag.MAINTAIN
+                    )
 
     def _co_update_global_indexes(self, info: RelationInfo, delta: Delta) -> None:
         """Propagate the base delta into every GI of the relation."""
@@ -1027,14 +943,19 @@ class Cluster:
                 )
             for (src, dst), count in send_counts.items():
                 self.network.send_many(src, dst, count, Tag.MAINTAIN)
+            journal = self._parallel_journal()
             for dest, key, grid in routed_deletes:
                 try:
                     self.nodes[dest].gi_delete(gi.name, key, grid, Tag.MAINTAIN)
                 except KeyError:
-                    pass  # duplicated delete: the entry is already gone
+                    continue  # duplicated delete: the entry is already gone
+                if journal is not None:
+                    journal.log_gi_delete(dest, gi.name, key, grid, Tag.MAINTAIN)
             for dest, entries in grouped_inserts.items():
                 self.nodes[dest].gi_partition(gi.name).insert_many(entries)
                 self.ledger.charge(dest, Op.INSERT, Tag.MAINTAIN, count=len(entries))
+                if journal is not None:
+                    journal.log_gi_insert_run(dest, gi.name, entries, Tag.MAINTAIN)
 
     # ============================================== view delta application
 
@@ -1055,14 +976,9 @@ class Cluster:
         """
         name = view.name
         if self._bulk_ok():
-            engine = self._parallel_running()
-            if engine is not None:
-                with self.obs.span(
-                    "view_write", view=name, path="parallel",
-                    inserts=len(inserts), deletes=len(deletes),
-                ):
-                    self._apply_view_delta_parallel(engine, view, inserts, deletes)
-                return
+            # View writes always run coordinator-side (workers never read
+            # view fragments, so they are not journaled either): a parallel
+            # run takes exactly this bulk path, charge-identical to serial.
             with self.obs.span(
                 "view_write", view=name, path="bulk",
                 inserts=len(inserts), deletes=len(deletes),
@@ -1171,75 +1087,6 @@ class Cluster:
             for dest, rows in grouped.items():
                 self.nodes[dest].insert_many(name, rows, Tag.VIEW)
             view.row_count += len(inserts)
-
-    def _apply_view_delta_parallel(
-        self,
-        engine,
-        view: ViewInfo,
-        inserts: Sequence[Tuple[int, Row]],
-        deletes: Sequence[Tuple[int, Row]],
-    ) -> None:
-        """View-delta application as one superstep.
-
-        Hash-partitioned deletes and all inserts mirror the bulk path
-        one-to-one (route → coalesced sends → per-destination commands).
-        Round-robin deletes need the serial engine's node-by-node search:
-        the coordinator *simulates* it on its (always current) mirror with
-        exclusion sets, charging the per-node SENDs itself and shipping a
-        SEARCH charge for each node visited without a hit plus one
-        ``rr_del`` (SEARCH + delete) for the victim's node — the same cells
-        the serial walk charges, in the same per-node amounts.
-        """
-        partitioner = view.partitioner
-        name = view.name
-        ops: List[tuple] = []
-        if isinstance(partitioner, BoundRoundRobin):
-            taken: Dict[int, set] = {}
-            for source, row in deletes:
-                found = False
-                for node in self.nodes:
-                    self.network.send(source, node.node_id, Tag.VIEW)
-                    exclusion = taken.setdefault(node.node_id, set())
-                    victim = None
-                    for rowid, stored in node.fragment(name).table.scan():
-                        if rowid not in exclusion and stored == row:
-                            victim = rowid
-                            break
-                    if victim is not None:
-                        exclusion.add(victim)
-                        ops.append(("rr_del", node.node_id, name, victim, Tag.VIEW))
-                        found = True
-                        break
-                    ops.append(("charge", node.node_id, Op.SEARCH, Tag.VIEW, 1))
-                if not found:
-                    # Replicate the serial engine's charges-then-raise shape.
-                    engine.run_ops(ops)
-                    raise KeyError(
-                        f"view {name!r} holds no tuple equal to {row!r}"
-                    )
-        else:
-            send_counts: Dict[Tuple[int, int], int] = {}
-            for source, row in deletes:
-                dest = partitioner.node_of_row(row)
-                link = (source, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                ops.append(("del", dest, name, row, Tag.VIEW, True))
-            for (src, dst), count in send_counts.items():
-                self.network.send_many(src, dst, count, Tag.VIEW)
-        if inserts:
-            send_counts = {}
-            grouped: Dict[int, List[Row]] = {}
-            for source, row in inserts:
-                dest = partitioner.node_of_row(row)
-                link = (source, dest)
-                send_counts[link] = send_counts.get(link, 0) + 1
-                grouped.setdefault(dest, []).append(row)
-            for (src, dst), count in send_counts.items():
-                self.network.send_many(src, dst, count, Tag.VIEW)
-            for dest, rows in grouped.items():
-                ops.append(("ins", dest, name, rows, Tag.VIEW))
-        engine.run_ops(ops)
-        view.row_count += len(inserts) - len(deletes)
 
     def _round_robin_delete(self, view: ViewInfo, source: int, row: Row) -> None:
         for node in self.nodes:

@@ -8,8 +8,11 @@ ring weight away from hot nodes:
 * the **primary signal** is ``repro_node_load_ios`` — each node's lifetime
   weighted I/Os straight from the cost ledger;
 * the **secondary signal** is ``repro_worker_busy_ns`` skew from a running
-  worker pool, folded onto the nodes of each worker's shard — it breaks
-  ties when the modeled ledger is balanced but wall-clock work is not.
+  worker pool.  Since PR 7 workers are read servers whose probes are
+  slot-routed, busy time has no exact node mapping; each worker's total is
+  spread over a contiguous node range (a deterministic approximation) and
+  breaks ties when the modeled ledger is balanced but wall-clock work is
+  not.
 
 A proposal moves ``step`` virtual nodes of ring weight from the hottest
 node's token to the coldest's; executing it rebinds every consistent-hash
@@ -104,9 +107,10 @@ class Rebalancer:
     def load_by_node(self) -> Dict[int, float]:
         """The per-node load signal, read back from the metrics gauges.
 
-        Ledger I/Os dominate; worker busy-ns (spread evenly over each
-        worker's shard of nodes) is folded in at nanosecond scale, so it
-        only decides between nodes the ledger considers equal.
+        Ledger I/Os dominate; worker busy-ns — folded onto contiguous node
+        ranges as a deterministic approximation, since read-server probes
+        are slot-routed rather than node-sharded — enters at nanosecond
+        scale, so it only decides between nodes the ledger considers equal.
         """
         cluster = self.cluster
         registry = collect_cluster_metrics(cluster, MetricsRegistry())

@@ -110,6 +110,21 @@ class CostLedger:
         if count:
             self._cells[(node, op, tag)] += count
 
+    def absorb(self, deltas: "Iterable[Dict[_Cell, float]]") -> None:
+        """Fold worker-ledger cell deltas into this ledger.
+
+        Cells are commutative sums, so any fold order yields the same
+        totals — the deterministic ``(node, op, tag)`` order is enforced
+        anyway so that a divergence reproduces byte-for-byte run-to-run.
+        """
+        merged: Dict[_Cell, float] = {}
+        for cells in deltas:
+            for cell, count in cells.items():
+                merged[cell] = merged.get(cell, 0.0) + count
+        target = self._cells
+        for cell in sorted(merged, key=lambda c: (c[0], c[1].name, c[2].name)):
+            target[cell] += merged[cell]
+
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(self.params, dict(self._cells))
 

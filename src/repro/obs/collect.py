@@ -219,6 +219,30 @@ def collect_cluster_metrics(
         )
         for worker_id, busy_ns in enumerate(engine.worker_busy_ns):
             busy.set(busy_ns, worker=worker_id)
+        # Transport telemetry (framed step envelopes only): never modeled
+        # costs — the wire is an uncharged mirror of already-charged work.
+        ipc_bytes = registry.gauge(
+            "repro_ipc_bytes_total",
+            "Framed envelope bytes shipped per pool worker and direction",
+        )
+        envelopes = registry.gauge(
+            "repro_ipc_envelopes_total",
+            "Step envelopes shipped per pool worker",
+        )
+        for worker_id in range(engine.workers):
+            ipc_bytes.set(
+                engine.ipc_tx_bytes[worker_id], worker=worker_id, direction="tx"
+            )
+            ipc_bytes.set(
+                engine.ipc_rx_bytes[worker_id], worker=worker_id, direction="rx"
+            )
+            envelopes.set(engine.envelopes[worker_id], worker=worker_id)
+        transport = registry.gauge(
+            "repro_parallel_transport",
+            "Pool-wide transport counters (statements, supersteps/barriers)",
+        )
+        transport.set(engine.statements, kind="statements")
+        transport.set(engine.supersteps, kind="supersteps")
         # Live when the pool runs; the final drain snapshot otherwise —
         # either way the flushed_* accumulators keep epoch-cleared history.
         worker_stats_list = engine.probe_cache_stats()

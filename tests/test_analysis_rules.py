@@ -266,8 +266,9 @@ def test_rep005_registered_kinds_clean(tmp_path):
 
 
 def test_rep005_handler_exhaustiveness(tmp_path):
-    # A fake engine file missing the "merge" branch in _execute_op and
-    # replaying the read-only "fetch" kind in _replay.
+    # A fake engine file missing the "merge" branch in _execute_op, and an
+    # _apply_block that skips "gi_delta" while handling a block kind the
+    # registry has never heard of.
     result = run_tree(tmp_path, {
         "cluster/parallel.py": """
             def _execute_op(nodes, op):
@@ -282,22 +283,41 @@ def test_rep005_handler_exhaustiveness(tmp_path):
                     return None
                 raise ValueError(kind)
 
-            def _replay(op, result):
-                kind = op[0]
-                if kind == "ins" or kind == "del" or kind == "rr_del":
+            def _apply_block(nodes, cache, block, data=True):
+                kind = block.kind
+                if kind == "frag_delta":
                     return
-                if kind == "gi_ins" or kind == "gi_del" or kind == "fetch":
+                if kind == "view_snapshot":
                     return
-                if kind in ("migrate", "handoff", "replica_apply"):
-                    return
+                raise ValueError(kind)
         """,
     }, only=["REP005"])
     messages = [finding.message for finding in result.findings]
     assert any("no branch for envelope kind 'merge'" in m for m in messages)
     assert any(
-        "handles kind 'fetch' which is outside" in m for m in messages
+        "no branch for envelope kind 'gi_delta'" in m for m in messages
     )
-    assert len(result.findings) == 2
+    assert any(
+        "handles kind 'view_snapshot' which is outside BLOCK_KINDS" in m
+        for m in messages
+    )
+    assert len(result.findings) == 3
+
+
+def test_rep005_flags_unregistered_block_kind(tmp_path):
+    result = run_tree(tmp_path, {
+        "core/engine.py": """
+            def go(journal):
+                good = DeltaBlock("frag_delta", 0, "A")
+                named = DeltaBlock(FRAG_DELTA, 0, "A")
+                bad = DeltaBlock("bogus_block", 0, "A")
+                also_bad = DeltaBlock(kind="view_patch", node=1, name="V")
+                return good, named, bad, also_bad
+        """,
+    }, only=["REP005"])
+    assert rules_of(result) == ["REP005", "REP005"]
+    assert "unregistered kind 'bogus_block'" in result.findings[0].message
+    assert "unregistered kind 'view_patch'" in result.findings[1].message
 
 
 def test_rep005_real_engine_is_exhaustive():

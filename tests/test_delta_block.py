@@ -1,0 +1,156 @@
+"""DeltaBlock: columnar layout, per-tuple round trips, and pickling.
+
+The block is the parallel engine's journal storage *and* its wire format,
+so two invariants matter: converting to/from the per-tuple ``Delta`` form
+must be lossless (including tags outside the BASE/MAINTAIN pair), and a
+protocol-5 pickle round trip — the transport's encoding — must reproduce
+the block bit-identically whether or not the buffers travel out-of-band.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.delta import (
+    FRAG_DELTA,
+    GI_DELTA,
+    OP_DELETE,
+    OP_INSERT,
+    Delta,
+    DeltaBlock,
+    PlacedRow,
+)
+from repro.costs import Tag
+
+
+def _sample_delta() -> Delta:
+    return Delta(
+        relation="A",
+        inserts=[
+            PlacedRow(node=0, rowid=7, row=(1, "x")),
+            PlacedRow(node=1, rowid=3, row=(2, "y")),
+            PlacedRow(node=0, rowid=8, row=(3, "z")),
+        ],
+        deletes=[
+            PlacedRow(node=1, rowid=1, row=(9, "w")),
+        ],
+    )
+
+
+# ------------------------------------------------------ per-tuple round trip
+
+
+def test_from_delta_partitions_by_node_and_round_trips():
+    delta = _sample_delta()
+    blocks = DeltaBlock.from_delta(delta)
+    assert sorted(block.node for block in blocks) == [0, 1]
+    by_node = {block.node: block for block in blocks}
+    # Deletes come first (application order), then inserts.
+    assert list(by_node[1].ops) == [OP_DELETE, OP_INSERT]
+    assert list(by_node[0].ops) == [OP_INSERT, OP_INSERT]
+    rebuilt_inserts = []
+    rebuilt_deletes = []
+    for block in blocks:
+        assert block.kind == FRAG_DELTA
+        assert block.name == "A"
+        back = block.to_delta()
+        rebuilt_inserts.extend(back.inserts)
+        rebuilt_deletes.extend(back.deletes)
+    assert sorted(rebuilt_inserts, key=lambda p: p.rowid) == sorted(
+        delta.inserts, key=lambda p: p.rowid
+    )
+    assert rebuilt_deletes == delta.deletes
+
+
+def test_empty_delta_yields_no_blocks_and_empty_block_round_trips():
+    assert DeltaBlock.from_delta(Delta(relation="A")) == []
+    block = DeltaBlock(FRAG_DELTA, 0, "A")
+    assert len(block) == 0
+    assert list(block.entries()) == []
+    back = block.to_delta()
+    assert back.is_empty and back.relation == "A"
+    # Empty blocks survive the wire too.
+    assert pickle.loads(pickle.dumps(block, protocol=5)) == block
+
+
+def test_mixed_tags_survive_round_trip():
+    block = DeltaBlock(FRAG_DELTA, 2, "AR_A")
+    block.add(OP_INSERT, 10, (1, "a"), Tag.BASE)
+    block.add(OP_DELETE, 11, (2, "b"), Tag.MAINTAIN)
+    block.add(OP_INSERT, 12, (3, "c"), Tag.REPLICA)
+    block.add(OP_INSERT, 13, (4, "d"), Tag.MIGRATE)
+    tags = [tag for _op, _rowid, _key, tag, _ref in block.entries()]
+    assert tags == [Tag.BASE, Tag.MAINTAIN, Tag.REPLICA, Tag.MIGRATE]
+    clone = pickle.loads(pickle.dumps(block, protocol=5))
+    assert [t for _o, _r, _k, t, _f in clone.entries()] == tags
+    assert clone == block
+
+
+def test_gi_blocks_carry_refs():
+    block = DeltaBlock(GI_DELTA, 1, "GI_B")
+    block.add(OP_INSERT, 5, 42, Tag.MAINTAIN, ref=3)
+    block.add(OP_DELETE, 6, 43, Tag.MAINTAIN, ref=0)
+    entries = list(block.entries())
+    assert entries == [
+        (OP_INSERT, 5, 42, Tag.MAINTAIN, 3),
+        (OP_DELETE, 6, 43, Tag.MAINTAIN, 0),
+    ]
+    with pytest.raises(ValueError):
+        block.to_delta()  # per-tuple form exists only for fragment blocks
+
+
+def test_extend_matches_repeated_add():
+    bulk = DeltaBlock(FRAG_DELTA, 0, "A")
+    bulk.extend(OP_INSERT, [1, 2, 3], [(1,), (2,), (3,)], Tag.BASE)
+    bulk.extend(OP_DELETE, [4], [(4,)], Tag.MAINTAIN)
+    bulk.extend(OP_INSERT, [], [], Tag.BASE)  # no-op
+    one_by_one = DeltaBlock(FRAG_DELTA, 0, "A")
+    for rowid in (1, 2, 3):
+        one_by_one.add(OP_INSERT, rowid, (rowid,), Tag.BASE)
+    one_by_one.add(OP_DELETE, 4, (4,), Tag.MAINTAIN)
+    assert bulk == one_by_one
+    with_refs = DeltaBlock(GI_DELTA, 0, "GI_A")
+    with_refs.extend(OP_INSERT, [1, 2], [10, 20], Tag.MAINTAIN, refs=[5, 6])
+    assert [ref for *_rest, ref in with_refs.entries()] == [5, 6]
+
+
+def test_tail_slices_all_columns():
+    block = DeltaBlock(FRAG_DELTA, 0, "A")
+    for rowid in range(5):
+        block.add(OP_INSERT, rowid, (rowid,), Tag.BASE)
+    tail = block.tail(3)
+    assert len(tail) == 2
+    assert list(tail.rowids) == [3, 4]
+    assert tail.keys == [(3,), (4,)]
+    assert (tail.kind, tail.node, tail.name) == (FRAG_DELTA, 0, "A")
+    assert len(block.tail(5)) == 0  # cursor at the end -> empty slice
+
+
+# ------------------------------------------------------------------ pickling
+
+
+def test_protocol5_out_of_band_buffers_round_trip():
+    block = DeltaBlock(FRAG_DELTA, 1, "B")
+    for rowid in range(100):
+        block.add(
+            OP_INSERT if rowid % 3 else OP_DELETE,
+            rowid,
+            (rowid, f"row{rowid}"),
+            Tag.BASE if rowid % 2 else Tag.MAINTAIN,
+        )
+    buffers = []
+    payload = pickle.dumps(block, protocol=5, buffer_callback=buffers.append)
+    # The four fixed-width columns travel out-of-band, one buffer each.
+    assert len(buffers) == 4
+    clone = pickle.loads(payload, buffers=[b.raw() for b in buffers])
+    assert clone == block
+    # Out-of-band bytes scale with entries, the in-band payload with keys
+    # only — the transport's size win comes from exactly this split.
+    assert sum(len(b.raw()) for b in buffers) == block.nbytes
+
+
+def test_legacy_protocol_round_trip():
+    block = DeltaBlock(GI_DELTA, 0, "GI_A")
+    block.add(OP_INSERT, 1, 7, Tag.MAINTAIN, ref=2)
+    for protocol in (2, 4, 5):
+        assert pickle.loads(pickle.dumps(block, protocol=protocol)) == block

@@ -417,3 +417,42 @@ def test_workers_validation():
         Cluster(num_nodes=2, workers=0)
     with pytest.raises(ValueError):
         Cluster(num_nodes=2, workers=-1)
+
+
+# ------------------------------------------------------- shared-memory path
+
+
+def test_shared_memory_transport_equivalence(monkeypatch):
+    """Force every envelope blob through the shared-memory path (threshold
+    1 byte) and pin the result against the serial engine — the transport
+    encoding must be invisible to ledger, network, and fragment state."""
+    from repro.cluster import parallel as parallel_mod
+
+    segments = []
+    real_create = parallel_mod._shm_create
+
+    def counting_create(blob):
+        segments.append(len(blob))
+        return real_create(blob)
+
+    monkeypatch.setattr(parallel_mod, "_shm_create", counting_create)
+    ops = _script(seed=20260808)
+    cluster = _build("auxiliary", "inl", 2)
+    try:
+        cluster.insert("A", [(1, 1, 1)])  # arm the pool
+        engine = cluster._parallel_engine
+        assert engine is not None and engine.running
+        engine.shm_min_bytes = 1
+        _run(cluster, ops)
+    finally:
+        cluster.close()
+    assert segments, "shared-memory path never exercised"
+
+    serial = _build("auxiliary", "inl", None)
+    try:
+        serial.insert("A", [(1, 1, 1)])
+        _run(serial, ops)
+        names = ["A", "B", "JV", *cluster.catalog.auxiliaries]
+        assert_equivalent(cluster, serial, names)
+    finally:
+        serial.close()
