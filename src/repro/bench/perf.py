@@ -6,7 +6,9 @@ tuples per second the Python engine sustains with the batched execution
 paths on versus off, for all three maintenance methods, uniform and skewed
 key distributions, and eager versus deferred application — plus a
 worker-scaling sweep of the fork-based parallel node engine
-(``Cluster(workers=N)``).
+(``Cluster(workers=N)``) and a multi-view overlap sweep (V same-clause
+views maintained by the shared delta-propagation DAG versus the
+independent per-view loop).
 
 The reference engine differs from the batched one only through
 ``Cluster.batch_execution``; both charge bit-identical ledger cells (see
@@ -51,11 +53,17 @@ from ..core.deferred import defer_view
 from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
 from ..workloads.uniform import UniformJoinWorkload, build_cluster
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 METHODS = ("naive", "auxiliary", "global_index")
 WORKLOADS = ("uniform", "skewed")
 MODES = ("eager", "deferred")
 HEADLINE_TARGET_SPEEDUP = 3.0
+#: Multi-view headline: five views sharing one A ⋈ B join clause (distinct
+#: projections), Zipf keys, shared DAG vs the independent per-view loop.
+#: The shared path runs the partition pass and probe rounds once per
+#: statement instead of five times, so >= 2x is the acceptance bar.
+HEADLINE_MULTI_VIEW_TARGET_SPEEDUP = 2.0
+HEADLINE_MULTI_VIEW_COUNT = 5
 #: Parallel headline: workers=4 on the skewed large transaction vs the
 #: serial batched engine.  Only achievable with >= 4 real cores; the report
 #: states ``met_target`` honestly and carries ``cpus`` as context.
@@ -92,6 +100,7 @@ class PerfConfig:
     headline_rows: int = 4800       # one large skewed transaction
     repeats: int = 3                # best-of timing repeats
     worker_counts: Tuple[int, ...] = (1, 2, 4)  # parallel sweep
+    multi_view_counts: Tuple[int, ...] = (1, 2, 5, 10)  # overlap sweep
 
     @classmethod
     def smoke(cls) -> "PerfConfig":
@@ -104,6 +113,7 @@ class PerfConfig:
             headline_rows=240,
             repeats=1,
             worker_counts=(2,),
+            multi_view_counts=(1, 5),
         )
 
 
@@ -184,6 +194,71 @@ class ScalingResult:
             "parallel_tps": round(self.parallel_tps, 1),
             "speedup": round(self.speedup, 2),
         }
+
+
+@dataclass
+class MultiViewResult:
+    """One overlap-sweep cell: V same-clause views maintained through the
+    shared delta-propagation DAG versus the independent per-view loop.
+
+    Both sides run the batched engine on identical statements; the modeled
+    view contents are bit-identical (``tests/test_multiview_equivalence.py``),
+    so the speedup is the join work the DAG avoided: V-1 of every partition
+    pass and probe round per statement.  The shared-side counters come from
+    ``cluster.multi_view_stats`` and prove the sharing actually engaged.
+    """
+
+    method: str
+    views: int
+    rows: int
+    seed: Optional[int]
+    independent_seconds: float
+    shared_seconds: float
+    partition_passes_per_statement: float
+    probes_executed: int
+    probes_deduped: int
+
+    @property
+    def independent_tps(self) -> float:
+        return self.rows / self.independent_seconds
+
+    @property
+    def shared_tps(self) -> float:
+        return self.rows / self.shared_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.independent_seconds / self.shared_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "views": self.views,
+            "rows": self.rows,
+            "seed": self.seed,
+            "independent_seconds": round(self.independent_seconds, 6),
+            "shared_seconds": round(self.shared_seconds, 6),
+            "independent_tps": round(self.independent_tps, 1),
+            "shared_tps": round(self.shared_tps, 1),
+            "speedup": round(self.speedup, 2),
+            "partition_passes_per_statement": round(
+                self.partition_passes_per_statement, 4
+            ),
+            "probes_executed": self.probes_executed,
+            "probes_deduped": self.probes_deduped,
+        }
+
+
+#: Projection variants for the overlapping views; every view keeps
+#: ``("A", "e")`` (the view partitioning attribute) and shares the same
+#: A.c = B.d join clause, so all V group under one CompiledJoin.
+MULTI_VIEW_SELECTS: Tuple[Tuple[Tuple[str, str], ...], ...] = (
+    (("A", "a"), ("A", "e"), ("B", "b"), ("B", "f")),
+    (("A", "e"), ("B", "f")),
+    (("A", "c"), ("A", "e"), ("B", "d")),
+    (("A", "a"), ("A", "c"), ("A", "e"), ("B", "b")),
+    (("A", "e"), ("B", "b"), ("B", "d"), ("B", "f")),
+)
 
 
 def _make_cluster(
@@ -327,6 +402,175 @@ def run_headline(config: PerfConfig) -> CaseResult:
         batched_seconds=batched,
         seed=seed,
     )
+
+
+# ----------------------------------------------------- multi-view sweep
+
+
+def _build_multiview_cluster(
+    config: PerfConfig,
+    method: str,
+    num_views: int,
+    shared: bool,
+    workload: SkewedJoinWorkload,
+):
+    """A cluster with ``num_views`` views over one A ⋈ B join clause.
+
+    The views differ only in projection (cycling :data:`MULTI_VIEW_SELECTS`),
+    so they share one compiled join and — with ``shared`` — one
+    delta-propagation DAG per statement.  B pre-loads uncharged exactly as
+    :func:`repro.workloads.uniform.build_cluster` does, so the timed region
+    is only the delta statements.
+    """
+    from ..cluster.cluster import Cluster
+    from ..cluster.partitioning import HashPartitioning
+    from ..core.view import two_way_view
+    from ..workloads.uniform import A_SCHEMA, B_SCHEMA
+
+    cluster = Cluster(num_nodes=config.num_nodes, shared_maintenance=shared)
+    cluster.create_relation(A_SCHEMA, partitioned_on="a")
+    cluster.create_relation(B_SCHEMA, partitioned_on="b", indexes=[("d", False)])
+    b_info = cluster.catalog.relation("B")
+    for row in workload.b_rows():
+        node = b_info.partitioner.node_of_row(row)
+        cluster.nodes[node].fragment("B").insert(row)
+    b_info.row_count += workload.num_keys * workload.fanout
+    for index in range(num_views):
+        select = MULTI_VIEW_SELECTS[index % len(MULTI_VIEW_SELECTS)]
+        cluster.create_join_view(
+            two_way_view(
+                f"JV{index}", "A", "c", "B", "d",
+                select=list(select),
+                partitioning=HashPartitioning("e"),
+            ),
+            method=method,
+            strategy="inl",
+        )
+    return cluster
+
+
+def _time_multiview(
+    config: PerfConfig,
+    method: str,
+    num_views: int,
+    shared: bool,
+    seed: int,
+):
+    """Time ``total_rows`` of Zipf-keyed eager statements against
+    ``num_views`` overlapping views; returns (seconds, shared-path stats)."""
+    workload = SkewedJoinWorkload(
+        num_keys=config.num_keys, fanout=config.fanout, skew=config.skew,
+        seed=seed,
+    )
+    cluster = _build_multiview_cluster(config, method, num_views, shared, workload)
+    rows = workload.a_rows(config.total_rows)
+    statements = [
+        rows[i : i + config.statement_size]
+        for i in range(0, len(rows), config.statement_size)
+    ]
+    start = time.perf_counter()
+    for statement in statements:
+        cluster.insert("A", statement)
+    return time.perf_counter() - start, cluster.multi_view_stats
+
+
+def run_multi_view(config: PerfConfig) -> Dict[str, object]:
+    """Overlap sweep (methods x V) plus the five-view headline.
+
+    Each cell times the same Zipf statement stream twice — shared DAG off
+    and on — A/B-interleaved per repeat so machine-load drift hits both
+    sides alike.  ``partition_passes_per_statement`` is 1.0 whenever every
+    view landed in one group and every statement took the shared path
+    (V = 1 reports 0.0: the shared path never engages, by design).
+    """
+    sweep: List[MultiViewResult] = []
+    for method in METHODS:
+        for views in config.multi_view_counts:
+            seed = config_seed(f"multi_view/{method}/v{views}")
+            independent = shared = float("inf")
+            stats = None
+            for _ in range(config.repeats):
+                elapsed, _unused = _time_multiview(
+                    config, method, views, False, seed
+                )
+                independent = min(independent, elapsed)
+                elapsed, run_stats = _time_multiview(
+                    config, method, views, True, seed
+                )
+                if elapsed < shared:
+                    shared, stats = elapsed, run_stats
+            assert stats is not None
+            sweep.append(
+                MultiViewResult(
+                    method=method,
+                    views=views,
+                    rows=config.total_rows,
+                    seed=seed,
+                    independent_seconds=independent,
+                    shared_seconds=shared,
+                    partition_passes_per_statement=(
+                        stats.partition_passes_per_statement
+                    ),
+                    probes_executed=stats.probes_executed,
+                    probes_deduped=stats.probes_deduped,
+                )
+            )
+    headline = run_headline_multi_view(config)
+    return {
+        "sweep": [cell.as_dict() for cell in sweep],
+        "headline": headline,
+    }
+
+
+def run_headline_multi_view(config: PerfConfig) -> Dict[str, object]:
+    """The shared DAG's target case: five views, one join clause, Zipf keys.
+
+    Independent maintenance pays five partition passes and five broadcast
+    probe rounds per statement; the shared DAG pays one of each and fans
+    the results out through five projections.  The naive method carries
+    the headline because its broadcast probes are the costliest shareable
+    work (auxiliary's one-node probes are small next to the per-view VIEW
+    writes, which no scheme can share).  ``met_target`` reports the
+    wall-clock honestly; the counters prove the sharing (one partition
+    pass per statement, four probe executions deduped per probe run).
+    """
+    views = HEADLINE_MULTI_VIEW_COUNT
+    seed = config_seed(f"headline_multi_view/skewed/naive/v{views}")
+    repeats = max(config.repeats, 3) if config.repeats > 1 else 1
+    independent = shared = float("inf")
+    stats = None
+    for _ in range(repeats):
+        elapsed, _unused = _time_multiview(config, "naive", views, False, seed)
+        independent = min(independent, elapsed)
+        elapsed, run_stats = _time_multiview(config, "naive", views, True, seed)
+        if elapsed < shared:
+            shared, stats = elapsed, run_stats
+    assert stats is not None
+    speedup = independent / shared
+    statements = max(1, stats.statements)
+    return {
+        "name": "five_view_shared_dag",
+        "method": "naive",
+        "views": views,
+        "rows": config.total_rows,
+        "seed": seed,
+        "independent_seconds": round(independent, 6),
+        "shared_seconds": round(shared, 6),
+        "independent_tps": round(config.total_rows / independent, 1),
+        "shared_tps": round(config.total_rows / shared, 1),
+        "speedup": round(speedup, 2),
+        "target_speedup": HEADLINE_MULTI_VIEW_TARGET_SPEEDUP,
+        "met_target": speedup >= HEADLINE_MULTI_VIEW_TARGET_SPEEDUP,
+        "statements": stats.statements,
+        "partition_passes_per_statement": round(
+            stats.partition_passes_per_statement, 4
+        ),
+        "probes_executed": stats.probes_executed,
+        "probes_deduped": stats.probes_deduped,
+        "probes_deduped_per_statement": round(
+            stats.probes_deduped / statements, 4
+        ),
+    }
 
 
 # ------------------------------------------------------- parallel sweep
@@ -617,6 +861,7 @@ def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
     headline = run_headline(config)
     scaling = run_scaling(config)
     headline_parallel = run_headline_parallel(config)
+    multi_view = run_multi_view(config)
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_at": datetime.now(timezone.utc).isoformat(),
@@ -632,6 +877,7 @@ def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
         },
         "scaling": [case.as_dict() for case in scaling],
         "headline_parallel": headline_parallel,
+        "multi_view": multi_view,
     }
 
 
@@ -642,7 +888,7 @@ def validate_report(report: Dict[str, object]) -> List[str]:
         problems.append("schema_version mismatch")
     for key in (
         "generated_at", "cpus", "config", "results", "headline",
-        "scaling", "headline_parallel",
+        "scaling", "headline_parallel", "multi_view",
     ):
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
@@ -712,6 +958,45 @@ def validate_report(report: Dict[str, object]) -> List[str]:
     overhead = parallel.get("workers1_overhead")
     if overhead is not None and overhead < 0:
         problems.append("workers1_overhead must be clamped at zero")
+    multi_view = report.get("multi_view", {})
+    sweep = multi_view.get("sweep", [])
+    view_counts = tuple(report.get("config", {}).get("multi_view_counts", ()))
+    expected_multi = len(METHODS) * len(view_counts)
+    if len(sweep) != expected_multi:
+        problems.append(
+            f"expected {expected_multi} multi_view sweep cells, got {len(sweep)}"
+        )
+    multi_required = {
+        "method", "views", "rows", "seed",
+        "independent_seconds", "shared_seconds",
+        "independent_tps", "shared_tps", "speedup",
+        "partition_passes_per_statement", "probes_executed", "probes_deduped",
+    }
+    for index, cell in enumerate(sweep):
+        missing = multi_required - set(cell)
+        if missing:
+            problems.append(
+                f"multi_view cell {index} missing fields {sorted(missing)}"
+            )
+            continue
+        if cell["independent_tps"] <= 0 or cell["shared_tps"] <= 0:
+            problems.append(f"multi_view cell {index} has non-positive throughput")
+        if cell["views"] >= 2 and cell["partition_passes_per_statement"] <= 0:
+            problems.append(
+                f"multi_view cell {index} (V={cell['views']}) never took "
+                "the shared path"
+            )
+    multi_headline = multi_view.get("headline", {})
+    for key in multi_required | {
+        "name", "target_speedup", "met_target", "statements",
+        "probes_deduped_per_statement",
+    }:
+        if key not in multi_headline:
+            problems.append(f"multi_view headline missing field {key!r}")
+    if multi_headline.get("views") != HEADLINE_MULTI_VIEW_COUNT:
+        problems.append(
+            f"multi_view headline must run V={HEADLINE_MULTI_VIEW_COUNT}"
+        )
     return problems
 
 
@@ -792,6 +1077,34 @@ def render(report: Dict[str, object]) -> str:
         f"{f'{barriers:.1f}' if barriers is not None else 'n/a'} "
         f"barrier(s)/transaction, "
         f"{sum(ipc):,} framed IPC byte(s) total"
+    )
+    multi = report["multi_view"]
+    lines.append("")
+    lines.append("Shared multi-view maintenance (V same-clause views, Zipf keys)")
+    lines.append(
+        f"{'method':<13} {'views':>5} {'indep tup/s':>12} "
+        f"{'shared tup/s':>13} {'speedup':>8} {'passes/stmt':>12}"
+    )
+    for cell in multi["sweep"]:
+        lines.append(
+            f"{cell['method']:<13} {cell['views']:>5} "
+            f"{cell['independent_tps']:>12,.0f} {cell['shared_tps']:>13,.0f} "
+            f"{cell['speedup']:>7.2f}x "
+            f"{cell['partition_passes_per_statement']:>12.2f}"
+        )
+    mv_headline = multi["headline"]
+    lines.append("")
+    lines.append(
+        f"multi-view headline ({mv_headline['name']}, V={mv_headline['views']}, "
+        f"{mv_headline['rows']} rows, method={mv_headline['method']}): "
+        f"{mv_headline['independent_tps']:,.0f} -> "
+        f"{mv_headline['shared_tps']:,.0f} tuples/s, "
+        f"{mv_headline['speedup']:.2f}x "
+        f"(target {mv_headline['target_speedup']:.1f}x, "
+        f"{'met' if mv_headline['met_target'] else 'MISSED'}); "
+        f"{mv_headline['partition_passes_per_statement']:.2f} partition "
+        f"pass(es)/statement, "
+        f"{mv_headline['probes_deduped']} probe execution(s) deduped"
     )
     return "\n".join(lines)
 

@@ -71,6 +71,7 @@ class Cluster:
         workers: Optional[int] = None,
         probe_cache_threshold: int = 3,
         sanitize: Optional[bool] = None,
+        shared_maintenance: bool = True,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -94,6 +95,19 @@ class Cluster:
         #: Probe frequency at which a worker promotes a join key to its
         #: resident heavy-hitter cache; ``0`` disables the cache.
         self.probe_cache_threshold = probe_cache_threshold
+        #: Whether a statement over a relation with two or more registered
+        #: views may build one shared delta-propagation DAG instead of the
+        #: per-view loop (see :mod:`repro.core.shared`).  Single-view
+        #: statements never take the shared path either way, so their
+        #: charges are unaffected by this flag.
+        self.shared_maintenance = shared_maintenance
+        #: Statement-scoped cross-group probe memo; non-``None`` only while
+        #: a shared multi-view statement is in flight.
+        self._shared_ctx = None
+        #: One select-independent compiled join per (version, clause) —
+        #: views differing only in projection share the entry (see
+        #: ``MaintenancePlanner._shared_join``).
+        self._compiled_join_cache: Dict[Tuple, object] = {}
         self.ledger = CostLedger(costs)
         self.network = Network(num_nodes, self.ledger)
         self.nodes: List[Node] = [
@@ -140,6 +154,12 @@ class Cluster:
             from ..analysis.sanitizer import install
 
             self._sanitizer = install(self)
+        #: Shared multi-view counters (partition passes, probe dedup); see
+        #: :class:`repro.core.shared.MultiViewStats`.  Import is deferred to
+        #: construction time, matching the other core-package hooks above.
+        from ..core.shared import MultiViewStats
+
+        self.multi_view_stats = MultiViewStats()
 
     # ==================================================== parallel lifecycle
 
@@ -619,6 +639,26 @@ class Cluster:
             and not self._undo_logs
         )
 
+    def _flush_stale_deferred(self, relation: str) -> None:
+        """Refresh deferred views holding a *different* relation's delta
+        before this statement's base writes land.
+
+        The deferred correctness rule (:mod:`repro.core.deferred`) says a
+        queued delta must never join against partner state from its
+        future.  The wrapper's own relation-switch flush fires at
+        maintenance time — after this statement's base writes — which is
+        one write too late: the queued batch would join against a partner
+        that already contains this statement's rows, and the statement's
+        own delta would then count those pairs a second time.  Flushing
+        here keeps the queued batch joined against exactly the partner
+        state it observed.
+        """
+        for view in self.catalog.views_on(relation):
+            maintainer = view.maintainer
+            pending = getattr(maintainer, "_pending_relation", None)
+            if pending is not None and pending != relation:
+                maintainer.refresh()
+
     def _execute_statement(
         self, relation: str, inserts: List[Row], deletes: List[Row]
     ) -> None:
@@ -648,6 +688,7 @@ class Cluster:
                 # construction); the engine only accelerates the read hops
                 # and collects per-statement transport telemetry here.
                 engine.statements += 1
+            self._flush_stale_deferred(relation)
             with obs.span("base_writes", relation=relation):
                 info, delta = self._execute_base_writes(
                     relation, inserts, deletes
@@ -656,8 +697,12 @@ class Cluster:
                 self._co_update_auxiliaries(info, delta)
             with obs.span("co_update_gis", relation=relation):
                 self._co_update_global_indexes(info, delta)
-            for view in self.catalog.views_on(relation):
-                view.maintainer.apply(delta)
+            # One shared delta-propagation DAG across all registered views
+            # (falls back to the historical per-view loop for single-view
+            # statements and every fault/undo path — see repro.core.shared).
+            from ..core.shared import maintain_views
+
+            maintain_views(self, delta)
         if self._sanitizer is not None:
             self._sanitizer.check(f"statement on {relation!r}")
 

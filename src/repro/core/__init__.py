@@ -11,8 +11,10 @@ from .view import (
 from .multiway import (
     AuxiliaryAccess,
     BaseAccess,
+    CompiledJoin,
     GlobalIndexAccess,
     Hop,
+    JoinLayout,
     MaintenancePlan,
     OutputMapper,
     enumerate_orders,
@@ -32,7 +34,14 @@ from .trimming import (
     trimming_savings,
 )
 from .hybrid import DEFAULT_AR_ROW_BUDGET, provision_hybrid
-from .workload_advisor import WorkloadAdvisor, WorkloadProfile, WorkloadVerdict
+from .shared import MultiViewStats, SharedMaintenanceContext, maintain_views
+from .workload_advisor import (
+    SharingProposal,
+    WorkloadAdvisor,
+    WorkloadProfile,
+    WorkloadVerdict,
+    propose_structure_sharing,
+)
 from .aggregates import (
     Aggregate,
     AggregateFunction,
@@ -61,7 +70,9 @@ __all__ = [
     "BaseAccess",
     "AuxiliaryAccess",
     "GlobalIndexAccess",
+    "CompiledJoin",
     "Hop",
+    "JoinLayout",
     "MaintenancePlan",
     "OutputMapper",
     "enumerate_orders",
@@ -85,6 +96,11 @@ __all__ = [
     "WorkloadAdvisor",
     "WorkloadProfile",
     "WorkloadVerdict",
+    "SharingProposal",
+    "propose_structure_sharing",
+    "MultiViewStats",
+    "SharedMaintenanceContext",
+    "maintain_views",
     "Aggregate",
     "AggregateFunction",
     "AggregateSpec",

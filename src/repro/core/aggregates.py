@@ -131,6 +131,18 @@ class AggregateViewMaintainer(JoinViewMaintainer):
         # covers direct calls, e.g. through a deferred wrapper's refresh().
         self.cluster._drain_parallel()
         compiled = self.planner.compiled_for(delta.relation)
+        view_deletes = self._compute_join(compiled, delta.deletes)
+        view_inserts = self._compute_join(compiled, delta.inserts)
+        self._consume_join(compiled, view_inserts, view_deletes)
+
+    def _consume_join(self, compiled, view_inserts, view_deletes) -> None:
+        """Fold joined intermediates into per-group contributions.
+
+        Overrides the base class's project-and-write consumption, so the
+        shared multi-view path can feed an aggregate view from the same
+        join intermediates as its plain siblings — the group/sum positions
+        resolve through the select-independent layout, never the select.
+        """
         mapper = compiled.mapper
         group_positions = tuple(
             mapper.position(relation, column) for relation, column in self.spec.group_by
@@ -151,8 +163,8 @@ class AggregateViewMaintainer(JoinViewMaintainer):
                 for offset, value in enumerate(sums):
                     entry[1 + offset] += sign * value
 
-        fold(self._compute_join(compiled, delta.deletes), -1)
-        fold(self._compute_join(compiled, delta.inserts), +1)
+        fold(view_deletes, -1)
+        fold(view_inserts, +1)
         self._apply_contributions(contributions)
 
     def _apply_contributions(

@@ -16,8 +16,12 @@ no self-joins means a relation's own delta never changes its probe side.
 A delta on a *different* relation, however, must not be queued behind one
 it could interact with (the earlier delta would later join against partner
 state from the future), so the queue auto-flushes whenever the updated
-relation changes.  Reads through :meth:`flush_if_stale` get
-refresh-on-demand semantics.
+relation changes.  The flush must run *before* the new statement's base
+writes land — the cluster triggers it from
+``Cluster._flush_stale_deferred`` ahead of the write; the relation-switch
+check in :meth:`DeferredMaintainer.apply` remains as a backstop for
+maintainers driven outside a cluster statement.  Reads through
+:meth:`flush_if_stale` get refresh-on-demand semantics.
 """
 
 from __future__ import annotations
@@ -90,7 +94,12 @@ class DeferredMaintainer:
     # ------------------------------------------------------------- writes
 
     def apply(self, delta: Delta) -> None:
-        """Queue a base-relation delta; flush first if it switches relation."""
+        """Queue a base-relation delta; flush first if it switches relation.
+
+        Inside a cluster statement the relation-switch flush has already
+        run (``Cluster._flush_stale_deferred``, *before* the base writes);
+        the check here is a backstop for directly-driven maintainers.
+        """
         if delta.is_empty:
             return
         self._snapshot_queue_undo()

@@ -128,25 +128,35 @@ class JoinViewMaintainer:
                 deletes=len(delta.deletes),
             ):
                 compiled = self.planner.compiled_for(delta.relation)
-                mapper = compiled.mapper
                 view_deletes = self._compute_join(compiled, delta.deletes)
                 view_inserts = self._compute_join(compiled, delta.inserts)
-                to_view_row = mapper.to_view_row
-                self.cluster.apply_view_delta(
-                    self.view_info,
-                    inserts=[
-                        (node, to_view_row(tup)) for node, tup in view_inserts
-                    ],
-                    deletes=[
-                        (node, to_view_row(tup)) for node, tup in view_deletes
-                    ],
-                )
+                self._consume_join(compiled, view_inserts, view_deletes)
         except FaultError as exc:
             exc.add_context(
                 f"maintaining view {self.view_info.name!r} "
                 f"({self.method.value}) on delta of {delta.relation!r}"
             )
             raise
+
+    def _consume_join(
+        self,
+        compiled: CompiledPlan,
+        view_inserts: List[Intermediate],
+        view_deletes: List[Intermediate],
+    ) -> None:
+        """Turn fully-joined intermediates into this view's delta.
+
+        Split out of :meth:`apply` so the shared multi-view path can
+        compute the join once per group of same-clause views and fan the
+        intermediates out through each member's own projection; subclasses
+        (aggregates) override this to fold instead of project.
+        """
+        to_view_row = compiled.mapper.to_view_row
+        self.cluster.apply_view_delta(
+            self.view_info,
+            inserts=[(node, to_view_row(tup)) for node, tup in view_inserts],
+            deletes=[(node, to_view_row(tup)) for node, tup in view_deletes],
+        )
 
     def _parallel_hop_engine(self):
         """The running worker pool, when this maintainer's hops may use it.
@@ -407,25 +417,39 @@ class JoinViewMaintainer:
         for (src, dst), count in send_counts.items():
             network.send_many(src, dst, count, Tag.MAINTAIN)
         memo: Dict[Tuple[int, object], List[Row]] = {}
+        ctx = self.cluster._shared_ctx
+        pending = occurrences
+        if ctx is not None:
+            # Shared multi-view statement: a (fragment, column, node, key)
+            # probe answered for an earlier view group this statement is
+            # reused verbatim — no storage touch and no charge; the group
+            # that executed it paid (DESIGN.md § 13, charge attribution).
+            pending = {}
+            for slot, times in occurrences.items():
+                cached = ctx.lookup(fragment_name, column, slot[0], slot[1])
+                if cached is not None:
+                    memo[slot] = cached
+                else:
+                    pending[slot] = times
         if engine is not None:
             # One superstep: every distinct (destination, key) probe runs on
             # its node's worker; repeats charge through the coordinator's
             # mirror nodes exactly as the inline path below does.
-            slots = list(occurrences)
+            slots = list(pending)
             probe_results = engine.run_ops([
                 ("probe", destination, fragment_name, column, key, Tag.MAINTAIN)
                 for destination, key in slots
             ])
             for slot, matches in zip(slots, probe_results):
                 memo[slot] = matches
-                times = occurrences[slot]
+                times = pending[slot]
                 if times > 1:
                     nodes[slot[0]].charge_index_probe(
                         fragment_name, column, len(matches), Tag.MAINTAIN,
                         times=times - 1,
                     )
         else:
-            for slot, times in occurrences.items():
+            for slot, times in pending.items():
                 destination, key = slot
                 matches = nodes[destination].index_probe(
                     fragment_name, column, key, Tag.MAINTAIN
@@ -436,6 +460,9 @@ class JoinViewMaintainer:
                         fragment_name, column, len(matches), Tag.MAINTAIN,
                         times=times - 1,
                     )
+        if ctx is not None:
+            for slot in pending:
+                ctx.store(fragment_name, column, slot[0], slot[1], memo[slot])
         results: List[Intermediate] = []
         passes = self._passes
         for prefix, slot in routed:
@@ -462,42 +489,56 @@ class JoinViewMaintainer:
         for src, count in broadcast_counts.items():
             network.broadcast_many(src, count, Tag.MAINTAIN)
         memo: Dict[Tuple[int, object], List[Row]] = {}
+        num_nodes = self.cluster.num_nodes
+        ctx = self.cluster._shared_ctx
+        pending: List[Tuple[int, object]] = []
+        for key in key_occurrences:
+            for node_id in range(num_nodes):
+                if ctx is not None:
+                    # A broadcast probe touches the same base fragment slots
+                    # as a co-located probe, so the cross-group memo is
+                    # shared between the two hop shapes (same namespace).
+                    cached = ctx.lookup(
+                        access.relation, access.column, node_id, key
+                    )
+                    if cached is not None:
+                        memo[(node_id, key)] = cached
+                        continue
+                pending.append((node_id, key))
         if engine is not None:
-            keys = list(key_occurrences)
-            num_nodes = self.cluster.num_nodes
             probe_results = engine.run_ops([
                 ("probe", node_id, access.relation, access.column, key,
                  Tag.MAINTAIN)
-                for key in keys
-                for node_id in range(num_nodes)
+                for node_id, key in pending
             ])
-            position = 0
-            for key in keys:
+            for (node_id, key), matches in zip(pending, probe_results):
+                memo[(node_id, key)] = matches
                 times = key_occurrences[key]
-                for node_id in range(num_nodes):
-                    matches = probe_results[position]
-                    position += 1
-                    memo[(node_id, key)] = matches
-                    if times > 1:
-                        nodes[node_id].charge_index_probe(
-                            access.relation, access.column, len(matches),
-                            Tag.MAINTAIN, times=times - 1,
-                        )
-        else:
-            for key, times in key_occurrences.items():
-                for destination_node in nodes:
-                    matches = destination_node.index_probe(
-                        access.relation, access.column, key, Tag.MAINTAIN
+                if times > 1:
+                    nodes[node_id].charge_index_probe(
+                        access.relation, access.column, len(matches),
+                        Tag.MAINTAIN, times=times - 1,
                     )
-                    memo[(destination_node.node_id, key)] = matches
-                    if times > 1:
-                        destination_node.charge_index_probe(
-                            access.relation, access.column, len(matches),
-                            Tag.MAINTAIN, times=times - 1,
-                        )
+        else:
+            for node_id, key in pending:
+                matches = nodes[node_id].index_probe(
+                    access.relation, access.column, key, Tag.MAINTAIN
+                )
+                memo[(node_id, key)] = matches
+                times = key_occurrences[key]
+                if times > 1:
+                    nodes[node_id].charge_index_probe(
+                        access.relation, access.column, len(matches),
+                        Tag.MAINTAIN, times=times - 1,
+                    )
+        if ctx is not None:
+            for node_id, key in pending:
+                ctx.store(
+                    access.relation, access.column, node_id, key,
+                    memo[(node_id, key)],
+                )
         results: List[Intermediate] = []
         passes = self._passes
-        num_nodes = self.cluster.num_nodes
         for node, prefix in state:
             key = prefix[key_position]
             for destination in range(num_nodes):
@@ -538,8 +579,22 @@ class JoinViewMaintainer:
         # Probe each distinct key once; fetch each owner's matches once.
         memo: Dict[object, List[Tuple[int, List[Row]]]] = {}
         owner_send_counts: Dict[Tuple[int, int], int] = {}
+        ctx = self.cluster._shared_ctx
+        pending_keys = key_occurrences
+        if ctx is not None:
+            # GI answers (probe + the owner fetches they trigger) are shared
+            # across view groups per distinct key; a hit skips the probe,
+            # the home->owner sends, and the fetches — all billed by the
+            # group that executed them (DESIGN.md § 13).
+            pending_keys = {}
+            for key, times in key_occurrences.items():
+                cached = ctx.lookup_gi(access.gi_name, key)
+                if cached is not None:
+                    memo[key] = cached
+                else:
+                    pending_keys[key] = times
         if engine is not None:
-            keys = list(key_occurrences)
+            keys = list(pending_keys)
             grouped_results = engine.run_ops([
                 ("gi_probe", home_cache[key], access.gi_name, key, Tag.MAINTAIN)
                 for key in keys
@@ -547,7 +602,7 @@ class JoinViewMaintainer:
             fetch_ops: List[tuple] = []
             fetch_meta: List[Tuple[object, int, int]] = []
             for key, grouped in zip(keys, grouped_results):
-                times = key_occurrences[key]
+                times = pending_keys[key]
                 home = home_cache[key]
                 if times > 1:
                     nodes[home].charge_gi_probe(
@@ -568,14 +623,14 @@ class JoinViewMaintainer:
             fetch_results = engine.run_ops(fetch_ops)
             for (key, owner, num_grids), rows in zip(fetch_meta, fetch_results):
                 memo[key].append((owner, rows))
-                times = key_occurrences[key]
+                times = pending_keys[key]
                 if times > 1:
                     units = 1 if access.distributed_clustered else num_grids
                     nodes[owner].charge_fetch(
                         access.relation, units, Tag.MAINTAIN, times=times - 1
                     )
         else:
-            for key, times in key_occurrences.items():
+            for key, times in pending_keys.items():
                 home = home_cache[key]
                 grouped = nodes[home].gi_probe(access.gi_name, key, Tag.MAINTAIN)
                 if times > 1:
@@ -601,6 +656,9 @@ class JoinViewMaintainer:
                 memo[key] = fetched
         for (src, dst), count in owner_send_counts.items():
             network.send_many(src, dst, count, Tag.MAINTAIN)
+        if ctx is not None:
+            for key in pending_keys:
+                ctx.store_gi(access.gi_name, key, memo[key])
         results: List[Intermediate] = []
         passes = self._passes
         for prefix, key in routed:

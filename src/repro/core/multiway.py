@@ -197,50 +197,19 @@ class CompiledHop:
     filters: Tuple[Tuple[int, int], ...]
 
 
-@dataclass(frozen=True)
-class CompiledPlan:
-    """A maintenance plan plus every derived artifact execution needs.
+class JoinLayout:
+    """Flat layout of a plan's concatenated intermediate tuples.
 
-    Cached by :meth:`repro.core.optimizer.MaintenancePlanner.compiled_for`
-    keyed on the catalog version (invalidation on any DDL change), so the
-    per-statement cost of planning drops to one dict lookup.
+    Everything here is derived from the plan's join shape alone — the
+    updated relation, hop order, and each hop's contributed schema — never
+    from any view's projection list.  Views that differ only in their
+    select list therefore share one layout (and one :class:`CompiledJoin`)
+    instead of compiling identical position tables per view.
     """
 
-    plan: MaintenancePlan
-    mapper: "OutputMapper"
-    hops: Tuple[CompiledHop, ...]
+    __slots__ = ("plan", "total_arity", "_offsets", "_schemas")
 
-
-def compile_plan(bound: BoundView, plan: MaintenancePlan) -> CompiledPlan:
-    """Resolve the mapper, probe-key positions, and filter positions of a
-    plan once, ahead of execution."""
-    mapper = OutputMapper(bound, plan)
-    compiled_hops = []
-    for hop in plan.hops:
-        key_position = mapper.position(hop.left_relation, hop.left_column)
-        filters = []
-        for condition in hop.extra_filters:
-            left_relation, left_column = condition.other(hop.partner)
-            left_position = mapper.position(left_relation, left_column)
-            partner_position = hop.contributed.index_of(
-                condition.column_of(hop.partner)
-            )
-            filters.append((left_position, partner_position))
-        compiled_hops.append(CompiledHop(hop, key_position, tuple(filters)))
-    return CompiledPlan(plan=plan, mapper=mapper, hops=tuple(compiled_hops))
-
-
-class OutputMapper:
-    """Maps a plan's concatenated intermediate tuples to view output rows.
-
-    During execution the intermediate tuple is the concatenation of the
-    delta row and each hop's contributed row, in plan order; schemas can be
-    trimmed (auxiliary relations).  The mapper resolves, once per plan, the
-    flat position of every value the maintainers need.
-    """
-
-    def __init__(self, bound: BoundView, plan: MaintenancePlan) -> None:
-        self.bound = bound
+    def __init__(self, plan: MaintenancePlan) -> None:
         self.plan = plan
         self._offsets: Dict[str, int] = {}
         self._schemas: Dict[str, Schema] = {}
@@ -250,9 +219,6 @@ class OutputMapper:
             self._schemas[relation] = schema
             offset += schema.arity
         self.total_arity = offset
-        self._select_positions = tuple(
-            self.position(relation, column) for relation, column in bound.select
-        )
 
     @staticmethod
     def _contributions(plan: MaintenancePlan):
@@ -276,6 +242,111 @@ class OutputMapper:
         for hop in self.plan.hops[:upto_hop]:
             arity += hop.contributed.arity
         return arity
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledJoin:
+    """The select-independent half of a compiled plan.
+
+    Keyed on the join clause — ``(updated, updated_schema, hops)`` — so
+    every view whose plan shares the clause shares this object (identity
+    comparison is intentional: the cluster-level cache guarantees one
+    instance per clause per catalog version, and the shared-maintenance
+    grouper uses the instance itself as the group key).
+    """
+
+    plan: MaintenancePlan
+    layout: JoinLayout
+    hops: Tuple[CompiledHop, ...]
+
+    @property
+    def clause_key(self) -> Tuple:
+        """Hashable identity of the join clause this compilation serves."""
+        return (self.plan.updated, self.plan.updated_schema, self.plan.hops)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A maintenance plan plus every derived artifact execution needs.
+
+    Cached by :meth:`repro.core.optimizer.MaintenancePlanner.compiled_for`
+    keyed on the catalog version (invalidation on any DDL change), so the
+    per-statement cost of planning drops to one dict lookup.  The heavy
+    half (``join``) is shared between views with the same join clause; only
+    the thin :class:`OutputMapper` (select positions) is per view.
+    """
+
+    plan: MaintenancePlan
+    mapper: "OutputMapper"
+    hops: Tuple[CompiledHop, ...]
+    join: CompiledJoin
+
+
+def compile_join(plan: MaintenancePlan) -> CompiledJoin:
+    """Resolve the layout, probe-key positions, and filter positions of a
+    plan's join clause once — independent of any view's projection."""
+    layout = JoinLayout(plan)
+    compiled_hops = []
+    for hop in plan.hops:
+        key_position = layout.position(hop.left_relation, hop.left_column)
+        filters = []
+        for condition in hop.extra_filters:
+            left_relation, left_column = condition.other(hop.partner)
+            left_position = layout.position(left_relation, left_column)
+            partner_position = hop.contributed.index_of(
+                condition.column_of(hop.partner)
+            )
+            filters.append((left_position, partner_position))
+        compiled_hops.append(CompiledHop(hop, key_position, tuple(filters)))
+    return CompiledJoin(plan=plan, layout=layout, hops=tuple(compiled_hops))
+
+
+def attach_select(bound: BoundView, join: CompiledJoin) -> CompiledPlan:
+    """Wrap a (possibly shared) compiled join with one view's projection."""
+    mapper = OutputMapper(bound, join.plan, layout=join.layout)
+    return CompiledPlan(plan=join.plan, mapper=mapper, hops=join.hops, join=join)
+
+
+def compile_plan(bound: BoundView, plan: MaintenancePlan) -> CompiledPlan:
+    """Resolve the mapper, probe-key positions, and filter positions of a
+    plan once, ahead of execution."""
+    return attach_select(bound, compile_join(plan))
+
+
+class OutputMapper:
+    """Maps a plan's concatenated intermediate tuples to view output rows.
+
+    During execution the intermediate tuple is the concatenation of the
+    delta row and each hop's contributed row, in plan order; schemas can be
+    trimmed (auxiliary relations).  All position arithmetic lives in the
+    select-independent :class:`JoinLayout`; the mapper adds only this
+    view's resolved select positions on top.
+    """
+
+    def __init__(
+        self,
+        bound: BoundView,
+        plan: MaintenancePlan,
+        layout: JoinLayout | None = None,
+    ) -> None:
+        self.bound = bound
+        self.plan = plan
+        self.layout = layout if layout is not None else JoinLayout(plan)
+        self._select_positions = tuple(
+            self.position(relation, column) for relation, column in bound.select
+        )
+
+    @property
+    def total_arity(self) -> int:
+        return self.layout.total_arity
+
+    def position(self, relation: str, column: str) -> int:
+        """Flat position of ``relation.column`` in the intermediate tuple."""
+        return self.layout.position(relation, column)
+
+    def prefix_arity(self, upto_hop: int) -> int:
+        """Arity of the intermediate before hop index ``upto_hop`` runs."""
+        return self.layout.prefix_arity(upto_hop)
 
     def to_view_row(self, concatenated: Row) -> Row:
         """Project a fully-joined intermediate tuple to the view's schema."""

@@ -25,12 +25,14 @@ from .multiway import (
     AccessPath,
     AuxiliaryAccess,
     BaseAccess,
+    CompiledJoin,
     CompiledPlan,
     GlobalIndexAccess,
     Hop,
     HopChoice,
     MaintenancePlan,
-    compile_plan,
+    attach_select,
+    compile_join,
     enumerate_orders,
 )
 from .statistics import StatisticsCache
@@ -142,13 +144,40 @@ class MaintenancePlanner:
                 method=self.method.value,
             ):
                 self._prune_stale(self._compiled_cache, version)
-                compiled = compile_plan(self.bound, self.plan_for(updated))
+                compiled = attach_select(
+                    self.bound, self._shared_join(self.plan_for(updated))
+                )
                 self._compiled_cache[key] = compiled
             if obs.enabled:
                 self._plan_cache_event(obs, updated, "miss")
         elif obs.enabled:
             self._plan_cache_event(obs, updated, "compiled_hit")
         return compiled
+
+    def _shared_join(self, plan: MaintenancePlan) -> CompiledJoin:
+        """Fetch (or create) the select-independent compiled join.
+
+        The cluster keeps one :class:`CompiledJoin` per join clause per
+        catalog version, so views that differ only in their projection
+        list share the same layout, probe-key positions, and filter
+        closures instead of compiling duplicates — and the shared
+        multi-view path can group views by comparing ``compiled.join``
+        identity.  Stale versions are pruned on miss, mirroring
+        :meth:`_prune_stale` (the key carries the version in position 0).
+        """
+        cache = getattr(self.cluster, "_compiled_join_cache", None)
+        if cache is None:
+            return compile_join(plan)
+        version = self.cluster.catalog.version
+        key = (version, plan.updated, plan.updated_schema, plan.hops)
+        join = cache.get(key)
+        if join is None:
+            stale = [entry for entry in cache if entry[0] != version]
+            for entry in stale:
+                del cache[entry]
+            join = compile_join(plan)
+            cache[key] = join
+        return join
 
     def _plan_cache_event(self, obs, updated: str, kind: str) -> None:  # repro: obs-guarded=both call sites test obs.enabled first
         """Push one live plan-cache counter sample (traced runs only)."""

@@ -88,8 +88,12 @@ def test_cross_relation_delta_forces_flush(deferred):
     cluster, wrapper = deferred
     cluster.insert("A", [(1, 2, "x")])
     assert wrapper.is_stale
-    # A delta on B must not queue behind A's: auto-flush keeps ordering.
+    # B's delta must not queue behind A's: the pre-write flush applies the
+    # queued A batch against the partner state it actually observed, and
+    # B's own delta then queues in its place.
     cluster.insert("B", [(99, 2, "new")])
+    assert wrapper.is_stale  # now holding the B delta
+    wrapper.refresh()
     assert Counter(cluster.view_rows("JV")) == recompute_view(cluster, "JV")
 
 

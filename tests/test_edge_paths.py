@@ -82,8 +82,11 @@ def test_both_bases_partitioned_on_join_attributes():
     assert cluster.catalog.auxiliaries == {}
     assert cluster.catalog.global_indexes == {}
     snapshot = cluster.insert("A", [(1, 2)])
-    # One probe per view, at the single co-located node; no broadcast.
-    assert snapshot.op_count(Op.SEARCH, tags=[Tag.MAINTAIN]) == 3
+    # All three views degrade to the identical co-located probe plan, so
+    # the shared multi-view path groups them and bills the single probe
+    # once for the whole group (DESIGN.md § 13); no broadcast either way.
+    assert snapshot.op_count(Op.SEARCH, tags=[Tag.MAINTAIN]) == 1
+    assert cluster.multi_view_stats.last_partition_passes == 1
     for method in ("naive", "auxiliary", "global_index"):
         name = f"JV_{method}"
         assert Counter(cluster.view_rows(name)) == recompute_view(cluster, name)

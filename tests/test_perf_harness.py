@@ -25,6 +25,7 @@ def tiny_report():
         headline_rows=24,
         repeats=1,
         worker_counts=(1, 2),
+        multi_view_counts=(1, 2),
     )
     return perf.run(config, smoke=True)
 
@@ -73,6 +74,31 @@ def test_report_covers_worker_sweep(tiny_report):
     assert tiny_report["cpus"] >= 1
 
 
+def test_report_covers_multi_view_sweep(tiny_report):
+    cells = {
+        (cell["method"], cell["views"])
+        for cell in tiny_report["multi_view"]["sweep"]
+    }
+    assert cells == {
+        (method, views) for method in perf.METHODS for views in (1, 2)
+    }
+    for cell in tiny_report["multi_view"]["sweep"]:
+        assert cell["speedup"] > 0
+        if cell["views"] == 1:
+            # Single-view clusters never enter the shared path.
+            assert cell["partition_passes_per_statement"] == 0.0
+            assert cell["probes_deduped"] == 0
+        else:
+            # Every statement took the shared path with one group.
+            assert cell["partition_passes_per_statement"] == 1.0
+    headline = tiny_report["multi_view"]["headline"]
+    assert headline["name"] == "five_view_shared_dag"
+    assert headline["views"] == perf.HEADLINE_MULTI_VIEW_COUNT
+    assert headline["partition_passes_per_statement"] == 1.0
+    assert headline["probes_deduped"] > 0
+    assert isinstance(headline["met_target"], bool)
+
+
 def test_seeds_derive_from_config_names(tiny_report):
     """Seeds are CRC-32 of the case name: stable across runs/processes."""
     assert perf.config_seed("grid/skewed/naive/eager") == perf.config_seed(
@@ -89,6 +115,11 @@ def test_seeds_derive_from_config_names(tiny_report):
             f"scaling/{case['workload']}/{case['method']}/w{case['workers']}"
         )
         assert case["seed"] == expected
+    for cell in tiny_report["multi_view"]["sweep"]:
+        expected = perf.config_seed(
+            f"multi_view/{cell['method']}/v{cell['views']}"
+        )
+        assert cell["seed"] == expected
 
 
 def test_render_mentions_every_method(tiny_report):
@@ -108,6 +139,14 @@ def test_validate_report_catches_problems(tiny_report):
     headless = dict(tiny_report)
     headless.pop("headline")
     assert any("headline" in p for p in validate_report(headless))
+    truncated = dict(tiny_report)
+    truncated["multi_view"] = {
+        "sweep": tiny_report["multi_view"]["sweep"][:-1],
+        "headline": {},
+    }
+    problems = validate_report(truncated)
+    assert any("multi_view sweep cells" in p for p in problems)
+    assert any("multi_view headline" in p for p in problems)
 
 
 def test_case_result_derived_metrics():
