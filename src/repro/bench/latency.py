@@ -1,0 +1,359 @@
+"""Open-loop latency bench: percentiles, attribution, saturation knees.
+
+``repro.bench.perf`` answers "how many tuples per second"; this module
+answers "what does one statement *feel* like, and where does the feeling
+break down".  For every maintenance method × eager/deferred × worker
+count it:
+
+1. executes one seeded mixed schedule of update statements and read
+   queries (:func:`repro.obs.load.build_schedule`) against a skewed-key
+   cluster, measuring per-operation wall-clock **service time** into the
+   log-bucketed latency histogram;
+2. folds the PR-4 statement-lifecycle spans into a per-phase
+   **attribution** (plan_compile / base_writes / maintain / view_write /
+   deferred_refresh / query) plus a tail ("where did the p99 go") cut;
+3. replays the measured service times through the open-loop single-server
+   queue at geometrically stepped arrival rates until the p99 blows past
+   the knee detector, yielding the **saturation curve** and its knee.
+
+The modeled ledgers never see any of this: measurement wraps the calls
+(``tests/test_load_driver.py`` pins charges bit-identical with
+measurement on or off), and the queue replay is pure arithmetic over the
+measured seconds, so one execution prices every arrival rate.
+
+Results land in ``BENCH_PERF.json``'s schema-v6 ``latency`` section
+(assembled by ``repro.bench.perf``) or in a standalone report::
+
+    PYTHONPATH=src python -m repro.bench.latency --smoke
+    PYTHONPATH=src python -m repro.bench.latency --out bench-latency.json
+
+``repro.bench.regress`` gates CI on these numbers against the committed
+``BENCH_BASELINE.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.deferred import defer_view
+from ..obs.attribution import attribute_roots, fold_phases, tail_attribution
+from ..obs.collect import attach_observability
+from ..obs.load import (
+    build_schedule,
+    execute_schedule,
+    find_knee,
+    latency_summary,
+    open_loop_latencies,
+)
+from ..obs.metrics import MetricsRegistry
+from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
+from .harness import config_seed
+
+__all__ = [
+    "LatencyConfig",
+    "run_config",
+    "run_latency",
+    "validate_latency_section",
+    "render_latency",
+]
+
+METHODS = ("naive", "auxiliary", "global_index")
+MODES = ("eager", "deferred")
+
+#: A rate step whose p99 exceeds ``knee_factor`` × the base rate's p99 has
+#: saturated: queueing delay dominates service time.  8× on geometric
+#: (doubling) rate steps places the knee within one step of where the
+#: curve turns vertical.
+KNEE_FACTOR = 8.0
+#: The sweep always records at least this many arrival rates (the
+#: acceptance bar is three) and never more than ``MAX_RATE_STEPS``.
+MIN_RATE_STEPS = 4
+MAX_RATE_STEPS = 10
+#: First arrival rate as a fraction of measured service capacity
+#: (offered utilization ρ); 0.25 starts the curve well under the knee.
+BASE_UTILIZATION = 0.25
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Sizing knobs for one latency-bench run."""
+
+    num_nodes: int = 8
+    num_keys: int = 64
+    fanout: int = 4
+    skew: float = 1.2
+    ops: int = 240                  # scheduled operations per config
+    statement_size: int = 8         # rows per update statement
+    read_fraction: float = 0.25     # probability an op is a read query
+    worker_counts: Tuple[int, ...] = (0, 2)  # 0 = serial execution
+    knee_factor: float = KNEE_FACTOR
+
+    @classmethod
+    def smoke(cls) -> "LatencyConfig":
+        return cls(
+            num_nodes=4,
+            num_keys=16,
+            ops=36,
+            worker_counts=(0,),
+        )
+
+
+def run_config(
+    config: LatencyConfig, method: str, mode: str, workers: int
+) -> Tuple[Dict[str, object], MetricsRegistry]:
+    """One (method, mode, workers) cell: execute, attribute, sweep.
+
+    Returns the report entry plus the live metrics registry (the
+    ``repro_stmt_latency_seconds`` histogram, ``repro_load_ops_total``
+    counters, and per-step ``repro_arrival_rate`` gauges) so tests can
+    round-trip the Prometheus export.
+    """
+    name = f"{method}-{mode}-w{workers}"
+    seed = config_seed(f"latency-{name}")
+    workload = SkewedJoinWorkload(
+        num_keys=config.num_keys,
+        fanout=config.fanout,
+        skew=config.skew,
+        seed=seed,
+    )
+    cluster = build_skewed_cluster(
+        workload, num_nodes=config.num_nodes, method=method, strategy="inl"
+    )
+    if workers:
+        cluster.workers = workers
+    obs = attach_observability(cluster)
+    deferred = mode == "deferred"
+    wrapper = (
+        defer_view(cluster, "JV", flush_threshold=4 * config.statement_size)
+        if deferred
+        else None
+    )
+    schedule = build_schedule(
+        workload,
+        total_ops=config.ops,
+        statement_size=config.statement_size,
+        read_fraction=config.read_fraction,
+        seed=seed,
+        deferred=deferred,
+    )
+    try:
+        timings = execute_schedule(
+            cluster,
+            schedule,
+            refresh=wrapper.refresh if wrapper is not None else None,
+            registry=obs.metrics,
+            method=method,
+            mode=mode,
+            workers=workers,
+        )
+        roots = attribute_roots(obs.tracer)
+    finally:
+        cluster.close()
+
+    service = [timing.seconds for timing in timings]
+    summary = latency_summary(service)
+    attribution = fold_phases(roots)
+    attributed_total = sum(attribution.values())
+    tail = tail_attribution(roots, summary["p99"])
+
+    # Saturation sweep: replay the measured service times through the
+    # open-loop queue at doubling arrival rates.  Pure arithmetic — every
+    # rate prices the identical execution.
+    mean = summary["mean"]
+    base_rate = BASE_UTILIZATION / max(mean, 1e-9)
+    arrival_gauge = obs.metrics.gauge(
+        "repro_arrival_rate", "Offered open-loop arrival rate per sweep step"
+    )
+    rate = base_rate
+    rates: List[float] = []
+    p99s: List[float] = []
+    rate_rows: List[Dict[str, float]] = []
+    for step in range(MAX_RATE_STEPS):
+        latencies = open_loop_latencies(service, rate, seed=seed + step)
+        rate_summary = latency_summary(latencies)
+        arrival_gauge.set(rate, config=name, step=step)
+        rate_rows.append({"rate": rate, **rate_summary})
+        rates.append(rate)
+        p99s.append(rate_summary["p99"])
+        blown = rate_summary["p99"] > config.knee_factor * p99s[0]
+        if blown and step + 1 >= MIN_RATE_STEPS:
+            break
+        rate *= 2.0
+    knee = find_knee(rates, p99s, config.knee_factor)
+
+    entry: Dict[str, object] = {
+        "name": name,
+        "method": method,
+        "mode": mode,
+        "workers": workers,
+        "seed": seed,
+        "ops": len(schedule),
+        "service": summary,
+        "attribution": attribution,
+        "attribution_share": {
+            phase: seconds / attributed_total if attributed_total else 0.0
+            for phase, seconds in attribution.items()
+        },
+        "tail_attribution": tail,
+        "rates": rate_rows,
+        "knee_rate": knee,
+    }
+    return entry, obs.metrics
+
+
+def run_latency(config: LatencyConfig) -> Dict[str, object]:
+    """The full method × mode × workers sweep (the schema-v6 section)."""
+    entries: List[Dict[str, object]] = []
+    for method in METHODS:
+        for mode in MODES:
+            for workers in config.worker_counts:
+                entry, _registry = run_config(config, method, mode, workers)
+                entries.append(entry)
+    return {
+        "knee_factor": config.knee_factor,
+        "config": asdict(config),
+        "configs": entries,
+    }
+
+
+_SUMMARY_KEYS = ("p50", "p95", "p99", "max", "mean")
+_ENTRY_KEYS = {
+    "name", "method", "mode", "workers", "seed", "ops", "service",
+    "attribution", "attribution_share", "tail_attribution", "rates",
+    "knee_rate",
+}
+
+
+def validate_latency_section(section: Dict[str, object]) -> List[str]:
+    """Schema check for the ``latency`` section; returns problems found."""
+    problems: List[str] = []
+    if not isinstance(section, dict):
+        return ["latency section is not an object"]
+    for key in ("knee_factor", "config", "configs"):
+        if key not in section:
+            problems.append(f"latency section missing key {key!r}")
+    entries = section.get("configs", [])
+    if not isinstance(entries, list) or not entries:
+        return problems + ["latency section has no configs"]
+    worker_counts = tuple(section.get("config", {}).get("worker_counts", ()))
+    expected = len(METHODS) * len(MODES) * max(1, len(worker_counts))
+    if worker_counts and len(entries) != expected:
+        problems.append(
+            f"expected {expected} latency configs, got {len(entries)}"
+        )
+    for index, entry in enumerate(entries):
+        missing = _ENTRY_KEYS - set(entry)
+        if missing:
+            problems.append(
+                f"latency config {index} missing fields {sorted(missing)}"
+            )
+            continue
+        label = entry["name"]
+        service = entry["service"]
+        for key in _SUMMARY_KEYS:
+            if key not in service:
+                problems.append(f"{label}: service summary missing {key!r}")
+        quantiles = [service.get(q) for q in ("p50", "p95", "p99", "max")]
+        if all(q is not None for q in quantiles) and quantiles != sorted(quantiles):
+            problems.append(f"{label}: service quantiles are not monotone")
+        rates = entry["rates"]
+        if len(rates) < 3:
+            problems.append(
+                f"{label}: saturation sweep has {len(rates)} rates (< 3)"
+            )
+        last_rate = 0.0
+        for position, row in enumerate(rates):
+            for key in ("rate", *_SUMMARY_KEYS):
+                if key not in row:
+                    problems.append(
+                        f"{label}: rate step {position} missing {key!r}"
+                    )
+            if row.get("rate", 0.0) <= last_rate:
+                problems.append(
+                    f"{label}: arrival rates not strictly increasing "
+                    f"at step {position}"
+                )
+            last_rate = row.get("rate", last_rate)
+        if entry["knee_rate"] is not None and rates:
+            sweep_rates = [row["rate"] for row in rates if "rate" in row]
+            if sweep_rates and entry["knee_rate"] not in sweep_rates:
+                problems.append(
+                    f"{label}: knee_rate is not one of the swept rates"
+                )
+        if not entry["attribution"]:
+            problems.append(f"{label}: empty span attribution")
+    return problems
+
+
+def _top_phase(attribution: Dict[str, float]) -> str:
+    if not attribution:
+        return "n/a"
+    phase = max(sorted(attribution), key=lambda key: attribution[key])
+    total = sum(attribution.values())
+    share = attribution[phase] / total if total else 0.0
+    return f"{phase} {share * 100:.0f}%"
+
+
+def render_latency(section: Dict[str, object]) -> str:
+    lines = [
+        "Open-loop latency (service-time percentiles, saturation knee, "
+        f"p99 blow-up factor {section['knee_factor']:g})",
+        "",
+        f"{'config':<26} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} "
+        f"{'knee ops/s':>11}  p99 tail phase",
+    ]
+    for entry in section["configs"]:
+        service = entry["service"]
+        knee = entry["knee_rate"]
+        lines.append(
+            f"{entry['name']:<26} "
+            f"{service['p50'] * 1e3:>8.3f} {service['p95'] * 1e3:>8.3f} "
+            f"{service['p99'] * 1e3:>8.3f} "
+            f"{f'{knee:,.0f}' if knee is not None else 'n/a':>11}  "
+            f"{_top_phase(entry['tail_attribution'])}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.latency",
+        description="Open-loop latency percentiles, attribution, and "
+        "saturation knees per maintenance method.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("bench-latency.json"),
+        help="output JSON path (default: bench-latency.json)",
+    )
+    args = parser.parse_args(argv)
+    config = LatencyConfig.smoke() if args.smoke else LatencyConfig()
+    section = run_latency(config)
+    problems = validate_latency_section(section)
+    if problems:  # pragma: no cover - self-check of a freshly built report
+        for problem in problems:
+            print(f"schema problem: {problem}", file=sys.stderr)
+        return 1
+    from .perf import SCHEMA_VERSION  # lazy: perf imports this module
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": args.smoke,
+        "latency": section,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(render_latency(section))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

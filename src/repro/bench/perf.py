@@ -6,9 +6,10 @@ tuples per second the Python engine sustains with the batched execution
 paths on versus off, for all three maintenance methods, uniform and skewed
 key distributions, and eager versus deferred application — plus a
 worker-scaling sweep of the fork-based parallel node engine
-(``Cluster(workers=N)``) and a multi-view overlap sweep (V same-clause
+(``Cluster(workers=N)``), a multi-view overlap sweep (V same-clause
 views maintained by the shared delta-propagation DAG versus the
-independent per-view loop).
+independent per-view loop), and a per-statement latency section
+(percentiles, attribution, saturation knees — ``repro.bench.latency``).
 
 The reference engine differs from the batched one only through
 ``Cluster.batch_execution``; both charge bit-identical ledger cells (see
@@ -33,7 +34,12 @@ Usage::
     PYTHONPATH=src python -m repro.bench.perf --out /tmp/p.json
     PYTHONPATH=src python -m repro.bench.perf --smoke --trace perf-traces
 
-Writes ``BENCH_PERF.json`` at the repo root by default.
+Writes ``BENCH_PERF.json`` at the repo root by default, plus a
+``*.meta.json`` sidecar carrying the generation timestamp.  The report
+itself contains no wall-clock-of-day fields, so re-running an identical
+build produces an identical results document — regeneration diffs show
+only real measurement drift, and ``repro.bench.regress`` can gate the
+committed file byte-for-byte.
 """
 
 from __future__ import annotations
@@ -43,7 +49,6 @@ import json
 import os
 import sys
 import time
-import zlib
 from dataclasses import asdict, dataclass, replace
 from datetime import datetime, timezone
 from pathlib import Path
@@ -52,8 +57,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.deferred import defer_view
 from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
 from ..workloads.uniform import UniformJoinWorkload, build_cluster
+from .harness import config_seed
+from .latency import (
+    LatencyConfig,
+    render_latency,
+    run_latency,
+    validate_latency_section,
+)
 
-SCHEMA_VERSION = 5
+__all__ = ["SCHEMA_VERSION", "PerfConfig", "config_seed", "run", "main"]
+
+SCHEMA_VERSION = 6
 METHODS = ("naive", "auxiliary", "global_index")
 WORKLOADS = ("uniform", "skewed")
 MODES = ("eager", "deferred")
@@ -77,16 +91,6 @@ PARALLEL_OVERHEAD_BUDGET = 0.10
 PARALLEL_OVERHEAD_NOISE_FLOOR = 0.02
 
 
-def config_seed(name: str) -> int:
-    """Deterministic RNG seed derived from a config/case name.
-
-    CRC-32 keeps the mapping stable across Python versions and processes
-    (unlike ``hash``), so ``BENCH_PERF.json`` cases can be re-run in
-    isolation from their name alone.
-    """
-    return zlib.crc32(name.encode("utf-8")) & 0x7FFFFFFF
-
-
 @dataclass(frozen=True)
 class PerfConfig:
     """Sizing knobs for one harness run."""
@@ -101,6 +105,12 @@ class PerfConfig:
     repeats: int = 3                # best-of timing repeats
     worker_counts: Tuple[int, ...] = (1, 2, 4)  # parallel sweep
     multi_view_counts: Tuple[int, ...] = (1, 2, 5, 10)  # overlap sweep
+    # Latency section (repro.bench.latency): open-loop saturation sweep
+    # sizing.  ``latency_worker_counts`` uses 0 for the inline engine.
+    latency_ops: int = 240
+    latency_statement_size: int = 8
+    latency_read_fraction: float = 0.25
+    latency_worker_counts: Tuple[int, ...] = (0, 2)
 
     @classmethod
     def smoke(cls) -> "PerfConfig":
@@ -114,6 +124,21 @@ class PerfConfig:
             repeats=1,
             worker_counts=(2,),
             multi_view_counts=(1, 5),
+            latency_ops=36,
+            latency_worker_counts=(0,),
+        )
+
+    def latency_config(self) -> LatencyConfig:
+        """The latency-harness sizing derived from this run's knobs."""
+        return LatencyConfig(
+            num_nodes=self.num_nodes,
+            num_keys=self.num_keys,
+            fanout=self.fanout,
+            skew=self.skew,
+            ops=self.latency_ops,
+            statement_size=self.latency_statement_size,
+            read_fraction=self.latency_read_fraction,
+            worker_counts=self.latency_worker_counts,
         )
 
 
@@ -862,9 +887,11 @@ def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
     scaling = run_scaling(config)
     headline_parallel = run_headline_parallel(config)
     multi_view = run_multi_view(config)
+    latency = run_latency(config.latency_config())
+    # No generated_at here: timestamps live in the *.meta.json sidecar so
+    # the results document stays byte-stable across identical re-runs.
     return {
         "schema_version": SCHEMA_VERSION,
-        "generated_at": datetime.now(timezone.utc).isoformat(),
         "smoke": smoke,
         "cpus": os.cpu_count(),
         "config": asdict(config),
@@ -878,6 +905,7 @@ def run(config: PerfConfig, smoke: bool = False) -> Dict[str, object]:
         "scaling": [case.as_dict() for case in scaling],
         "headline_parallel": headline_parallel,
         "multi_view": multi_view,
+        "latency": latency,
     }
 
 
@@ -887,11 +915,16 @@ def validate_report(report: Dict[str, object]) -> List[str]:
     if report.get("schema_version") != SCHEMA_VERSION:
         problems.append("schema_version mismatch")
     for key in (
-        "generated_at", "cpus", "config", "results", "headline",
-        "scaling", "headline_parallel", "multi_view",
+        "cpus", "config", "results", "headline",
+        "scaling", "headline_parallel", "multi_view", "latency",
     ):
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
+    if "generated_at" in report:
+        problems.append(
+            "generated_at does not belong in the report (timestamps live in "
+            "the *.meta.json sidecar so the results stay byte-stable)"
+        )
     results = report.get("results", [])
     expected = len(METHODS) * len(WORKLOADS) * len(MODES)
     if len(results) != expected:
@@ -996,6 +1029,12 @@ def validate_report(report: Dict[str, object]) -> List[str]:
     if multi_headline.get("views") != HEADLINE_MULTI_VIEW_COUNT:
         problems.append(
             f"multi_view headline must run V={HEADLINE_MULTI_VIEW_COUNT}"
+        )
+    latency = report.get("latency")
+    if isinstance(latency, dict):
+        problems.extend(
+            f"latency: {problem}"
+            for problem in validate_latency_section(latency)
         )
     return problems
 
@@ -1106,6 +1145,8 @@ def render(report: Dict[str, object]) -> str:
         f"pass(es)/statement, "
         f"{mv_headline['probes_deduped']} probe execution(s) deduped"
     )
+    lines.append("")
+    lines.append(render_latency(report["latency"]))
     return "\n".join(lines)
 
 
@@ -1140,8 +1181,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     out_path = args.out or default_output_path()
     out_path.write_text(json.dumps(report, indent=2) + "\n")
+    # The timestamp rides in a sidecar, not the report, so identical re-runs
+    # of the same build leave BENCH_PERF.json byte-for-byte unchanged.
+    meta_path = out_path.with_suffix(".meta.json")
+    meta_path.write_text(
+        json.dumps(
+            {
+                "generated_at": datetime.now(timezone.utc).isoformat(),
+                "report": out_path.name,
+                "schema_version": SCHEMA_VERSION,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     print(render(report))
-    print(f"\nwrote {out_path}")
+    print(f"\nwrote {out_path} (+ {meta_path.name})")
     if args.trace is not None:
         trace_info = report["trace"]
         print(

@@ -1,0 +1,306 @@
+"""Latency regression gate: fail CI when percentiles drift past noise.
+
+Compares a candidate latency report (``BENCH_PERF.json``'s ``latency``
+section, or a standalone ``repro.bench.latency`` report) against the
+committed ``BENCH_BASELINE.json``.  The threshold is noise-floor-aware in
+two ways:
+
+* **relative slack** — a quantile regresses only when it exceeds
+  ``baseline × (1 + rel_threshold)``; wall-clock on shared runners jitters
+  tens of percent, so the default slack is 50%;
+* **absolute floor** — an extra ``noise_floor_seconds`` is always
+  forgiven, so microsecond-scale configs cannot trip the relative gate on
+  scheduler jitter alone.
+
+Both knobs are frozen *into the baseline file* when it is written, so the
+gate's sensitivity is reviewed in the same diff as the numbers it guards;
+CLI flags override for local experiments.  The saturation knee (an
+arrival rate — higher is better) is gated downward with the same relative
+slack: the sweep steps rates geometrically, so losing more than a full
+step is a real capacity regression, not measurement grain.
+
+Usage::
+
+    python -m repro.bench.regress                       # committed vs committed
+    python -m repro.bench.regress --candidate fresh.json
+    python -m repro.bench.regress --freeze BENCH_BASELINE.json
+    python -m repro.bench.regress --self-test           # prove the gate bites
+
+Exit codes: 0 clean, 1 regression found (or a toothless self-test),
+2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "GATED_QUANTILES",
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_NOISE_FLOOR_SECONDS",
+    "extract_configs",
+    "compare",
+    "inject_regression",
+    "freeze_baseline",
+    "default_baseline_path",
+]
+
+#: Service-time quantiles the gate enforces.  ``max`` is deliberately
+#: excluded: a single descheduled statement moves it arbitrarily.
+GATED_QUANTILES = ("p50", "p95", "p99")
+DEFAULT_REL_THRESHOLD = 0.5
+DEFAULT_NOISE_FLOOR_SECONDS = 0.002
+#: The synthetic regression injected by ``--self-test`` — far past any
+#: plausible threshold, so a passing self-test proves the gate has teeth.
+SELF_TEST_FACTOR = 4.0
+SELF_TEST_SEED = 2003
+
+ConfigStats = Dict[str, Optional[float]]
+
+
+def extract_configs(doc: Dict[str, object]) -> Dict[str, ConfigStats]:
+    """Per-config gated stats from any of the three accepted shapes:
+    a full ``BENCH_PERF.json`` report, a standalone latency report, or a
+    frozen baseline file."""
+    configs = doc.get("configs")
+    if isinstance(configs, dict):  # a frozen baseline
+        return {name: dict(stats) for name, stats in configs.items()}
+    section = doc.get("latency", doc)
+    entries = section.get("configs") if isinstance(section, dict) else None
+    if not isinstance(entries, list):
+        raise ValueError(
+            "no latency configs found (expected a BENCH_PERF report with a "
+            "'latency' section, a repro.bench.latency report, or a baseline)"
+        )
+    out: Dict[str, ConfigStats] = {}
+    for entry in entries:
+        service = entry["service"]
+        out[entry["name"]] = {
+            "p50": service["p50"],
+            "p95": service["p95"],
+            "p99": service["p99"],
+            "max": service["max"],
+            "mean": service["mean"],
+            "knee_rate": entry.get("knee_rate"),
+        }
+    return out
+
+
+def compare(
+    baseline: Dict[str, ConfigStats],
+    candidate: Dict[str, ConfigStats],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    noise_floor: float = DEFAULT_NOISE_FLOOR_SECONDS,
+) -> List[str]:
+    """The regressions of ``candidate`` against ``baseline`` (empty = clean).
+
+    A config present in the baseline but absent from the candidate is a
+    regression (coverage must not silently shrink); the reverse is not
+    (new configs enter the gate when the baseline is next frozen).
+    """
+    problems: List[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cand = candidate.get(name)
+        if cand is None:
+            problems.append(f"{name}: config missing from candidate")
+            continue
+        for quantile in GATED_QUANTILES:
+            base_value = base.get(quantile)
+            cand_value = cand.get(quantile)
+            if base_value is None or cand_value is None:
+                continue
+            budget = base_value * (1.0 + rel_threshold) + noise_floor
+            if cand_value > budget:
+                problems.append(
+                    f"{name}: {quantile} {cand_value * 1e3:.3f}ms exceeds "
+                    f"{base_value * 1e3:.3f}ms * {1.0 + rel_threshold:.2f} "
+                    f"+ {noise_floor * 1e3:.1f}ms floor"
+                )
+        base_knee = base.get("knee_rate")
+        cand_knee = cand.get("knee_rate")
+        if base_knee and cand_knee and cand_knee < base_knee / (1.0 + rel_threshold):
+            problems.append(
+                f"{name}: saturation knee {cand_knee:,.0f} ops/s fell below "
+                f"{base_knee:,.0f} / {1.0 + rel_threshold:.2f}"
+            )
+    return problems
+
+
+def inject_regression(
+    configs: Dict[str, ConfigStats],
+    factor: float = SELF_TEST_FACTOR,
+    seed: int = SELF_TEST_SEED,
+) -> Dict[str, ConfigStats]:
+    """A copy of ``configs`` with one seeded-chosen config regressed:
+    gated quantiles multiplied by ``factor``, knee divided by it."""
+    if not configs:
+        raise ValueError("cannot inject a regression into an empty baseline")
+    rng = random.Random(seed)
+    victim = rng.choice(sorted(configs))
+    out = {name: dict(stats) for name, stats in configs.items()}
+    for quantile in GATED_QUANTILES:
+        value = out[victim].get(quantile)
+        if value is not None:
+            out[victim][quantile] = value * factor
+    knee = out[victim].get("knee_rate")
+    if knee:
+        out[victim]["knee_rate"] = knee / factor
+    return out
+
+
+def freeze_baseline(
+    candidate_doc: Dict[str, object],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    noise_floor: float = DEFAULT_NOISE_FLOOR_SECONDS,
+) -> Dict[str, object]:
+    """The baseline document for a candidate report (thresholds frozen in)."""
+    return {
+        "kind": "latency-baseline",
+        "schema_version": candidate_doc.get("schema_version"),
+        "rel_threshold": rel_threshold,
+        "noise_floor_seconds": noise_floor,
+        "configs": extract_configs(candidate_doc),
+    }
+
+
+def _repo_root() -> Path:
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+def default_baseline_path() -> Path:
+    return _repo_root() / "BENCH_BASELINE.json"
+
+
+def default_candidate_path() -> Path:
+    return _repo_root() / "BENCH_PERF.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="Gate latency percentiles against the committed baseline.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON (default: BENCH_BASELINE.json at the repo root)",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, default=None,
+        help="candidate report (default: BENCH_PERF.json at the repo root)",
+    )
+    parser.add_argument(
+        "--rel-threshold", type=float, default=None,
+        help="relative slack per quantile (default: frozen in the baseline)",
+    )
+    parser.add_argument(
+        "--noise-floor", type=float, default=None,
+        help="absolute slack in seconds (default: frozen in the baseline)",
+    )
+    parser.add_argument(
+        "--freeze", type=Path, default=None, metavar="OUT",
+        help="write a new baseline from the candidate and exit",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="inject a seeded synthetic regression into the candidate and "
+        "verify the gate catches it",
+    )
+    args = parser.parse_args(argv)
+
+    candidate_path = args.candidate or default_candidate_path()
+    try:
+        candidate_doc = json.loads(candidate_path.read_text())
+    except OSError as error:
+        print(f"cannot read candidate: {error}", file=sys.stderr)
+        return 2
+
+    if args.freeze is not None:
+        baseline = freeze_baseline(
+            candidate_doc,
+            rel_threshold=(
+                args.rel_threshold if args.rel_threshold is not None
+                else DEFAULT_REL_THRESHOLD
+            ),
+            noise_floor=(
+                args.noise_floor if args.noise_floor is not None
+                else DEFAULT_NOISE_FLOOR_SECONDS
+            ),
+        )
+        args.freeze.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"froze {len(baseline['configs'])} config(s) from "
+            f"{candidate_path} into {args.freeze}"
+        )
+        return 0
+
+    baseline_path = args.baseline or default_baseline_path()
+    try:
+        baseline_doc = json.loads(baseline_path.read_text())
+    except OSError as error:
+        print(f"cannot read baseline: {error}", file=sys.stderr)
+        return 2
+    rel_threshold = (
+        args.rel_threshold if args.rel_threshold is not None
+        else baseline_doc.get("rel_threshold", DEFAULT_REL_THRESHOLD)
+    )
+    noise_floor = (
+        args.noise_floor if args.noise_floor is not None
+        else baseline_doc.get("noise_floor_seconds", DEFAULT_NOISE_FLOOR_SECONDS)
+    )
+    baseline = extract_configs(baseline_doc)
+    candidate = extract_configs(candidate_doc)
+
+    if args.self_test:
+        injected = inject_regression(candidate if candidate else baseline)
+        caught = compare(
+            baseline, injected,
+            rel_threshold=rel_threshold, noise_floor=noise_floor,
+        )
+        if not caught:
+            print(
+                "self-test FAILED: the injected synthetic regression was "
+                "not detected — the gate has no teeth",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"self-test ok: injected regression detected "
+            f"({len(caught)} finding(s), e.g. {caught[0]!r})"
+        )
+        return 0
+
+    problems = compare(
+        baseline, candidate,
+        rel_threshold=rel_threshold, noise_floor=noise_floor,
+    )
+    if problems:
+        for problem in problems:
+            print(f"latency regression: {problem}", file=sys.stderr)
+        print(
+            f"{len(problems)} regression(s) vs {baseline_path} "
+            f"(rel_threshold={rel_threshold:g}, "
+            f"noise_floor={noise_floor:g}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"latency gate clean: {len(baseline)} config(s) within "
+        f"rel_threshold={rel_threshold:g} + noise_floor={noise_floor:g}s "
+        f"of {baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

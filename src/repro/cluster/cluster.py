@@ -681,7 +681,7 @@ class Cluster:
                 "parallel" if engine is not None
                 else "batched" if self._bulk_ok() else "reference"
             ),
-        ):
+        ) as stmt_span:
             if engine is not None:
                 # Mutations run coordinator-side on the very same bulk
                 # paths as the serial batched engine (charge-identical by
@@ -703,6 +703,10 @@ class Cluster:
             from ..core.shared import maintain_views
 
             maintain_views(self, delta)
+        if obs.enabled:
+            # Latency hook point: the statement's wall time comes from the
+            # span the tracer just closed, never from a clock read here.
+            obs.observe_span_latency(stmt_span, kind="statement", relation=relation)
         if self._sanitizer is not None:
             self._sanitizer.check(f"statement on {relation!r}")
 

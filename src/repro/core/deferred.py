@@ -197,15 +197,21 @@ class DeferredMaintainer:
         relation = self._pending_relation
         assert relation is not None
         cluster = self.inner.cluster
-        with cluster.obs.span(
+        obs = cluster.obs
+        with obs.span(
             "deferred_refresh",
             view=self.view_info.name,
             relation=relation,
             pending=self.pending_changes,
             netted=self._netted,
             statements=self._statements,
-        ):
-            return self._flush_pending(relation)
+        ) as refresh_span:
+            report = self._flush_pending(relation)
+        if obs.enabled:
+            obs.observe_span_latency(
+                refresh_span, kind="deferred_refresh", view=self.view_info.name
+            )
+        return report
 
     def _flush_pending(self, relation: str) -> RefreshReport:
         """Materialize and apply the queue (the body of a refresh)."""

@@ -20,6 +20,12 @@ Quickstart::
 Or from the shell: ``python -m repro.obs snapshot`` (see ``--help``).
 """
 
+from .attribution import (
+    PHASES,
+    attribute_roots,
+    fold_phases,
+    tail_attribution,
+)
 from .collect import (
     DISABLED,
     Observability,
@@ -28,16 +34,31 @@ from .collect import (
     detach_observability,
     key_digest,
 )
-from .export import to_chrome_trace, validate_chrome_trace
+from .export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_prometheus_range,
+)
+from .load import (
+    build_schedule,
+    execute_schedule,
+    find_knee,
+    latency_summary,
+    open_loop_from_arrivals,
+    open_loop_latencies,
+)
 from .metrics import (
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     diff_snapshots,
+    parse_prometheus,
     validate_prometheus,
 )
-from .render import render_chrome_trace, render_tree
+from .render import render_chrome_trace, render_timeline, render_tree
+from .timeseries import TimeSeriesCollector
 from .tracer import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
 
 __all__ = [
@@ -62,4 +83,19 @@ __all__ = [
     "validate_chrome_trace",
     "render_tree",
     "render_chrome_trace",
+    "PHASES",
+    "attribute_roots",
+    "fold_phases",
+    "tail_attribution",
+    "validate_prometheus_range",
+    "build_schedule",
+    "execute_schedule",
+    "find_knee",
+    "latency_summary",
+    "open_loop_from_arrivals",
+    "open_loop_latencies",
+    "LATENCY_BUCKETS",
+    "parse_prometheus",
+    "render_timeline",
+    "TimeSeriesCollector",
 ]

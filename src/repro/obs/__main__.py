@@ -6,6 +6,9 @@ Subcommands::
                metrics.prom, and metrics.json into --out
     diff       per-sample deltas between two metrics.json snapshots
     render     tree view of an exported Chrome-trace JSON file
+    timeline   run the open-loop load driver sampling metrics on a fixed
+               cadence; write timeline.jsonl + timeline-range.json and
+               print a sparkline view
 
 Examples::
 
@@ -13,6 +16,7 @@ Examples::
     PYTHONPATH=src python -m repro.obs snapshot --method global_index --workers 2
     PYTHONPATH=src python -m repro.obs diff run-a/metrics.json run-b/metrics.json
     PYTHONPATH=src python -m repro.obs render obs-artifacts/trace.json
+    PYTHONPATH=src python -m repro.obs timeline --smoke --out obs-artifacts
 """
 
 from __future__ import annotations
@@ -25,9 +29,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from .collect import attach_observability, collect_cluster_metrics
-from .export import to_chrome_trace, validate_chrome_trace
+from .export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_prometheus_range,
+)
 from .metrics import diff_snapshots, validate_prometheus
-from .render import render_chrome_trace, render_tree
+from .render import render_chrome_trace, render_timeline, render_tree
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -72,6 +80,81 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         f"rows={rows_total} spans={obs.tracer.span_count()}"
     )
     print(f"wrote {out_dir}/trace.json, metrics.prom, metrics.json")
+    if problems:  # pragma: no cover - self-check of freshly built exports
+        for problem in problems:
+            print(f"export problem: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from ..core.deferred import defer_view
+    from ..workloads.skewed import SkewedJoinWorkload, build_skewed_cluster
+    from .load import build_schedule, execute_schedule
+    from .timeseries import TimeSeriesCollector
+
+    total_ops = 30 if args.smoke else args.ops
+    num_nodes = 4 if args.smoke else args.nodes
+    workload = SkewedJoinWorkload(
+        num_keys=16 if args.smoke else 64, fanout=4, skew=1.2
+    )
+    workload = replace(workload, seed=args.seed)
+    cluster = build_skewed_cluster(
+        workload, num_nodes=num_nodes, method=args.method, strategy="inl"
+    )
+    if args.workers:
+        cluster.workers = args.workers
+    attach_observability(cluster)
+    deferred = args.mode == "deferred"
+    wrapper = (
+        defer_view(cluster, "JV", flush_threshold=4 * args.statement_size)
+        if deferred
+        else None
+    )
+    schedule = build_schedule(
+        workload,
+        total_ops=total_ops,
+        statement_size=args.statement_size,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+        deferred=deferred,
+    )
+    collector = TimeSeriesCollector(
+        lambda: collect_cluster_metrics(cluster), capacity=args.capacity
+    )
+    try:
+        execute_schedule(
+            cluster,
+            schedule,
+            refresh=wrapper.refresh if wrapper is not None else None,
+            registry=cluster.obs.metrics,
+            collector=collector,
+            cadence=args.cadence,
+            method=args.method,
+            mode=args.mode,
+        )
+        registry = collect_cluster_metrics(cluster)
+    finally:
+        cluster.close()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    range_doc = collector.to_prometheus_range()
+    problems = validate_prometheus_range(range_doc) + validate_prometheus(
+        registry.to_prometheus()
+    )
+    (out_dir / "timeline.jsonl").write_text(collector.to_jsonl())
+    (out_dir / "timeline-range.json").write_text(
+        json.dumps(range_doc, indent=2, sort_keys=True) + "\n"
+    )
+    (out_dir / "metrics.prom").write_text(registry.to_prometheus())
+    print(render_timeline(collector, metrics=args.metric or None))
+    print()
+    print(
+        f"method={args.method} mode={args.mode} ops={len(schedule)} "
+        f"samples={len(collector)}"
+    )
+    print(f"wrote {out_dir}/timeline.jsonl, timeline-range.json, metrics.prom")
     if problems:  # pragma: no cover - self-check of freshly built exports
         for problem in problems:
             print(f"export problem: {problem}", file=sys.stderr)
@@ -128,6 +211,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     snapshot.add_argument("--out", default="obs-artifacts")
     snapshot.add_argument("--max-spans", type=int, default=60)
     snapshot.set_defaults(func=_cmd_snapshot)
+
+    timeline = sub.add_parser(
+        "timeline", help="run the load driver sampling metrics on a cadence"
+    )
+    timeline.add_argument("--method", default="auxiliary",
+                          choices=("naive", "auxiliary", "global_index", "hybrid"))
+    timeline.add_argument("--mode", default="eager",
+                          choices=("eager", "deferred"))
+    timeline.add_argument("--workers", type=int, default=0,
+                          help="fork-based worker pool size (0 = serial)")
+    timeline.add_argument("--ops", type=int, default=120,
+                          help="scheduled operations (updates + reads)")
+    timeline.add_argument("--nodes", type=int, default=8)
+    timeline.add_argument("--statement-size", type=int, default=8)
+    timeline.add_argument("--read-fraction", type=float, default=0.25)
+    timeline.add_argument("--cadence", type=int, default=8,
+                          help="sample the registry every N completed ops")
+    timeline.add_argument("--capacity", type=int, default=240,
+                          help="ring buffer size (oldest samples evicted)")
+    timeline.add_argument("--seed", type=int, default=42)
+    timeline.add_argument("--smoke", action="store_true",
+                          help="tiny CI-sized configuration")
+    timeline.add_argument("--out", default="obs-artifacts")
+    timeline.add_argument("--metric", action="append", default=[],
+                          help="restrict the rendered view to these "
+                          "metric-name prefixes (repeatable)")
+    timeline.set_defaults(func=_cmd_timeline)
 
     diff = sub.add_parser("diff", help="delta between two metrics.json files")
     diff.add_argument("before")

@@ -21,7 +21,7 @@ from __future__ import annotations
 import zlib
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from .metrics import MetricsRegistry
+from .metrics import LATENCY_BUCKETS, MetricsRegistry
 from .tracer import NOOP_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +52,29 @@ class Observability:
 
     def event(self, name: str, **tags: object) -> None:
         self.tracer.event(name, **tags)
+
+    def observe_span_latency(self, span, kind: str, **labels: object) -> None:
+        """Fold a finished span's wall-clock duration into the
+        ``repro_stmt_latency_seconds`` histogram.
+
+        The latency hook points (statement close in ``Cluster``, deferred
+        refresh, query answer) call this instead of reading a clock
+        themselves: the duration comes from the timestamps the tracer
+        already recorded, so engine code stays clock-free (REP002) and the
+        disabled facade pays one ``enabled`` check and nothing else.
+        """
+        if not self.enabled:
+            return
+        start_ns = getattr(span, "start_ns", None)
+        end_ns = getattr(span, "end_ns", None)
+        if start_ns is None or end_ns is None:  # NOOP_SPAN or still open
+            return
+        self.metrics.histogram(
+            "repro_stmt_latency_seconds",
+            "Wall-clock latency of statements, deferred refreshes, and "
+            "read queries",
+            buckets=LATENCY_BUCKETS,
+        ).observe((end_ns - start_ns) / 1e9, kind=kind, **labels)
 
 
 #: The shared disabled facade.  Its registry exists but is never written

@@ -13,7 +13,11 @@ from typing import Dict, List
 
 from .tracer import Tracer
 
-__all__ = ["to_chrome_trace", "validate_chrome_trace"]
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_prometheus_range",
+]
 
 #: required keys per event phase
 _REQUIRED = {"name", "ph", "ts", "pid", "tid"}
@@ -97,6 +101,58 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
+
+
+def validate_prometheus_range(doc: object) -> List[str]:
+    """Schema-check a Prometheus ``query_range`` response document
+    (:meth:`repro.obs.timeseries.TimeSeriesCollector.to_prometheus_range`).
+
+    Enforced: the ``status``/``data``/``resultType: matrix`` envelope,
+    per-series ``metric`` objects carrying ``__name__``, and ``values``
+    as ``[timestamp, string]`` pairs with non-decreasing timestamps.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("status") != "success":
+        problems.append("status != 'success'")
+    data = doc.get("data")
+    if not isinstance(data, dict):
+        return problems + ["missing or non-object 'data'"]
+    if data.get("resultType") != "matrix":
+        problems.append("data.resultType != 'matrix'")
+    result = data.get("result")
+    if not isinstance(result, list):
+        return problems + ["missing or non-list 'data.result'"]
+    for index, series in enumerate(result):
+        if not isinstance(series, dict):
+            problems.append(f"series {index} is not an object")
+            continue
+        metric = series.get("metric")
+        if not isinstance(metric, dict) or "__name__" not in metric:
+            problems.append(f"series {index} metric lacks '__name__'")
+        values = series.get("values")
+        if not isinstance(values, list):
+            problems.append(f"series {index} has no 'values' list")
+            continue
+        last_ts = None
+        for position, pair in enumerate(values):
+            if (
+                not isinstance(pair, list)
+                or len(pair) != 2
+                or not isinstance(pair[0], (int, float))
+                or not isinstance(pair[1], str)
+            ):
+                problems.append(
+                    f"series {index} value {position} is not [ts, 'v']"
+                )
+                continue
+            if last_ts is not None and pair[0] < last_ts:
+                problems.append(
+                    f"series {index} timestamps decrease at {position}"
+                )
+            last_ts = pair[0]
+    return problems
 
 
 def validate_chrome_trace(doc: object) -> List[str]:

@@ -1,0 +1,267 @@
+"""Open-loop load driver: latency percentiles, not just tuples/sec.
+
+ROADMAP item 3's serving-layer half.  A **closed-loop** driver (issue,
+wait, issue) measures service time under zero queueing and silently
+self-throttles as the server slows — its percentiles flatter a saturated
+system.  An **open-loop** driver arrives on its own schedule regardless of
+completions, so latency includes the queueing that real clients feel and
+blows up visibly past the capacity knee.
+
+Sleeping a real client loop at the target rate would make wall-clock time
+dominate the benchmark (minutes per rate step) and — worse — make the
+statement *mix* depend on timing.  This driver splits the two concerns:
+
+1. **Execute** a seeded deterministic schedule of update statements and
+   mixed read queries exactly once against the cluster, measuring each
+   operation's wall-clock *service time*.  The schedule is a pure function
+   of its seed — measurement wraps the calls but never steers them, so
+   ledger cells, network stats, and fragment contents are bit-identical
+   with measurement on or off (pinned by test).
+2. **Simulate** the open-loop single-server queue at each arrival rate
+   over those measured service times: seeded exponential interarrivals,
+   ``finish_i = max(arrival_i, finish_{i-1}) + service_i``, latency =
+   sojourn time.  One execution yields the full saturation curve; the
+   modeled charges are identical at every rate by construction.
+
+Latencies land in a log-bucketed :class:`~repro.obs.metrics.Histogram`
+(``repro_stmt_latency_seconds``) whose quantile estimator produces the
+p50/p95/p99/max the percentile reports carry.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import LATENCY_BUCKETS, Histogram, MetricsRegistry
+from .timeseries import TimeSeriesCollector
+
+__all__ = [
+    "LoadOp",
+    "OpTiming",
+    "build_schedule",
+    "execute_schedule",
+    "open_loop_from_arrivals",
+    "open_loop_latencies",
+    "latency_summary",
+    "find_knee",
+]
+
+#: Cadence (in completed operations) of time-series sampling during a run.
+DEFAULT_SAMPLE_CADENCE = 16
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """One scheduled operation: an update statement, a read, or a refresh."""
+
+    kind: str                       # "update" | "read" | "refresh"
+    rows: Tuple = ()                # update: the A-rows of the statement
+    query: Optional[object] = None  # read: a repro.query.Query
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """One executed operation's measured wall-clock service time."""
+
+    kind: str
+    seconds: float
+
+
+def build_schedule(
+    workload,
+    total_ops: int,
+    statement_size: int,
+    read_fraction: float,
+    seed: int,
+    deferred: bool = False,
+) -> List[LoadOp]:
+    """A seeded mixed schedule of update statements and read queries.
+
+    Updates draw consecutive ``workload.a_rows`` slices (disjoint across
+    the schedule, so rowids match any other driver of the same workload).
+    Reads are built against rows already inserted by the schedule: half
+    pin the view's partitioning attribute ``A.e`` with an equality filter
+    (the single-node view-probe path), half ask the unpinned join (priced
+    between view scan and base join).  ``deferred`` appends one explicit
+    refresh op so queued deltas are always flushed inside the measured
+    window.  Deterministic in (workload, seed, sizes) alone.
+    """
+    from ..query.query import Comparison, Filter, Query
+    from ..core.view import JoinCondition
+
+    if total_ops < 1:
+        raise ValueError("total_ops must be >= 1")
+    rng = random.Random(seed)
+    ops: List[LoadOp] = []
+    inserted_e: List[object] = []
+    next_row_start = 0
+    join = (JoinCondition("A", "c", "B", "d"),)
+    for _ in range(total_ops):
+        if inserted_e and rng.random() < read_fraction:
+            if rng.random() < 0.5:
+                pinned = inserted_e[rng.randrange(len(inserted_e))]
+                query = Query(
+                    relations=("A", "B"),
+                    select=(("A", "a"), ("A", "e"), ("B", "f")),
+                    conditions=join,
+                    filters=(Filter("A", "e", Comparison.EQ, pinned),),
+                )
+            else:
+                query = Query(
+                    relations=("A", "B"),
+                    select=(("A", "e"), ("B", "f")),
+                    conditions=join,
+                )
+            ops.append(LoadOp(kind="read", query=query))
+        else:
+            rows = tuple(workload.a_rows(statement_size, starting_at=next_row_start))
+            next_row_start += statement_size
+            inserted_e.extend(row[2] for row in rows)
+            ops.append(LoadOp(kind="update", rows=rows))
+    if deferred:
+        ops.append(LoadOp(kind="refresh"))
+    return ops
+
+
+def execute_schedule(
+    cluster,
+    ops: Sequence[LoadOp],
+    refresh: Optional[Callable[[], object]] = None,
+    measure: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    collector: Optional[TimeSeriesCollector] = None,
+    cadence: int = DEFAULT_SAMPLE_CADENCE,
+    **labels: object,
+) -> List[OpTiming]:
+    """Run every op once, in order, optionally measuring service times.
+
+    ``measure=False`` executes the identical op sequence with no clock
+    reads and no metric writes — the bit-identity control.  ``registry``
+    (measurement only) receives ``repro_stmt_latency_seconds`` histogram
+    observations and ``repro_load_ops_total`` counts, labelled by op kind
+    plus any extra ``labels``; ``collector`` is sampled every ``cadence``
+    completed ops on the cumulative-service-time clock, so timeline
+    exports are deterministic in op count, not in wall time.
+    """
+    from ..query.engine import QueryEngine
+
+    engine = QueryEngine(cluster)
+    histogram = counter = None
+    if measure and registry is not None:
+        histogram = registry.histogram(
+            "repro_stmt_latency_seconds",
+            "Per-operation wall-clock service time",
+            buckets=LATENCY_BUCKETS,
+        )
+        counter = registry.counter(
+            "repro_load_ops_total", "Operations executed by the load driver"
+        )
+    timings: List[OpTiming] = []
+    clock = 0.0
+    for index, op in enumerate(ops):
+        start = time.perf_counter_ns() if measure else 0
+        if op.kind == "update":
+            cluster.insert("A", list(op.rows))
+        elif op.kind == "read":
+            engine.answer(op.query)
+        elif op.kind == "refresh":
+            if refresh is None:
+                raise ValueError("schedule contains a refresh op but no refresh hook")
+            refresh()
+        else:  # pragma: no cover - schedule builder emits known kinds
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        seconds = (time.perf_counter_ns() - start) / 1e9 if measure else 0.0
+        timings.append(OpTiming(op.kind, seconds))
+        clock += seconds
+        if histogram is not None:
+            histogram.observe(seconds, kind=op.kind, **labels)
+            counter.inc(kind=op.kind, **labels)
+        if collector is not None and (index + 1) % cadence == 0:
+            collector.sample(clock)
+    if collector is not None and len(ops) % cadence != 0:
+        collector.sample(clock)  # final partial window
+    return timings
+
+
+# ------------------------------------------------------- open-loop queue
+
+
+def open_loop_from_arrivals(
+    service_seconds: Sequence[float], arrivals: Sequence[float]
+) -> List[float]:
+    """Sojourn times of an open-loop single-server FIFO queue.
+
+    ``latency_i = max(arrival_i, finish_{i-1}) + service_i - arrival_i``:
+    queueing delay plus service.  Pure arithmetic — exact, deterministic,
+    and independent of how the arrival times were drawn.
+    """
+    if len(service_seconds) != len(arrivals):
+        raise ValueError("service and arrival sequences must align")
+    latencies: List[float] = []
+    finish = 0.0
+    for arrival, service in zip(arrivals, service_seconds):
+        finish = max(arrival, finish) + service
+        latencies.append(finish - arrival)
+    return latencies
+
+
+def open_loop_latencies(
+    service_seconds: Sequence[float], arrival_rate: float, seed: int
+) -> List[float]:
+    """Latencies under seeded Poisson arrivals at ``arrival_rate`` ops/s."""
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be > 0")
+    rng = random.Random(seed)
+    clock = 0.0
+    arrivals: List[float] = []
+    for _ in service_seconds:
+        clock += rng.expovariate(arrival_rate)
+        arrivals.append(clock)
+    return open_loop_from_arrivals(service_seconds, arrivals)
+
+
+# ------------------------------------------------------------ summaries
+
+
+def latency_summary(
+    latencies: Sequence[float],
+    histogram: Optional[Histogram] = None,
+    **labels: object,
+) -> Dict[str, float]:
+    """p50/p95/p99/max/mean of a latency sample, via the log-bucketed
+    histogram quantile estimator (observing into ``histogram`` when given,
+    else a private one)."""
+    if not latencies:
+        raise ValueError("latency_summary needs at least one sample")
+    if histogram is None:
+        histogram = Histogram(
+            "repro_stmt_latency_seconds", buckets=LATENCY_BUCKETS
+        )
+    for value in latencies:
+        histogram.observe(value, **labels)
+    return {
+        "p50": histogram.quantile(0.50, **labels),
+        "p95": histogram.quantile(0.95, **labels),
+        "p99": histogram.quantile(0.99, **labels),
+        "max": histogram.max_value(**labels),
+        "mean": histogram.sum(**labels) / histogram.count(**labels),
+    }
+
+
+def find_knee(
+    rates: Sequence[float], p99s: Sequence[float], knee_factor: float
+) -> Optional[float]:
+    """The highest arrival rate whose p99 stays within ``knee_factor`` of
+    the lowest rate's p99 — the saturation knee.  ``None`` when even the
+    base rate blows past itself (degenerate) or inputs are empty."""
+    if not rates or len(rates) != len(p99s):
+        return None
+    budget = knee_factor * p99s[0]
+    knee: Optional[float] = None
+    for rate, p99 in zip(rates, p99s):
+        if p99 <= budget:
+            knee = rate if knee is None else max(knee, rate)
+    return knee

@@ -27,6 +27,9 @@ __all__ = [
     "MetricsRegistry",
     "diff_snapshots",
     "validate_prometheus",
+    "parse_prometheus",
+    "LATENCY_BUCKETS",
+    "EXACT_QUANTILE_CUTOFF",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -128,13 +131,31 @@ DEFAULT_BUCKETS = (
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Fixed log-spaced latency bounds: 1 µs doubling up to ~16.8 s.  Statement
+#: latencies span four-plus decades between a cached eager insert and a
+#: saturated deferred refresh, so the relative (not absolute) resolution of
+#: geometric buckets is the right shape for p99 estimation.
+LATENCY_BUCKETS = tuple(1e-6 * (2.0 ** exp) for exp in range(25))
+
+#: Up to this many observations per label set, quantiles are answered
+#: exactly from retained samples; beyond it, by cumulative-bucket
+#: interpolation (the retained prefix is kept — it costs a bounded amount
+#: of memory and keeps small-sample answers exact forever).
+EXACT_QUANTILE_CUTOFF = 256
+
 
 class Histogram(_Metric):
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics) with quantiles.
+
+    :meth:`quantile` is exact (linear interpolation between order
+    statistics) while a label set has at most :data:`EXACT_QUANTILE_CUTOFF`
+    observations, and falls back to Prometheus-style interpolation inside
+    the owning bucket above that, clamped to the observed maximum.
+    """
 
     kind = "histogram"
 
-    __slots__ = ("buckets", "_counts", "_sums", "_totals")
+    __slots__ = ("buckets", "_counts", "_sums", "_totals", "_samples", "_maxes")
 
     def __init__(
         self,
@@ -149,6 +170,8 @@ class Histogram(_Metric):
         self._counts: Dict[LabelKey, List[int]] = {}
         self._sums: Dict[LabelKey, float] = {}
         self._totals: Dict[LabelKey, int] = {}
+        self._samples: Dict[LabelKey, List[float]] = {}
+        self._maxes: Dict[LabelKey, float] = {}
 
     def observe(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
@@ -157,17 +180,68 @@ class Histogram(_Metric):
             counts = self._counts[key] = [0] * len(self.buckets)
             self._sums[key] = 0.0
             self._totals[key] = 0
+            self._samples[key] = []
+            self._maxes[key] = value
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 counts[index] += 1
         self._sums[key] += value
         self._totals[key] += 1
+        if len(self._samples[key]) < EXACT_QUANTILE_CUTOFF:
+            self._samples[key].append(value)
+        if value > self._maxes[key]:
+            self._maxes[key] = value
 
     def count(self, **labels: object) -> int:
         return self._totals.get(_label_key(labels), 0)
 
     def sum(self, **labels: object) -> float:
         return self._sums.get(_label_key(labels), 0.0)
+
+    def max_value(self, **labels: object) -> Optional[float]:
+        """Largest observation for a label set (None when empty)."""
+        return self._maxes.get(_label_key(labels))
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """The q-quantile (0 <= q <= 1) of one label set's observations.
+
+        Returns ``None`` for an empty label set.  Exact while the label
+        set is small (every sample retained); bucket-interpolated above
+        the cutoff, clamped to the observed maximum so an overflowing
+        tail never reports a bound the data never reached.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        key = _label_key(labels)
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return None
+        samples = self._samples[key]
+        if total <= len(samples):
+            ordered = sorted(samples)
+            rank = q * (len(ordered) - 1)
+            lower = int(rank)
+            upper = min(lower + 1, len(ordered) - 1)
+            fraction = rank - lower
+            return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+        counts = self._counts[key]
+        observed_max = self._maxes[key]
+        target = q * total
+        previous_cumulative = 0
+        lower_bound = 0.0
+        for bound, cumulative in zip(self.buckets, counts):
+            if cumulative >= target:
+                in_bucket = cumulative - previous_cumulative
+                if in_bucket <= 0:  # pragma: no cover - cumulative monotone
+                    return min(bound, observed_max)
+                fraction = (target - previous_cumulative) / in_bucket
+                value = lower_bound + (bound - lower_bound) * fraction
+                return min(value, observed_max)
+            previous_cumulative = cumulative
+            lower_bound = bound
+        # Target falls in the +Inf overflow bucket: all we know beyond the
+        # largest finite bound is the observed maximum.
+        return observed_max
 
     def render(self) -> List[str]:
         lines: List[str] = []
@@ -341,6 +415,35 @@ def validate_prometheus(text: str) -> List[str]:
                     f"histogram {family!r} missing series {sorted(missing)}"
                 )
     return problems
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse a text exposition back into ``{sample_name: {labels: value}}``.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus` for round-trip
+    tests: sample names keep their ``_bucket``/``_sum``/``_count``
+    suffixes, label strings keep their rendered ``{a="x",b="y"}`` form
+    (empty string when unlabelled), ``+Inf``/``-Inf`` parse to floats.
+    Raises ``ValueError`` on an unparsable sample line — schema problems
+    belong to :func:`validate_prometheus`; this is for text already known
+    to be valid.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        raw = match.group("value")
+        if raw.endswith("Inf"):
+            value = math.inf if not raw.startswith("-") else -math.inf
+        else:
+            value = float(raw)
+        out.setdefault(match.group("name"), {})[
+            match.group("labels") or ""
+        ] = value
+    return out
 
 
 def _split_label_pairs(body: str) -> List[str]:

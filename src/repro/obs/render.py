@@ -1,12 +1,12 @@
-"""Human-readable tree views of traces (``repro.obs.render``)."""
+"""Human-readable views: span trees and metric timelines."""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .tracer import Tracer
 
-__all__ = ["render_tree", "render_chrome_trace"]
+__all__ = ["render_tree", "render_chrome_trace", "render_timeline"]
 
 _SKIP_TAGS = frozenset({"error"})
 
@@ -56,6 +56,76 @@ def render_tree(tracer: Tracer, max_spans: int = 400) -> str:
         hidden = len(span.events) - 20
         if hidden > 0:
             lines.append(f"{indent}  * ... ({hidden} more events)")
+    return "\n".join(lines)
+
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def _sparkline(values: List[Optional[float]], width: int) -> str:
+    """ASCII sparkline (pure-ASCII ramp so terminals never mangle it)."""
+    window = values[-width:]
+    present = [value for value in window if value is not None]
+    if not present:
+        return " " * len(window)
+    low, high = min(present), max(present)
+    span = high - low
+    chars: List[str] = []
+    for value in window:
+        if value is None:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_BLOCKS[1])
+        else:
+            index = 1 + int((value - low) / span * (len(_SPARK_BLOCKS) - 2))
+            chars.append(_SPARK_BLOCKS[min(index, len(_SPARK_BLOCKS) - 1)])
+    return "".join(chars)
+
+
+def render_timeline(
+    collector,
+    metrics: Optional[List[str]] = None,
+    width: int = 48,
+    max_series: int = 40,
+) -> str:
+    """Sparkline table of a :class:`~repro.obs.timeseries.TimeSeriesCollector`.
+
+    One row per (metric, label set): the series' recent shape over the
+    ring window plus its first and last values.  ``metrics`` restricts to
+    the named families (prefix match, so ``repro_load`` covers the
+    driver's counters).
+    """
+    series = collector.series()
+    times = collector.times
+    if not times:
+        return "(no samples)"
+    header = (
+        f"{len(times)} sample(s) over "
+        f"[{times[0]:.3f}s .. {times[-1]:.3f}s] "
+        f"({collector.samples_taken} taken, ring capacity {collector.capacity})"
+    )
+    lines = [header]
+    shown = 0
+    for metric in sorted(series):
+        if metrics is not None and not any(
+            metric.startswith(prefix) for prefix in metrics
+        ):
+            continue
+        for labels, values in series[metric].items():
+            if shown >= max_series:
+                lines.append("... (more series)")
+                return "\n".join(lines)
+            shown += 1
+            present = [value for value in values if value is not None]
+            first = present[0] if present else 0.0
+            last = present[-1] if present else 0.0
+            name = f"{metric}{labels}"
+            lines.append(
+                f"  {name:<60.60} |{_sparkline(values, width)}| "
+                f"{first:g} -> {last:g}"
+            )
+    if shown == 0:
+        lines.append("(no matching series)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,202 @@
+"""Time-series collection over the Prometheus export (``repro.obs``).
+
+The metrics registry answers "what are the totals *now*"; this module
+answers "how did they move".  A :class:`TimeSeriesCollector` snapshots a
+registry on a fixed cadence into a bounded ring buffer and derives deltas
+and rates between adjacent samples.  Two exports:
+
+* **JSONL** — one ``{"t": ..., "samples": {...}}`` object per line, the
+  diff-friendly artifact CI uploads; round-trips via :meth:`from_jsonl`;
+* **Prometheus range** — the ``query_range`` response shape
+  (``resultType: "matrix"``, per-series ``values: [[ts, "v"], ...]``)
+  that Grafana and ``promtool`` already understand.
+
+Cadence is the *caller's* clock: the load driver samples every K
+operations (deterministic), interactive use samples on wall time.  The
+collector itself never sleeps or schedules — it only records what it is
+handed, so tests can drive it with synthetic timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["TimeSeriesCollector", "series_rates"]
+
+Snapshot = Dict[str, Dict[str, float]]
+
+
+class TimeSeriesCollector:
+    """A bounded ring of timestamped registry snapshots.
+
+    ``capacity`` bounds memory: the ring keeps the most recent N samples
+    and forgets the oldest, so a long-running driver can sample forever.
+    ``source`` is any zero-argument callable returning a
+    :class:`MetricsRegistry` (typically ``lambda: obs.metrics`` or a
+    ``collect_cluster_metrics`` closure re-pulling gauges).
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], MetricsRegistry],
+        capacity: int = 240,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2 (need pairs for deltas)")
+        self.source = source
+        self.capacity = capacity
+        self._times: List[float] = []
+        self._snapshots: List[Snapshot] = []
+        self.samples_taken = 0  # lifetime count, survives ring eviction
+
+    # ------------------------------------------------------------ sampling
+
+    def sample(self, timestamp: float) -> Snapshot:
+        """Snapshot the source registry at ``timestamp`` (caller's clock;
+        must be monotonically non-decreasing across calls)."""
+        if self._times and timestamp < self._times[-1]:
+            raise ValueError(
+                f"timestamp {timestamp!r} precedes last sample {self._times[-1]!r}"
+            )
+        snapshot = self.source().snapshot()
+        self._times.append(timestamp)
+        self._snapshots.append(snapshot)
+        self.samples_taken += 1
+        if len(self._times) > self.capacity:
+            del self._times[0]
+            del self._snapshots[0]
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> Tuple[float, ...]:
+        return tuple(self._times)
+
+    # ---------------------------------------------------------- derivation
+
+    def series(self) -> Dict[str, Dict[str, List[Optional[float]]]]:
+        """Dense per-series values: {metric: {labels: [v per sample]}}.
+
+        Samples predating a series' first appearance (or after its last,
+        if the registry was cleared) hold ``None``.
+        """
+        names: Dict[str, set] = {}
+        for snapshot in self._snapshots:
+            for metric, samples in snapshot.items():
+                names.setdefault(metric, set()).update(samples)
+        out: Dict[str, Dict[str, List[Optional[float]]]] = {}
+        for metric in sorted(names):
+            per_label: Dict[str, List[Optional[float]]] = {}
+            for labels in sorted(names[metric]):
+                per_label[labels] = [
+                    snapshot.get(metric, {}).get(labels)
+                    for snapshot in self._snapshots
+                ]
+            out[metric] = per_label
+        return out
+
+    def deltas(self) -> Dict[str, Dict[str, List[float]]]:
+        """Adjacent-sample differences (length ``len(self) - 1``); a series
+        absent on either side of a pair contributes 0 for that step."""
+        out: Dict[str, Dict[str, List[float]]] = {}
+        for metric, per_label in self.series().items():
+            for labels, values in per_label.items():
+                steps = [
+                    (b or 0.0) - (a or 0.0)
+                    for a, b in zip(values, values[1:])
+                ]
+                if any(steps):
+                    out.setdefault(metric, {})[labels] = steps
+        return out
+
+    def rates(self) -> Dict[str, Dict[str, List[float]]]:
+        """Per-second rates: each delta divided by its pair's time gap
+        (0 for a zero-width gap)."""
+        gaps = [b - a for a, b in zip(self._times, self._times[1:])]
+        out: Dict[str, Dict[str, List[float]]] = {}
+        for metric, per_label in self.deltas().items():
+            for labels, steps in per_label.items():
+                out.setdefault(metric, {})[labels] = [
+                    step / gap if gap > 0 else 0.0
+                    for step, gap in zip(steps, gaps)
+                ]
+        return out
+
+    # ------------------------------------------------------------- exports
+
+    def to_jsonl(self) -> str:
+        """One JSON object per sample: ``{"t": ts, "samples": snapshot}``."""
+        lines = [
+            json.dumps({"t": t, "samples": snapshot}, sort_keys=True)
+            for t, snapshot in zip(self._times, self._snapshots)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str, capacity: int = 240) -> "TimeSeriesCollector":
+        """Rebuild a collector (frozen source) from a JSONL export."""
+        collector = cls(MetricsRegistry, capacity=capacity)
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            doc = json.loads(line)
+            collector._times.append(float(doc["t"]))
+            collector._snapshots.append(doc["samples"])
+            collector.samples_taken += 1
+            if len(collector._times) > capacity:
+                del collector._times[0]
+                del collector._snapshots[0]
+        return collector
+
+    def to_prometheus_range(self) -> Dict[str, object]:
+        """The Prometheus ``query_range`` response shape for all series.
+
+        ``metric`` carries ``__name__`` plus the parsed label pairs;
+        ``values`` are ``[timestamp, "value"]`` pairs with gaps (samples
+        where the series did not exist) omitted, exactly as a real range
+        query omits scrapes with no data.
+        """
+        result: List[Dict[str, object]] = []
+        for metric, per_label in self.series().items():
+            for labels, values in per_label.items():
+                metric_labels: Dict[str, str] = {"__name__": metric}
+                if labels.startswith("{") and labels.endswith("}"):
+                    for pair in labels[1:-1].split(","):
+                        if not pair:
+                            continue
+                        name, _, raw = pair.partition("=")
+                        metric_labels[name] = raw.strip('"')
+                elif labels:
+                    # Histogram snapshots key samples as '{...}:count' /
+                    # '{...}:sum' — not a plain label set; keep the raw
+                    # key so the series stays addressable.
+                    metric_labels["series"] = labels
+                points = [
+                    [t, repr(value) if value is not None else None]
+                    for t, value in zip(self._times, values)
+                ]
+                result.append({
+                    "metric": metric_labels,
+                    "values": [
+                        [t, text] for t, text in points if text is not None
+                    ],
+                })
+        return {
+            "status": "success",
+            "data": {"resultType": "matrix", "result": result},
+        }
+
+
+def series_rates(
+    times: Sequence[float], values: Sequence[float]
+) -> List[float]:
+    """Rate helper for externally-assembled series (tests, renderers)."""
+    return [
+        (b - a) / (tb - ta) if tb > ta else 0.0
+        for a, b, ta, tb in zip(values, values[1:], times, times[1:])
+    ]

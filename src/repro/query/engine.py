@@ -75,28 +75,41 @@ class QueryEngine:
 
     def answer_from_base(self, query: Query) -> QueryResult:
         """Parallel repartition hash join over the base relations."""
-        with self.cluster.ledger.measure() as measured:
-            env_rows = self._join_base(query)
-            rows = self._project(query, env_rows)
+        obs = self.cluster.obs
+        with obs.span("query", plan="base_join") as root:
+            with self.cluster.ledger.measure() as measured:
+                with obs.span("base_join", relations=len(query.relations)):
+                    env_rows = self._join_base(query)
+                rows = self._project(query, env_rows)
+            root.tag(rows=len(rows))
+        if obs.enabled:
+            obs.observe_span_latency(root, kind="query", plan="base_join")
         return QueryResult(rows=rows, plan="base join", snapshot=measured.snapshot)
 
     def answer_from_view(self, query: Query, match: ViewMatch) -> QueryResult:
         """Scan or probe a materialized view."""
-        with self.cluster.ledger.measure() as measured:
-            if match.partition_key is not None:
-                raw = self._probe_view(match)
-                plan = f"view probe ({match.view.name})"
-            else:
-                raw = self._scan_view(match)
-                plan = f"view scan ({match.view.name})"
-            rows = [
-                tuple(row[position] for position in match.select_positions)
-                for row in raw
-                if all(
-                    flt.matches(row[position])
-                    for position, flt in match.filter_positions
-                )
-            ]
+        obs = self.cluster.obs
+        physical = "view_probe" if match.partition_key is not None else "view_scan"
+        with obs.span("query", plan=physical, view=match.view.name) as root:
+            with self.cluster.ledger.measure() as measured:
+                with obs.span(physical, view=match.view.name):
+                    if match.partition_key is not None:
+                        raw = self._probe_view(match)
+                        plan = f"view probe ({match.view.name})"
+                    else:
+                        raw = self._scan_view(match)
+                        plan = f"view scan ({match.view.name})"
+                rows = [
+                    tuple(row[position] for position in match.select_positions)
+                    for row in raw
+                    if all(
+                        flt.matches(row[position])
+                        for position, flt in match.filter_positions
+                    )
+                ]
+            root.tag(rows=len(rows))
+        if obs.enabled:
+            obs.observe_span_latency(root, kind="query", plan=physical)
         return QueryResult(rows=rows, plan=plan, snapshot=measured.snapshot)
 
     # ------------------------------------------------------ view execution

@@ -1,0 +1,143 @@
+"""Latency bench harness (repro.bench.latency) + Prometheus round-trips.
+
+Tiny configs only: these prove the harness executes end to end, its
+section validates, and the new metric families survive a text-exposition
+round trip in agreement with the live registry — no assertions about
+actual latencies, which belong to BENCH_PERF.json.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import latency
+from repro.bench.harness import config_seed
+from repro.bench.latency import (
+    LatencyConfig,
+    render_latency,
+    run_config,
+    run_latency,
+    validate_latency_section,
+)
+from repro.obs.metrics import parse_prometheus, validate_prometheus
+
+TINY = LatencyConfig(
+    num_nodes=2,
+    num_keys=8,
+    fanout=2,
+    ops=12,
+    statement_size=4,
+    worker_counts=(0,),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_section():
+    return run_latency(TINY)
+
+
+def test_section_validates_and_covers_grid(tiny_section):
+    assert validate_latency_section(tiny_section) == []
+    names = {entry["name"] for entry in tiny_section["configs"]}
+    assert names == {
+        f"{method}-{mode}-w0"
+        for method in latency.METHODS
+        for mode in latency.MODES
+    }
+
+
+def test_entries_carry_percentiles_attribution_and_knee(tiny_section):
+    for entry in tiny_section["configs"]:
+        service = entry["service"]
+        assert 0 < service["p50"] <= service["p95"] <= service["p99"]
+        assert service["p99"] <= service["max"]
+        assert len(entry["rates"]) >= 3
+        rates = [row["rate"] for row in entry["rates"]]
+        assert rates == sorted(rates)
+        assert entry["knee_rate"] in rates
+        assert entry["attribution"]
+        assert entry["seed"] == config_seed(f"latency-{entry['name']}")
+        shares = entry["attribution_share"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # Deferred configs must show deferred_refresh time; eager never.
+        if entry["mode"] == "deferred":
+            assert "deferred_refresh" in entry["attribution"]
+        else:
+            assert "deferred_refresh" not in entry["attribution"]
+
+
+def test_prometheus_round_trip_agrees_with_registry():
+    """Satellite: the new series (latency histogram, arrival-rate gauges,
+    load-op counters) export, validate, and parse back to the snapshot."""
+    entry, registry = run_config(TINY, "auxiliary", "eager", workers=0)
+    text = registry.to_prometheus()
+    assert validate_prometheus(text) == []
+    parsed = parse_prometheus(text)
+
+    histogram = registry.get("repro_stmt_latency_seconds")
+    assert histogram is not None
+    counts = parsed["repro_stmt_latency_seconds_count"]
+    # Driver observations carry the method/mode/workers labels; the engine
+    # hook points (kind="statement"/"query") share the family without them.
+    driver_total = sum(
+        value for key, value in counts.items() if 'method="auxiliary"' in key
+    )
+    assert driver_total == entry["ops"]
+    assert sum(counts.values()) > driver_total  # engine hooks observed too
+    label_string = (
+        '{kind="update",method="auxiliary",mode="eager",workers="0"}'
+    )
+    assert counts[label_string] == histogram.count(
+        kind="update", method="auxiliary", mode="eager", workers=0
+    )
+    sums = parsed["repro_stmt_latency_seconds_sum"]
+    assert sums[label_string] == pytest.approx(
+        histogram.sum(kind="update", method="auxiliary", mode="eager", workers=0)
+    )
+    buckets = parsed["repro_stmt_latency_seconds_bucket"]
+    inf_key = label_string[:-1] + ',le="+Inf"}'
+    assert buckets[inf_key] == counts[label_string]
+
+    gauges = parsed["repro_arrival_rate"]
+    swept = {row["rate"] for row in entry["rates"]}
+    assert set(gauges.values()) == swept
+
+    ops = parsed["repro_load_ops_total"]
+    assert sum(ops.values()) == entry["ops"]
+
+
+def test_render_mentions_every_config(tiny_section):
+    text = render_latency(tiny_section)
+    for entry in tiny_section["configs"]:
+        assert entry["name"] in text
+    assert "p99" in text
+
+
+def test_validator_catches_problems(tiny_section):
+    broken = json.loads(json.dumps(tiny_section))  # deep copy
+    entry = broken["configs"][0]
+    entry["service"]["p50"] = entry["service"]["max"] * 10
+    entry["rates"] = entry["rates"][:2]
+    entry["attribution"] = {}
+    del broken["configs"][1]["knee_rate"]
+    problems = validate_latency_section(broken)
+    assert any("not monotone" in p for p in problems)
+    assert any("< 3" in p for p in problems)
+    assert any("empty span attribution" in p for p in problems)
+    assert any("missing fields" in p for p in problems)
+    assert validate_latency_section({}) != []
+
+
+def test_cli_writes_standalone_report(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "latency.json"
+    monkeypatch.setattr(
+        LatencyConfig, "smoke", classmethod(lambda cls: TINY)
+    )
+    assert latency.main(["--smoke", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    from repro.bench.perf import SCHEMA_VERSION
+
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["smoke"] is True
+    assert validate_latency_section(report["latency"]) == []
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,223 @@
+"""Latency regression gate (repro.bench.regress)."""
+
+import json
+
+import pytest
+
+from repro.bench import regress
+from repro.bench.regress import (
+    compare,
+    extract_configs,
+    freeze_baseline,
+    inject_regression,
+)
+
+
+def _report():
+    """A fabricated two-config latency report in BENCH_PERF.json shape."""
+    def entry(name, scale):
+        return {
+            "name": name,
+            "service": {
+                "p50": 0.010 * scale,
+                "p95": 0.040 * scale,
+                "p99": 0.080 * scale,
+                "max": 0.200 * scale,
+                "mean": 0.015 * scale,
+            },
+            "knee_rate": 1000.0 / scale,
+        }
+
+    return {
+        "schema_version": 6,
+        "latency": {
+            "knee_factor": 8.0,
+            "config": {},
+            "configs": [entry("naive-eager-w0", 1.0),
+                        entry("auxiliary-eager-w0", 0.5)],
+        },
+    }
+
+
+# -------------------------------------------------------------- extraction
+
+
+def test_extract_accepts_all_three_shapes():
+    report = _report()
+    from_full = extract_configs(report)
+    from_section = extract_configs(report["latency"])
+    assert from_full == from_section
+    assert set(from_full) == {"naive-eager-w0", "auxiliary-eager-w0"}
+    assert from_full["naive-eager-w0"]["p99"] == 0.080
+    baseline = freeze_baseline(report)
+    assert extract_configs(baseline) == from_full
+
+
+def test_extract_rejects_shapeless_documents():
+    with pytest.raises(ValueError):
+        extract_configs({"nothing": "here"})
+
+
+def test_freeze_embeds_thresholds():
+    baseline = freeze_baseline(_report(), rel_threshold=0.3, noise_floor=0.001)
+    assert baseline["kind"] == "latency-baseline"
+    assert baseline["schema_version"] == 6
+    assert baseline["rel_threshold"] == 0.3
+    assert baseline["noise_floor_seconds"] == 0.001
+
+
+# -------------------------------------------------------------- comparison
+
+
+def test_identical_documents_are_clean():
+    configs = extract_configs(_report())
+    assert compare(configs, configs) == []
+
+
+def test_jitter_below_both_slacks_is_clean():
+    baseline = extract_configs(_report())
+    candidate = {
+        name: {
+            key: value * 1.4 if key in regress.GATED_QUANTILES else value
+            for key, value in stats.items()
+        }
+        for name, stats in baseline.items()
+    }
+    assert compare(baseline, candidate, rel_threshold=0.5) == []
+    # Tiny absolute drift on a microsecond-scale config: the noise floor
+    # forgives what the relative slack alone would flag.
+    small = {"tiny": {"p50": 0.0001, "p95": 0.0002, "p99": 0.0003,
+                      "max": 0.0004, "mean": 0.0001, "knee_rate": None}}
+    shifted = {"tiny": dict(small["tiny"], p99=0.0003 * 3)}
+    assert compare(small, shifted, rel_threshold=0.5, noise_floor=0.002) == []
+    assert compare(small, shifted, rel_threshold=0.5, noise_floor=0.0) != []
+
+
+def test_quantile_regression_is_flagged():
+    baseline = extract_configs(_report())
+    candidate = {name: dict(stats) for name, stats in baseline.items()}
+    candidate["naive-eager-w0"]["p99"] *= 4.0
+    problems = compare(baseline, candidate)
+    assert len(problems) == 1
+    assert "naive-eager-w0" in problems[0] and "p99" in problems[0]
+
+
+def test_missing_config_is_flagged():
+    baseline = extract_configs(_report())
+    candidate = dict(baseline)
+    del candidate["auxiliary-eager-w0"]
+    problems = compare(baseline, candidate)
+    assert any("missing from candidate" in p for p in problems)
+    # The reverse — a new config in the candidate — is not a regression.
+    extra = dict(baseline)
+    extra["brand-new-w0"] = baseline["naive-eager-w0"]
+    assert compare(baseline, extra) == []
+
+
+def test_knee_regression_is_flagged():
+    baseline = extract_configs(_report())
+    candidate = {name: dict(stats) for name, stats in baseline.items()}
+    candidate["naive-eager-w0"]["knee_rate"] = 100.0  # was 1000
+    problems = compare(baseline, candidate)
+    assert any("knee" in p for p in problems)
+    # Within the relative slack: 700 >= 1000 / 1.5.
+    candidate["naive-eager-w0"]["knee_rate"] = 700.0
+    assert compare(baseline, candidate) == []
+
+
+def test_inject_regression_is_seeded_and_detectable():
+    configs = extract_configs(_report())
+    first = inject_regression(configs)
+    second = inject_regression(configs)
+    assert first == second  # seeded: same victim, same damage
+    assert first != configs
+    assert compare(configs, first) != []
+    with pytest.raises(ValueError):
+        inject_regression({})
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_cli_freeze_then_clean_gate(tmp_path, capsys):
+    candidate = _write(tmp_path, "perf.json", _report())
+    baseline = tmp_path / "baseline.json"
+    assert regress.main(
+        ["--freeze", str(baseline), "--candidate", str(candidate)]
+    ) == 0
+    assert regress.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "froze 2 config(s)" in out
+    assert "clean" in out
+
+
+def test_cli_detects_regression(tmp_path, capsys):
+    good = _report()
+    candidate = _write(tmp_path, "perf.json", good)
+    baseline = tmp_path / "baseline.json"
+    regress.main(["--freeze", str(baseline), "--candidate", str(candidate)])
+    bad = _report()
+    bad["latency"]["configs"][0]["service"]["p99"] *= 10
+    regressed = _write(tmp_path, "bad.json", bad)
+    assert regress.main(
+        ["--baseline", str(baseline), "--candidate", str(regressed)]
+    ) == 1
+    assert "latency regression" in capsys.readouterr().err
+
+
+def test_cli_self_test_proves_gate_has_teeth(tmp_path, capsys):
+    candidate = _write(tmp_path, "perf.json", _report())
+    baseline = tmp_path / "baseline.json"
+    regress.main(["--freeze", str(baseline), "--candidate", str(candidate)])
+    assert regress.main(
+        ["--baseline", str(baseline), "--candidate", str(candidate),
+         "--self-test"]
+    ) == 0
+    assert "self-test ok" in capsys.readouterr().out
+
+
+def test_cli_missing_files_exit_2(tmp_path):
+    assert regress.main(
+        ["--candidate", str(tmp_path / "absent.json")]
+    ) == 2
+    candidate = _write(tmp_path, "perf.json", _report())
+    assert regress.main(
+        ["--baseline", str(tmp_path / "absent.json"),
+         "--candidate", str(candidate)]
+    ) == 2
+
+
+def test_cli_threshold_overrides_baseline(tmp_path, capsys):
+    candidate = _write(tmp_path, "perf.json", _report())
+    baseline = tmp_path / "baseline.json"
+    regress.main(["--freeze", str(baseline), "--candidate", str(candidate)])
+    drifted = _report()
+    drifted["latency"]["configs"][0]["service"]["p99"] *= 1.4
+    drifted_path = _write(tmp_path, "drift.json", drifted)
+    # Clean under the frozen 50% slack, flagged when tightened to 5%.
+    assert regress.main(
+        ["--baseline", str(baseline), "--candidate", str(drifted_path)]
+    ) == 0
+    assert regress.main(
+        ["--baseline", str(baseline), "--candidate", str(drifted_path),
+         "--rel-threshold", "0.05", "--noise-floor", "0"]
+    ) == 1
+    capsys.readouterr()
+
+
+def test_committed_baseline_gates_committed_report():
+    """The CI invocation: repo-root BENCH_BASELINE.json vs BENCH_PERF.json
+    must be clean (they are frozen from the same run)."""
+    baseline_path = regress.default_baseline_path()
+    candidate_path = regress.default_candidate_path()
+    assert baseline_path.exists(), "BENCH_BASELINE.json must be committed"
+    assert candidate_path.exists()
+    assert regress.main([]) == 0

@@ -1,0 +1,143 @@
+"""Histogram quantile estimation (repro.obs.metrics.Histogram.quantile).
+
+Pins the estimator both regimes: exact sorted-sample interpolation below
+``EXACT_QUANTILE_CUTOFF`` observations, Prometheus-style cumulative-bucket
+interpolation (clamped to the observed maximum) above it.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    EXACT_QUANTILE_CUTOFF,
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def _latency_histogram() -> Histogram:
+    return Histogram("repro_stmt_latency_seconds", buckets=LATENCY_BUCKETS)
+
+
+# ------------------------------------------------------------ exact regime
+
+
+def test_exact_quantiles_on_known_distribution():
+    """1..100 has textbook order statistics: linear interpolation at rank
+    q*(n-1) gives p50=50.5, p95=95.05, p99=99.01."""
+    histogram = _latency_histogram()
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.quantile(0.50) == pytest.approx(50.5)
+    assert histogram.quantile(0.95) == pytest.approx(95.05)
+    assert histogram.quantile(0.99) == pytest.approx(99.01)
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.quantile(1.0) == 100.0
+    assert histogram.max_value() == 100.0
+
+
+def test_exact_quantiles_ignore_observation_order():
+    shuffled = _latency_histogram()
+    ordered = _latency_histogram()
+    values = [float(v) for v in range(1, 101)]
+    for value in values:
+        ordered.observe(value)
+    rng = random.Random(7)
+    rng.shuffle(values)
+    for value in values:
+        shuffled.observe(value)
+    for q in (0.5, 0.95, 0.99):
+        assert shuffled.quantile(q) == ordered.quantile(q)
+
+
+def test_single_sample_answers_every_quantile():
+    histogram = _latency_histogram()
+    histogram.observe(0.0042)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert histogram.quantile(q) == 0.0042
+    assert histogram.max_value() == 0.0042
+
+
+def test_empty_label_set_returns_none():
+    histogram = _latency_histogram()
+    assert histogram.quantile(0.99) is None
+    assert histogram.max_value() is None
+    histogram.observe(1.0, kind="update")
+    assert histogram.quantile(0.5, kind="read") is None
+    assert histogram.quantile(0.5, kind="update") == 1.0
+
+
+def test_quantile_outside_unit_interval_raises():
+    histogram = _latency_histogram()
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+# ----------------------------------------------------------- bucket regime
+
+
+def test_bucket_estimates_track_exact_quantiles():
+    """Above the cutoff the estimate is bucket-interpolated; doubling
+    buckets bound the relative error by 2x of the true quantile."""
+    rng = random.Random(11)
+    values = [rng.uniform(1e-4, 1e-1) for _ in range(4 * EXACT_QUANTILE_CUTOFF)]
+    histogram = _latency_histogram()
+    for value in values:
+        histogram.observe(value)
+    assert histogram.count() == len(values) > EXACT_QUANTILE_CUTOFF
+    ordered = sorted(values)
+    for q in (0.5, 0.95, 0.99):
+        estimate = histogram.quantile(q)
+        exact = ordered[int(q * (len(ordered) - 1))]
+        assert exact / 2 <= estimate <= exact * 2
+        assert estimate <= histogram.max_value()
+
+
+def test_bucket_quantiles_are_monotone():
+    rng = random.Random(13)
+    histogram = _latency_histogram()
+    for _ in range(1000):
+        histogram.observe(rng.expovariate(100.0))
+    p50 = histogram.quantile(0.50)
+    p95 = histogram.quantile(0.95)
+    p99 = histogram.quantile(0.99)
+    assert p50 <= p95 <= p99 <= histogram.max_value()
+
+
+def test_bucket_estimate_clamps_to_observed_max():
+    """300 identical observations: interpolation inside the owning bucket
+    would report above the true value; the clamp pins it to the max."""
+    histogram = _latency_histogram()
+    for _ in range(300):
+        histogram.observe(5.0)
+    assert histogram.quantile(0.99) == 5.0
+    assert histogram.quantile(0.5) == 5.0
+
+
+def test_overflow_bucket_reports_observed_max():
+    """Values beyond the largest finite bound land in +Inf; all the
+    estimator can honestly report out there is the observed maximum."""
+    histogram = _latency_histogram()
+    beyond = max(LATENCY_BUCKETS) * 3
+    for _ in range(300):
+        histogram.observe(beyond)
+    assert histogram.quantile(0.99) == beyond
+
+
+def test_latency_buckets_are_log_spaced():
+    assert LATENCY_BUCKETS[0] == 1e-6
+    for lower, upper in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]):
+        assert upper == pytest.approx(2 * lower)
+
+
+def test_registry_histogram_uses_latency_buckets():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_stmt_latency_seconds", "svc", buckets=LATENCY_BUCKETS
+    )
+    assert histogram.buckets == tuple(LATENCY_BUCKETS)

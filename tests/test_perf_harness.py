@@ -26,6 +26,9 @@ def tiny_report():
         repeats=1,
         worker_counts=(1, 2),
         multi_view_counts=(1, 2),
+        latency_ops=12,
+        latency_statement_size=4,
+        latency_worker_counts=(0,),
     )
     return perf.run(config, smoke=True)
 
@@ -34,6 +37,30 @@ def test_report_schema_valid(tiny_report):
     assert validate_report(tiny_report) == []
     assert tiny_report["schema_version"] == perf.SCHEMA_VERSION
     assert len(tiny_report["results"]) == 12  # 3 methods x 2 workloads x 2 modes
+
+
+def test_report_is_timestamp_free(tiny_report):
+    """Schema v6: generated_at moved to the sidecar so identical re-runs
+    leave the results document byte-stable."""
+    assert "generated_at" not in tiny_report
+    stamped = dict(tiny_report)
+    stamped["generated_at"] = "2026-01-01T00:00:00+00:00"
+    assert any("sidecar" in p for p in validate_report(stamped))
+
+
+def test_report_covers_latency_section(tiny_report):
+    section = tiny_report["latency"]
+    from repro.bench.latency import validate_latency_section
+
+    assert validate_latency_section(section) == []
+    names = {entry["name"] for entry in section["configs"]}
+    assert names == {
+        f"{method}-{mode}-w0"
+        for method in perf.METHODS
+        for mode in perf.MODES
+    }
+    for entry in section["configs"]:
+        assert len(entry["rates"]) >= 3
 
 
 def test_report_covers_full_grid(tiny_report):
@@ -169,6 +196,8 @@ def test_cli_writes_report(tmp_path, capsys, monkeypatch):
             num_nodes=2, num_keys=8, fanout=2, total_rows=16,
             statement_size=8, headline_rows=16, repeats=1,
             worker_counts=(1,),
+            latency_ops=12, latency_statement_size=4,
+            latency_worker_counts=(0,),
         )),
     )
     assert perf.main(["--smoke", "--out", str(out)]) == 0
@@ -176,6 +205,10 @@ def test_cli_writes_report(tmp_path, capsys, monkeypatch):
     assert validate_report(report) == []
     assert report["smoke"] is True
     assert "wrote" in capsys.readouterr().out
+    sidecar = json.loads((tmp_path / "perf.meta.json").read_text())
+    assert sidecar["report"] == "perf.json"
+    assert sidecar["schema_version"] == perf.SCHEMA_VERSION
+    assert "generated_at" in sidecar
 
 
 def test_default_output_path_is_repo_root():

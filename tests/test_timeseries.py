@@ -1,0 +1,136 @@
+"""Time-series collector (repro.obs.timeseries): sampling, derivation,
+ring-buffer bounds, and both export shapes."""
+
+import pytest
+
+from repro.obs.export import validate_prometheus_range
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesCollector, series_rates
+
+
+def _collector(capacity: int = 240):
+    registry = MetricsRegistry()
+    collector = TimeSeriesCollector(lambda: registry, capacity=capacity)
+    return registry, collector
+
+
+def test_sample_deltas_and_rates():
+    registry, collector = _collector()
+    ops = registry.counter("repro_load_ops_total", "ops")
+    ops.inc(3, kind="update")
+    collector.sample(0.0)
+    ops.inc(5, kind="update")
+    ops.inc(2, kind="read")
+    collector.sample(2.0)
+    ops.inc(1, kind="read")
+    collector.sample(3.0)
+
+    series = collector.series()
+    updates = series["repro_load_ops_total"]['{kind="update"}']
+    assert updates == [3.0, 8.0, 8.0]
+    reads = series["repro_load_ops_total"]['{kind="read"}']
+    assert reads == [None, 2.0, 3.0]
+
+    deltas = collector.deltas()
+    assert deltas["repro_load_ops_total"]['{kind="update"}'] == [5.0, 0.0]
+    assert deltas["repro_load_ops_total"]['{kind="read"}'] == [2.0, 1.0]
+
+    rates = collector.rates()
+    assert rates["repro_load_ops_total"]['{kind="update"}'] == [2.5, 0.0]
+    assert rates["repro_load_ops_total"]['{kind="read"}'] == [1.0, 1.0]
+
+
+def test_ring_buffer_evicts_oldest():
+    registry, collector = _collector(capacity=2)
+    gauge = registry.gauge("repro_arrival_rate", "rate")
+    for step in range(5):
+        gauge.set(float(step))
+        collector.sample(float(step))
+    assert len(collector) == 2
+    assert collector.times == (3.0, 4.0)
+    assert collector.samples_taken == 5
+    values = collector.series()["repro_arrival_rate"][""]
+    assert values == [3.0, 4.0]
+
+
+def test_non_monotone_timestamp_rejected():
+    _registry, collector = _collector()
+    collector.sample(1.0)
+    with pytest.raises(ValueError):
+        collector.sample(0.5)
+    collector.sample(1.0)  # equal timestamps are allowed
+
+
+def test_capacity_below_two_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        TimeSeriesCollector(lambda: registry, capacity=1)
+
+
+def test_jsonl_round_trip():
+    registry, collector = _collector()
+    ops = registry.counter("repro_load_ops_total", "ops")
+    for step in range(3):
+        ops.inc(kind="update")
+        collector.sample(float(step))
+    text = collector.to_jsonl()
+    assert len(text.splitlines()) == 3
+    rebuilt = TimeSeriesCollector.from_jsonl(text)
+    assert rebuilt.times == collector.times
+    assert rebuilt.series() == collector.series()
+    assert rebuilt.deltas() == collector.deltas()
+
+
+def test_jsonl_round_trip_respects_capacity():
+    registry, collector = _collector()
+    ops = registry.counter("repro_load_ops_total", "ops")
+    for step in range(4):
+        ops.inc()
+        collector.sample(float(step))
+    rebuilt = TimeSeriesCollector.from_jsonl(collector.to_jsonl(), capacity=2)
+    assert rebuilt.times == (2.0, 3.0)
+    assert rebuilt.samples_taken == 4
+
+
+def test_prometheus_range_export_shape():
+    registry, collector = _collector()
+    ops = registry.counter("repro_load_ops_total", "ops")
+    gauge = registry.gauge("repro_arrival_rate", "rate")
+    ops.inc(2, kind="update")
+    gauge.set(100.0, config="naive-eager-w0", step=0)
+    collector.sample(0.0)
+    ops.inc(3, kind="update")
+    collector.sample(1.0)
+
+    doc = collector.to_prometheus_range()
+    assert validate_prometheus_range(doc) == []
+    assert doc["status"] == "success"
+    assert doc["data"]["resultType"] == "matrix"
+    by_name = {}
+    for result in doc["data"]["result"]:
+        by_name.setdefault(result["metric"]["__name__"], []).append(result)
+    ops_series = by_name["repro_load_ops_total"][0]
+    assert ops_series["metric"]["kind"] == "update"
+    assert ops_series["values"] == [[0.0, "2.0"], [1.0, "5.0"]]
+    rate_series = by_name["repro_arrival_rate"][0]
+    assert rate_series["metric"]["config"] == "naive-eager-w0"
+    # The gauge existed at both samples; the value never moved.
+    assert [value for _, value in rate_series["values"]] == ["100.0", "100.0"]
+
+
+def test_prometheus_range_omits_gaps():
+    registry, collector = _collector()
+    collector.sample(0.0)  # registry empty: no series yet
+    registry.counter("repro_load_ops_total", "ops").inc()
+    collector.sample(1.0)
+    doc = collector.to_prometheus_range()
+    assert validate_prometheus_range(doc) == []
+    (result,) = doc["data"]["result"]
+    # The first sample predates the series: its point is omitted, exactly
+    # as a real range query omits scrapes with no data.
+    assert [t for t, _ in result["values"]] == [1.0]
+
+
+def test_series_rates_helper():
+    assert series_rates([0.0, 1.0, 3.0], [0.0, 10.0, 10.0]) == [10.0, 0.0]
+    assert series_rates([0.0, 0.0], [1.0, 5.0]) == [0.0]
