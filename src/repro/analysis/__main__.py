@@ -7,10 +7,14 @@ Usage::
     python -m repro.analysis --baseline=analysis-baseline.json src/
     python -m repro.analysis --write-baseline src/     # grandfather current
     python -m repro.analysis --rules=REP001,REP002 src/
+    python -m repro.analysis --flow src/               # + REP007-REP009
+    python -m repro.analysis --flow --dot=callgraph.dot src/
+    python -m repro.analysis --audit-suppressions src/
     python -m repro.analysis --list-rules
+    python -m repro.analysis interleave --workers=2,4 --seeds=17
 
-Exit status: 0 when clean, 1 when findings (or stale baseline entries)
-remain, 2 on usage errors.
+Exit status: 0 when clean, 1 when findings (or stale baseline entries, or
+stale suppressions, or divergent schedules) remain, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -31,7 +35,8 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description="Domain-aware static checks for the repro engine "
         "(charged sends, determinism, obs purity, cost constants, "
-        "envelope vocabulary, undo logging).",
+        "envelope vocabulary, undo logging; --flow adds the "
+        "interprocedural charge-flow, taint, and undo-domination rules).",
     )
     parser.add_argument(
         "targets",
@@ -63,6 +68,23 @@ def _parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also build the project call graph and run the "
+        "interprocedural rules (REP007-REP009)",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="PATH",
+        help="with --flow: write the project call graph as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--audit-suppressions",
+        action="store_true",
+        help="inventory every '# repro:' noqa/annotation as JSON and exit "
+        "1 if any is stale (no rule consulted it this run)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and their annotation keys, then exit",
@@ -70,9 +92,86 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _interleave_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis interleave",
+        description="Seeded schedule-permutation race detector: drive the "
+        "parallel engine's order decisions (envelope, refresh, reply, "
+        "merge) through hundreds of distinct interleavings and assert "
+        "bit-identical ledgers, network stats, and fragments; any "
+        "divergence is delta-debugged to a minimal event-reorder witness.",
+    )
+    parser.add_argument(
+        "--workers",
+        default="2,4",
+        metavar="COUNTS",
+        help="comma-separated worker-pool sizes (default: 2,4)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=17,
+        metavar="N",
+        help="schedule seeds per configuration (default: 17)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=14,
+        metavar="N",
+        help="statements per workload script (default: 14)",
+    )
+    parser.add_argument(
+        "--methods",
+        default="naive,auxiliary,global_index",
+        metavar="NAMES",
+        help="maintenance methods (default: naive,auxiliary,global_index)",
+    )
+    parser.add_argument(
+        "--modes",
+        default="eager,deferred",
+        metavar="NAMES",
+        help="maintenance timing modes (default: eager,deferred)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without delta-debugging them",
+    )
+    return parser
+
+
+def _interleave_main(argv: List[str]) -> int:
+    from .interleave import run_detector
+
+    args = _interleave_parser().parse_args(argv)
+    try:
+        workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError:
+        print(f"bad --workers value: {args.workers!r}", file=sys.stderr)
+        return 2
+    report = run_detector(
+        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
+        workers=workers,
+        seeds=range(args.seeds),
+        steps=args.steps,
+        shrink=not args.no_shrink,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "interleave":
+        return _interleave_main(argv[1:])
     args = _parser().parse_args(argv)
     if args.list_rules:
+        from .flow import FLOW_RULES
+
         for rule_id in sorted(RULES):
             info = RULES[rule_id]
             suffix = (
@@ -81,9 +180,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                 else ""
             )
             print(f"{rule_id}  {info.summary}{suffix}")
+        for rule_id in sorted(FLOW_RULES):
+            flow_info = FLOW_RULES[rule_id]
+            suffix = (
+                f"  [annotation: # repro: {flow_info.annotation}=<reason>]"
+                if flow_info.annotation
+                else ""
+            )
+            print(f"{rule_id}  (flow) {flow_info.summary}{suffix}")
         return 0
 
     targets = args.targets or (["src"] if os.path.isdir("src") else ["."])
+
+    if args.audit_suppressions:
+        from .audit import audit_suppressions, render_audit
+
+        report = audit_suppressions(targets)
+        sys.stdout.write(render_audit(report))
+        if report["stale"]:
+            print(
+                f"{report['stale']} stale suppression(s) — remove them or "
+                "re-justify against a live finding",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.dot and not args.flow:
+        print("--dot requires --flow (it exports the call graph)",
+              file=sys.stderr)
+        return 2
+
     only_rules = (
         [r.strip() for r in args.rules.split(",") if r.strip()]
         if args.rules
@@ -100,11 +227,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         baseline = load_baseline(baseline_path)
 
+    contexts = {} if args.dot else None
     try:
-        result = analyze_paths(targets, baseline=baseline, only_rules=only_rules)
+        result = analyze_paths(
+            targets,
+            baseline=baseline,
+            only_rules=only_rules,
+            flow=args.flow,
+            contexts_out=contexts,
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+    if args.dot and contexts is not None:
+        from .flow import build_project
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(build_project(contexts).graph.to_dot())
+        print(f"wrote call graph to {args.dot}", file=sys.stderr)
 
     if args.write_baseline:
         save_baseline(baseline_path, Baseline.from_findings(result.findings))

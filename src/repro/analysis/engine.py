@@ -67,20 +67,57 @@ def analyze_paths(
     targets: Sequence[str],
     baseline: Optional[Baseline] = None,
     only_rules: Optional[Iterable[str]] = None,
+    flow: bool = False,
+    contexts_out: Optional[Dict[str, RuleContext]] = None,
 ) -> AnalysisResult:
-    """Run every enabled rule over ``targets`` and fold in the baseline."""
+    """Run every enabled rule over ``targets`` and fold in the baseline.
+
+    ``flow=True`` additionally builds the project call graph and runs the
+    interprocedural rules (REP007–REP009, :mod:`repro.analysis.flow`) over
+    the same parsed files; their findings share the fingerprint scheme,
+    the noqa machinery, and the baseline.  ``contexts_out`` (the audit's
+    hook) receives every file's :class:`RuleContext`, whose suppression
+    objects carry the use-records accumulated by this run.
+    """
+    flow_only: Optional[List[str]] = None
+    if flow:
+        from .flow import FLOW_RULES
+
+        if only_rules is not None:
+            wanted = {r for r in only_rules}
+            unknown = wanted - set(RULES) - set(FLOW_RULES)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            flow_only = sorted(wanted & set(FLOW_RULES))
+            only_rules = sorted(wanted - set(FLOW_RULES))
     enabled = _enabled_rules(only_rules)
     result = AnalysisResult()
     raw: List[Finding] = []
     source_lines: Dict[str, List[str]] = {}
+    contexts: Dict[str, RuleContext] = {}
     for absolute, relative in discover_files(targets):
         result.files_analyzed += 1
-        file_findings, suppressed, lines = _analyze_file(
+        file_findings, suppressed, lines, context = _analyze_file(
             absolute, relative, enabled
         )
         raw.extend(file_findings)
         result.suppressed += suppressed
         source_lines[relative] = lines
+        if context is not None:
+            contexts[relative] = context
+    if flow:
+        from .flow import run_flow_rules
+
+        for finding in run_flow_rules(contexts, flow_only):
+            context = contexts.get(finding.path)
+            if context is not None and context.suppressions.is_noqa(
+                finding.rule, finding.line
+            ):
+                result.suppressed += 1
+            else:
+                raw.append(finding)
+    if contexts_out is not None:
+        contexts_out.update(contexts)
     fingerprinted = fingerprint_findings(raw, source_lines)
     if baseline is not None:
         kept: List[Finding] = []
@@ -111,7 +148,7 @@ def _enabled_rules(only_rules: Optional[Iterable[str]]) -> List[RuleInfo]:
 
 def _analyze_file(
     absolute: str, relative: str, rules: List[RuleInfo]
-) -> Tuple[List[Finding], int, List[str]]:
+) -> Tuple[List[Finding], int, List[str], Optional[RuleContext]]:
     with open(absolute, "r", encoding="utf-8") as handle:
         source = handle.read()
     lines = source.splitlines()
@@ -130,6 +167,7 @@ def _analyze_file(
             ],
             0,
             lines,
+            None,
         )
     suppressions = parse_suppressions(source)
     findings: List[Finding] = [
@@ -157,4 +195,4 @@ def _analyze_file(
                 suppressed += 1
             else:
                 findings.append(finding)
-    return findings, suppressed, lines
+    return findings, suppressed, lines, context

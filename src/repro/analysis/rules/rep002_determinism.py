@@ -43,6 +43,8 @@ BANNED_CALLS = {
     "time.monotonic_ns": "wall-clock time",
     "time.perf_counter": "wall-clock time",
     "time.perf_counter_ns": "wall-clock time",
+    "time.process_time": "CPU-clock time",
+    "time.process_time_ns": "CPU-clock time",
     "datetime.now": "wall-clock time",
     "datetime.utcnow": "wall-clock time",
     "datetime.today": "wall-clock time",

@@ -49,12 +49,23 @@ class Suppressions:
     annotations: Dict[int, Dict[str, str]] = field(default_factory=dict)
     #: malformed suppression comments: (line, message)
     errors: List[Tuple[int, str]] = field(default_factory=list)
+    #: ``(line, rule)`` noqa entries that suppressed a finding this run —
+    #: the audit's liveness signal (see ``--audit-suppressions``)
+    used_noqa: Set[Tuple[int, str]] = field(default_factory=set)
+    #: ``(line, key)`` annotations a rule consulted (and matched) this run
+    used_annotations: Set[Tuple[int, str]] = field(default_factory=set)
 
     def is_noqa(self, rule: str, line: int) -> bool:
-        return rule in self.noqa.get(line, set())
+        hit = rule in self.noqa.get(line, set())
+        if hit:
+            self.used_noqa.add((line, rule))
+        return hit
 
     def annotation_on(self, key: str, line: int) -> bool:
-        return key in self.annotations.get(line, {})
+        hit = key in self.annotations.get(line, {})
+        if hit:
+            self.used_annotations.add((line, key))
+        return hit
 
 
 def parse_suppressions(source: str) -> Suppressions:

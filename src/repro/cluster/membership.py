@@ -37,7 +37,18 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from ..costs import Op, Tag
 from ..faults.errors import MessageLost, NodeDown
@@ -246,7 +257,7 @@ class Replicator:
         """
         cluster = self.cluster
         desired = self._desired_slots()
-        ops: List[tuple] = []
+        ops: List[Tuple[Any, ...]] = []
         shipped = 0
         for owner, target, name in desired:
             expected = Counter(cluster.nodes[owner].scan(name))
@@ -410,7 +421,7 @@ def _rebind(
             tokens=tokens,
             weights=dict(cluster.membership.weights),
         )
-    return partitioner.rebind(num_nodes)
+    return cast(object, partitioner.rebind(num_nodes))
 
 
 def _plan_moves(
@@ -418,7 +429,7 @@ def _plan_moves(
     name: str,
     bound: object,
     old_of_new: Dict[int, int],
-    survivors: frozenset,
+    survivors: FrozenSet[int],
     skip: Optional[int],
 ) -> List[Tuple[int, int, Row, int]]:
     """Rows that must change nodes under ``bound``: ``(src, rowid, row,
@@ -458,7 +469,7 @@ def _execute_moves(
     links: Dict[Tuple[int, int], List[Tuple[int, Row]]] = {}
     for src, rowid, row, dst in moves:
         links.setdefault((src, dst), []).append((rowid, row))
-    ops: List[tuple] = []
+    ops: List[Tuple[Any, ...]] = []
     for (src, dst), entries in links.items():
         cluster.network.send_many(src, dst, len(entries), tag)
         ops.append(("handoff", src, name, [rowid for rowid, _ in entries], tag))
@@ -481,7 +492,7 @@ def _execute_restores(
     by_dst: Dict[int, List[Row]] = {}
     for dst, row in assignments:
         by_dst.setdefault(dst, []).append(row)
-    ops: List[tuple] = []
+    ops: List[Tuple[Any, ...]] = []
     for dst, rows in by_dst.items():
         cluster.network.send_many(source, dst, len(rows), tag)
         ops.append(("migrate", dst, name, rows, tag))
@@ -560,14 +571,14 @@ def _remap_global_indexes(
         deleted += len(purged)
         # Pass 2 (charged diff): expected entry set under the new homes and
         # the post-migration rowids vs. what the partitions store.
-        expected: Counter = Counter()
+        expected: Counter[Tuple[int, object, int, int]] = Counter()
         for node in cluster.nodes:
             if not node.has_fragment(gi.base):
                 continue
             for rowid, row in node.fragment(gi.base).table.scan():
                 key = row[gi.key_position]
                 expected[(gi.home_node(key), key, node.node_id, rowid)] += 1
-        actual: Counter = Counter()
+        actual: Counter[Tuple[int, object, int, int]] = Counter()
         for node in cluster.nodes:
             try:
                 partition = node.gi_partition(name)
@@ -577,7 +588,7 @@ def _remap_global_indexes(
                 actual[(node.node_id, key, grid.node, grid.rowid)] += 1
         stale = sorted((actual - expected).elements(), key=repr)
         fresh = sorted((expected - actual).elements(), key=repr)
-        ops: List[tuple] = []
+        ops: List[Tuple[Any, ...]] = []
         for home, key, owner, rowid in stale:
             cluster.network.send_many(owner, home, 1, tag)
             ops.append(

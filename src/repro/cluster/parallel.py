@@ -805,6 +805,17 @@ class ParallelEngine:
         #: segment (tiny control frame on the pipe) when the platform
         #: supports it; ``None`` disables the path.
         self.shm_min_bytes: Optional[int] = 256 * 1024
+        #: Optional schedule-permutation hooks (duck-typed — anything with
+        #: ``permute(kind, key, items) -> items``; see
+        #: :mod:`repro.analysis.interleave`).  When set, the four order
+        #: decisions of a forked superstep — envelope send order, the
+        #: refresh-block list of each envelope, reply drain order, and the
+        #: ledger-delta fold order — route through it.  Permutations only
+        #: reorder *already-computed* work: routing, op construction, and
+        #: every charge are upstream of all four points, so any schedule
+        #: must leave ledgers, fragments, and stats bit-identical to the
+        #: serial engines.  The interleave detector exists to prove that.
+        self.schedule = None
         #: Mutation log of the current pool generation (``None`` when
         #: drained); the cluster's bulk write paths append to it.
         self.journal: Optional[RefreshJournal] = None
@@ -1062,13 +1073,27 @@ class ParallelEngine:
             per_worker.setdefault(worker_id, []).append(position)
         version = cluster.catalog.version
         trace = span is not None
+        schedule = self.schedule
+        step = self.supersteps
         self._shm_pending: List = []
         try:
-            for worker_id, positions in per_worker.items():
+            worker_order = list(per_worker)
+            if schedule is not None:
+                worker_order = schedule.permute(
+                    "envelope", (step, -1), worker_order
+                )
+            for worker_id in worker_order:
+                positions = per_worker[worker_id]
                 worker_ops = [ops[position] for position in positions]
                 blocks = journal.pending(
                     worker_id, self._targets_of(worker_ops)
                 )
+                if schedule is not None:
+                    # Blocks target distinct (kind, node, structure) runs,
+                    # so their application order must commute.
+                    blocks = schedule.permute(
+                        "refresh", (step, worker_id), blocks
+                    )
                 if cluster.sanitize:
                     for block in blocks:
                         validate_block(block)
@@ -1079,7 +1104,10 @@ class ParallelEngine:
             deltas: List[Dict] = []
             elapsed: List[int] = []
             event_maps: List[Dict] = []
-            for worker_id in sorted(per_worker):
+            drain_order = sorted(per_worker)
+            if schedule is not None:
+                drain_order = schedule.permute("reply", (step, -1), drain_order)
+            for worker_id in drain_order:
                 blob = self._conns[worker_id].recv_bytes()
                 self.ipc_rx_bytes[worker_id] += len(blob)
                 reply = _decode(blob)
@@ -1105,6 +1133,8 @@ class ParallelEngine:
             raise RuntimeError(f"parallel superstep failed: {exc}") from exc
         self._release_shm()
         self.supersteps += 1
+        if schedule is not None:
+            deltas = schedule.permute("merge", (step, -1), deltas)
         cluster.ledger.absorb(deltas)
         self._learn_weights(ops, slots, results)
         if trace:

@@ -21,7 +21,16 @@ from __future__ import annotations
 import pickle
 from array import array
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    SupportsIndex,
+    Tuple,
+)
 
 from ..costs import Tag
 from ..storage.schema import Row
@@ -79,12 +88,23 @@ _TAGS: Tuple[Tag, ...] = tuple(Tag)
 _TAG_CODES = {tag: code for code, tag in enumerate(_TAGS)}
 
 
-def _rebuild_block(kind, node, name, typecodes, ops, tags, rowids, refs, keys):
+def _rebuild_block(
+    kind: str,
+    node: int,
+    name: str,
+    typecodes: Sequence[str],
+    ops: Any,
+    tags: Any,
+    rowids: Any,
+    refs: Any,
+    keys: Sequence[object],
+) -> "DeltaBlock":
     """Reconstruct a :class:`DeltaBlock` from its pickled columns.
 
     ``ops``/``tags``/``rowids``/``refs`` arrive as buffer views —
     :class:`pickle.PickleBuffer` out-of-band buffers under protocol 5,
-    in-band ``bytes`` otherwise; ``array.frombytes`` accepts either.
+    in-band ``bytes`` otherwise (hence ``Any``); ``array.frombytes``
+    accepts either.
     """
     block = DeltaBlock(kind, node, name)
     for column, typecode, data in zip(
@@ -133,11 +153,13 @@ class DeltaBlock:
         self.tags = array("b")
         self.rowids = array("q")
         self.refs = array("q")
-        self.keys: list = []
+        self.keys: List[object] = []
 
     # ------------------------------------------------------------- building
 
-    def add(self, op: int, rowid: int, key, tag: Tag, ref: int = 0) -> None:
+    def add(
+        self, op: int, rowid: int, key: object, tag: Tag, ref: int = 0
+    ) -> None:
         """Append one entry (columns stay parallel by construction)."""
         self.ops.append(op)
         self.tags.append(_TAG_CODES[tag])
@@ -146,7 +168,7 @@ class DeltaBlock:
         self.keys.append(key)
 
     def extend(
-        self, op: int, rowids: Sequence[int], keys: Sequence, tag: Tag,
+        self, op: int, rowids: Sequence[int], keys: Sequence[object], tag: Tag,
         refs: Optional[Sequence[int]] = None,
     ) -> None:
         """Append a same-op, same-tag run in bulk.
@@ -208,7 +230,7 @@ class DeltaBlock:
         """Per-node blocks equivalent to a placed :class:`Delta` — deletes
         first, then inserts, per-node order preserved (the serial engine's
         application order).  Nodes appear in first-touch order."""
-        blocks: dict = {}
+        blocks: Dict[int, "DeltaBlock"] = {}
         for op, placed_rows in (
             (OP_DELETE, delta.deletes),
             (OP_INSERT, delta.inserts),
@@ -234,10 +256,10 @@ class DeltaBlock:
 
     # -------------------------------------------------------------- pickling
 
-    def __reduce_ex__(self, protocol: int):
+    def __reduce_ex__(self, protocol: SupportsIndex) -> Tuple[Any, ...]:
         columns = (self.ops, self.tags, self.rowids, self.refs)
         typecodes = tuple(column.typecode for column in columns)
-        if protocol >= 5:
+        if int(protocol) >= 5:
             buffers = tuple(pickle.PickleBuffer(column) for column in columns)
         else:
             buffers = tuple(column.tobytes() for column in columns)

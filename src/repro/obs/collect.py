@@ -19,10 +19,10 @@ hits, fault retries, superstep timings) are pushed live, each behind an
 from __future__ import annotations
 
 import zlib
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Any, ContextManager, Iterable, Optional
 
 from .metrics import LATENCY_BUCKETS, MetricsRegistry
-from .tracer import NOOP_TRACER, Tracer
+from .tracer import NOOP_TRACER, NoopTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.cluster import Cluster
@@ -42,12 +42,17 @@ class Observability:
 
     __slots__ = ("enabled", "tracer", "metrics")
 
-    def __init__(self, enabled: bool, tracer, metrics: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        enabled: bool,
+        tracer: "Tracer | NoopTracer",
+        metrics: MetricsRegistry,
+    ) -> None:
         self.enabled = enabled
         self.tracer = tracer
         self.metrics = metrics
 
-    def span(self, name: str, **tags: object):
+    def span(self, name: str, **tags: object) -> "ContextManager[Any]":
         return self.tracer.span(name, **tags)
 
     def event(self, name: str, **tags: object) -> None:

@@ -146,3 +146,153 @@ def test_shipped_baseline_is_empty():
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
     baseline = load_baseline(os.path.join(repo_root, "analysis-baseline.json"))
     assert baseline.fingerprints == set()
+
+
+# ------------------------------------------------------------- flow layer
+
+
+FLOW_TREE = {
+    "cluster/cluster.py": textwrap.dedent(
+        """
+        from .ship import ship_delta
+
+        class Cluster:
+            def insert(self, rows):
+                ship_delta(self.pipe, rows)
+        """
+    ),
+    "cluster/ship.py": textwrap.dedent(
+        """
+        def ship_delta(pipe, rows):
+            pipe.send(rows)
+        """
+    ),
+}
+
+
+def seed_tree(tmp_path, files):
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+
+
+def test_flow_flag_adds_interprocedural_findings(tmp_path, capsys):
+    seed_tree(tmp_path, FLOW_TREE)
+    assert main(["--format=json", str(tmp_path)]) == 1
+    without = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in without["findings"]] == ["REP001"]
+
+    assert main(["--flow", "--format=json", str(tmp_path)]) == 1
+    with_flow = json.loads(capsys.readouterr().out)
+    rules = [f["rule"] for f in with_flow["findings"]]
+    assert "REP001" in rules and "REP007" in rules
+    witness = next(f for f in with_flow["findings"] if f["rule"] == "REP007")
+    assert "Cluster.insert" in witness["message"]
+
+
+def test_flow_rules_filter_and_unknown_rule(tmp_path, capsys):
+    seed_tree(tmp_path, FLOW_TREE)
+    assert main(["--flow", "--rules=REP007", "--format=json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload["findings"]] == ["REP007"]
+    # Flow ids are rejected without --flow (they are not per-file rules).
+    assert main(["--rules=REP007", str(tmp_path)]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_dot_export_requires_and_uses_flow(tmp_path, capsys):
+    seed_tree(tmp_path, FLOW_TREE)
+    dot_path = tmp_path / "graph.dot"
+    assert main(["--dot", str(dot_path), str(tmp_path)]) == 2
+    assert "requires --flow" in capsys.readouterr().err
+    assert main(["--flow", "--dot", str(dot_path), str(tmp_path)]) == 1
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph repro_callgraph {")
+    assert '"cluster.ship.ship_delta"' in dot
+
+
+def test_list_rules_includes_flow_layer(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP007", "REP008", "REP009"):
+        assert rule_id in out
+    assert "(flow)" in out
+
+
+# ------------------------------------------------------------------- audit
+
+
+def test_audit_reports_stale_and_live_suppressions(tmp_path, capsys):
+    seed_tree(tmp_path, {
+        "cluster/engine.py": (
+            "def go(pipe, payload):\n"
+            "    pipe.send(payload)  # repro: noqa=REP001\n"
+            "    value = 1  # repro: noqa=REP004\n"
+            "    return value\n"
+        ),
+    })
+    assert main(["--audit-suppressions", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["total"] == 2
+    assert payload["stale"] == 1
+    by_rule = {entry["rule"]: entry for entry in payload["suppressions"]}
+    assert by_rule["REP001"]["used"] is True
+    assert by_rule["REP004"]["used"] is False
+    assert by_rule["REP004"]["kind"] == "noqa"
+    assert "stale suppression" in captured.err
+
+
+def test_audit_clean_tree_exits_zero(tmp_path, capsys):
+    seed_tree(tmp_path, {
+        "cluster/cluster.py": FLOW_TREE["cluster/cluster.py"],
+        "cluster/ship.py": (
+            "def ship_delta(pipe, rows):\n"
+            "    pipe.send(rows)  # repro: noqa=REP001,REP007\n"
+        ),
+    })
+    assert main(["--audit-suppressions", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stale"] == 0
+    assert payload["total"] == 2
+
+
+def test_audit_counts_flow_annotation_use(tmp_path, capsys):
+    seed_tree(tmp_path, {
+        "cluster/cluster.py": FLOW_TREE["cluster/cluster.py"].replace(
+            "def insert(self, rows):",
+            "def insert(self, rows):  # repro: uncharged-mirror=IPC only",
+        ),
+        "cluster/ship.py": (
+            "def ship_delta(pipe, rows):\n"
+            "    pipe.send(rows)  # repro: noqa=REP001\n"
+        ),
+    })
+    assert main(["--audit-suppressions", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    annotation = next(
+        e for e in payload["suppressions"] if e["kind"] == "annotation"
+    )
+    assert annotation["key"] == "uncharged-mirror"
+    assert annotation["used"] is True
+
+
+# -------------------------------------------------------------- interleave
+
+
+def test_interleave_subcommand_smoke(capsys):
+    from repro.cluster.parallel import fork_available
+
+    if not fork_available():
+        import pytest
+
+        pytest.skip("fork start method unavailable")
+    code = main([
+        "interleave", "--workers=2", "--seeds=1", "--steps=6",
+        "--methods=naive", "--modes=eager",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "all bit-identical" in captured.out
+    assert "1 schedules" in captured.out

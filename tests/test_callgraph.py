@@ -1,0 +1,216 @@
+"""Unit tests for the project call graph (repro.analysis.callgraph).
+
+Each resolution tier gets a positive case; the documented limits (calls
+through values produce no edge, unknown receivers fall back by name) are
+pinned explicitly so the flow rules' soundness story stays honest.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph, module_name
+
+
+def build(files):
+    parsed = [
+        (path, ast.parse(textwrap.dedent(source)))
+        for path, source in sorted(files.items())
+    ]
+    return build_callgraph(parsed)
+
+
+def edge_set(graph, caller):
+    return {(e.callee, e.via) for e in graph.callees(caller)}
+
+
+# ------------------------------------------------------------- module names
+
+
+def test_module_name_maps_paths_to_dotted():
+    assert module_name("cluster/network.py") == "cluster.network"
+    assert module_name("costs/__init__.py") == "costs"
+    assert module_name("uniform.py") == "uniform"
+
+
+# --------------------------------------------------------------- resolution
+
+
+def test_module_local_and_nested_resolution():
+    graph = build({
+        "core/a.py": """
+            def helper():
+                pass
+
+            def outer():
+                def inner():
+                    helper()
+                inner()
+        """,
+    })
+    assert edge_set(graph, "core.a.outer") == {("core.a.outer.inner", "direct")}
+    assert edge_set(graph, "core.a.outer.inner") == {("core.a.helper", "direct")}
+
+
+def test_relative_and_absolute_imports_resolve():
+    graph = build({
+        "core/util.py": """
+            def shared():
+                pass
+        """,
+        "core/x.py": """
+            from .util import shared
+
+            def go():
+                shared()
+        """,
+        "cluster/y.py": """
+            from repro.core.util import shared as s
+
+            def run():
+                s()
+        """,
+    })
+    assert edge_set(graph, "core.x.go") == {("core.util.shared", "direct")}
+    assert edge_set(graph, "cluster.y.run") == {("core.util.shared", "direct")}
+
+
+def test_reexport_hop_through_package_init():
+    graph = build({
+        "costs/__init__.py": """
+            from .ledger import charge_all
+        """,
+        "costs/ledger.py": """
+            def charge_all():
+                pass
+        """,
+        "core/z.py": """
+            from ..costs import charge_all
+
+            def go():
+                charge_all()
+        """,
+    })
+    assert edge_set(graph, "core.z.go") == {("costs.ledger.charge_all", "direct")}
+
+
+def test_self_method_and_inherited_method_resolution():
+    graph = build({
+        "cluster/c.py": """
+            class Base:
+                def helper(self):
+                    pass
+
+            class Impl(Base):
+                def run(self):
+                    self.helper()
+                    self.local()
+
+                def local(self):
+                    pass
+        """,
+    })
+    assert edge_set(graph, "cluster.c.Impl.run") == {
+        ("cluster.c.Base.helper", "self"),
+        ("cluster.c.Impl.local", "self"),
+    }
+
+
+def test_constructor_links_to_init():
+    graph = build({
+        "core/k.py": """
+            class Thing:
+                def __init__(self):
+                    pass
+
+            def make():
+                return Thing()
+        """,
+    })
+    assert edge_set(graph, "core.k.make") == {("core.k.Thing.__init__", "direct")}
+
+
+def test_by_name_fallback_links_every_candidate_sorted():
+    graph = build({
+        "cluster/a.py": """
+            class Node:
+                def apply(self):
+                    pass
+        """,
+        "core/b.py": """
+            class Maintainer:
+                def apply(self):
+                    pass
+
+            def drive(target):
+                target.apply()
+        """,
+    })
+    edges = graph.callees("core.b.drive")
+    assert [(e.callee, e.via) for e in edges] == [
+        ("cluster.a.Node.apply", "name"),
+        ("core.b.Maintainer.apply", "name"),
+    ]
+
+
+def test_calls_through_values_produce_no_edge():
+    graph = build({
+        "core/cb.py": """
+            def worker():
+                pass
+
+            def spawn(run):
+                run(target=worker)
+        """,
+    })
+    # ``worker`` is referenced, never called: the documented limit.
+    assert graph.callers("core.cb.worker") == []
+
+
+# ----------------------------------------------------------------- queries
+
+
+def test_reachability_and_path_finding():
+    graph = build({
+        "core/p.py": """
+            def entry():
+                middle()
+
+            def middle():
+                sink()
+
+            def sink():
+                pass
+
+            def island():
+                pass
+        """,
+    })
+    reached = graph.reachable_from(["core.p.entry"])
+    assert reached == {"core.p.entry", "core.p.middle", "core.p.sink"}
+    path = graph.find_path(["core.p.entry"], "core.p.sink")
+    assert [e.caller for e in path] == ["core.p.entry", "core.p.middle"]
+    assert graph.find_path(["core.p.entry"], "core.p.island") is None
+    assert graph.find_path(["core.p.entry"], "core.p.entry") == []
+
+
+# ------------------------------------------------------------------- export
+
+
+def test_dot_export_is_deterministic_and_marks_name_edges():
+    files = {
+        "core/d.py": """
+            def a():
+                b()
+
+            def b(x=None):
+                x.mystery()
+
+            def mystery():
+                pass
+        """,
+    }
+    dot = build(files).to_dot()
+    assert dot == build(files).to_dot()
+    assert '"core.d.a" -> "core.d.b";' in dot
+    assert '"core.d.b" -> "core.d.mystery" [style=dashed, color=gray50];' in dot
+    assert dot.startswith("digraph repro_callgraph {")

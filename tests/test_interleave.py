@@ -1,0 +1,144 @@
+"""Schedule-permutation race detector tests (repro.analysis.interleave).
+
+Three layers: schedule mechanics (seeded determinism, replay alignment),
+the clean-engine equivalence sweep, and the teeth test — a seeded
+merge-order bug (folding worker ledger deltas in arrival order instead of
+canonical ``(node, op, tag)`` order) must be caught and delta-debugged to
+a witness of at most three reordered events.
+"""
+
+import pytest
+
+from repro.analysis.interleave import (
+    DetectorReport,
+    ReplaySchedule,
+    SeededSchedule,
+    ddmin,
+    run_config,
+    run_detector,
+)
+from repro.cluster.parallel import fork_available
+from repro.costs.ledger import CostLedger
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable on this platform"
+)
+
+
+# ---------------------------------------------------------------- schedules
+
+
+def test_seeded_schedule_is_deterministic_and_records_non_identity():
+    first = SeededSchedule(5)
+    second = SeededSchedule(5)
+    items = list("abcdef")
+    for step in range(6):
+        assert first.permute("reply", (step, -1), list(items)) == (
+            second.permute("reply", (step, -1), list(items))
+        )
+    assert first.events == second.events
+    assert first.events, "six 6-item decisions should not all be identity"
+    for kind, _key, perm in first.events:
+        assert kind == "reply"
+        assert sorted(perm) == list(range(len(perm)))
+        assert list(perm) != sorted(perm)
+
+
+def test_seeded_schedule_leaves_short_lists_alone():
+    schedule = SeededSchedule(1)
+    assert schedule.permute("merge", (0, -1), []) == []
+    assert schedule.permute("merge", (1, -1), ["x"]) == ["x"]
+    assert schedule.events == []
+
+
+def test_replay_schedule_applies_only_matching_decisions():
+    replay = ReplaySchedule([("merge", (2, -1), (1, 0))])
+    assert replay.permute("merge", (2, -1), ["a", "b"]) == ["b", "a"]
+    # Different key, different kind, or mismatched length: identity.
+    assert replay.permute("merge", (3, -1), ["a", "b"]) == ["a", "b"]
+    assert replay.permute("reply", (2, -1), ["a", "b"]) == ["a", "b"]
+    assert replay.permute("merge", (2, -1), ["a", "b", "c"]) == ["a", "b", "c"]
+
+
+def test_ddmin_minimizes_to_the_failing_core():
+    events = [("reply", (i, -1), (1, 0)) for i in range(8)]
+    culprits = {events[2], events[5]}
+
+    def still_fails(subset):
+        return culprits <= set(subset)
+
+    minimal = ddmin(events, still_fails)
+    assert set(minimal) == culprits
+
+
+# -------------------------------------------------------------- equivalence
+
+
+def test_clean_engine_is_bit_identical_under_permutation():
+    report = run_detector(
+        methods=("auxiliary",),
+        modes=("eager",),
+        workers=(2,),
+        seeds=range(3),
+        steps=10,
+    )
+    assert isinstance(report, DetectorReport)
+    assert report.ok, report.summary()
+    assert report.schedules_run == 3
+    assert report.distinct_schedules == 3
+    assert "all bit-identical" in report.summary()
+
+
+def test_deferred_mode_equivalence():
+    report = run_detector(
+        methods=("global_index",),
+        modes=("deferred",),
+        workers=(2,),
+        seeds=range(2),
+        steps=10,
+    )
+    assert report.ok, report.summary()
+
+
+# -------------------------------------------------------------------- teeth
+
+
+def _unsorted_absorb(self, deltas):
+    """The seeded bug: fold worker cell deltas in arrival order.  Cell
+    *values* stay equal (sums commute) but the coordinator ledger's cell
+    insertion order now depends on reply/merge order."""
+    target = self._cells
+    for cells in deltas:
+        for cell, count in cells.items():
+            target[cell] += count
+
+
+def test_unsorted_merge_bug_is_caught_and_shrunk(monkeypatch):
+    monkeypatch.setattr(CostLedger, "absorb", _unsorted_absorb)
+    report = run_detector(
+        methods=("auxiliary",),
+        modes=("eager",),
+        workers=(2,),
+        seeds=range(6),
+        steps=14,
+    )
+    assert not report.ok, "detector missed the seeded merge-order bug"
+    divergence = report.divergences[0]
+    assert divergence.component == "cell_stream"
+    assert divergence.witness, "shrinker returned an empty witness"
+    assert len(divergence.witness) <= 3
+    assert set(divergence.witness) <= set(divergence.events)
+    # The witness names only order decisions that can move cell deltas.
+    for kind, _key, _perm in divergence.witness:
+        assert kind in ("envelope", "refresh", "reply", "merge")
+    assert "minimal witness" in divergence.describe()
+
+
+def test_values_still_match_serial_under_the_seeded_bug(monkeypatch):
+    """The bug is order-only: totals remain correct, which is exactly why
+    the canonical cell stream (not value comparison) must catch it."""
+    monkeypatch.setattr(CostLedger, "absorb", _unsorted_absorb)
+    serial = run_config("auxiliary", "eager", None, steps=10)
+    schedule = SeededSchedule(1)
+    permuted = run_config("auxiliary", "eager", 2, schedule, steps=10)
+    assert permuted.diff_label(serial) is None
